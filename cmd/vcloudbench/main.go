@@ -1,0 +1,57 @@
+// Command vcloudbench runs the paper-reproduction experiment suite
+// (E1–E10) and prints the result tables that back EXPERIMENTS.md.
+//
+// Usage:
+//
+//	vcloudbench                 # run everything, full size
+//	vcloudbench -quick          # smaller populations/durations
+//	vcloudbench -only E4,E5     # a subset
+//	vcloudbench -seed 7         # different seed (results reproduce per seed)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"vcloud/internal/experiments"
+)
+
+func main() {
+	var (
+		seed  = flag.Int64("seed", 42, "random seed; equal seeds reproduce runs exactly")
+		quick = flag.Bool("quick", false, "shrink populations and durations")
+		only  = flag.String("only", "", "comma-separated experiment ids (e.g. E1,E5); empty = all")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToUpper(id))] = true
+		}
+	}
+
+	cfg := experiments.Config{Seed: *seed, Quick: *quick}
+	failed := 0
+	for _, r := range experiments.All() {
+		if len(want) > 0 && !want[r.ID] {
+			continue
+		}
+		fmt.Printf("== %s: %s (seed=%d quick=%v)\n", r.ID, r.Name, *seed, *quick)
+		start := time.Now()
+		res, err := r.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", r.ID, err)
+			failed++
+			continue
+		}
+		fmt.Println(res.Table.String())
+		fmt.Printf("(%s wall time: %v)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

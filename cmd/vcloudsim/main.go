@@ -1,0 +1,164 @@
+// Command vcloudsim runs a single vehicular-cloud scenario and prints a
+// summary: cloud formation, task outcomes and radio statistics.
+//
+// Usage:
+//
+//	vcloudsim -scenario highway -arch dynamic -vehicles 40 -tasks 30 -duration 120
+//	vcloudsim -scenario parkinglot -arch stationary
+//	vcloudsim -scenario city -arch dynamic -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	root "vcloud"
+	"vcloud/internal/cluster"
+	"vcloud/internal/geo"
+	"vcloud/internal/mobility"
+	"vcloud/internal/trace"
+	ivc "vcloud/internal/vcloud"
+)
+
+func main() {
+	var (
+		scen     = flag.String("scenario", "highway", "highway | city | parkinglot")
+		arch     = flag.String("arch", "dynamic", "stationary | infrastructure | dynamic")
+		vehicles = flag.Int("vehicles", 40, "vehicle count")
+		tasks    = flag.Int("tasks", 30, "tasks to submit")
+		duration = flag.Float64("duration", 120, "simulated seconds after warm-up")
+		seed     = flag.Int64("seed", 1, "random seed")
+		secure   = flag.Bool("secure", false, "gate cloud membership behind mutual authentication (§V.A)")
+		traceN   = flag.Int("trace", 0, "dump the last N task-lifecycle trace events")
+	)
+	flag.Parse()
+
+	if err := run(*scen, *arch, *vehicles, *tasks, *duration, *seed, *secure, *traceN); err != nil {
+		fmt.Fprintln(os.Stderr, "vcloudsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(scen, archName string, vehicles, tasks int, duration float64, seed int64, secure bool, traceN int) error {
+	var s *root.Scenario
+	var err error
+	switch scen {
+	case "highway":
+		s, err = root.NewHighwayScenario(root.HighwayOptions{Seed: seed, Vehicles: vehicles})
+	case "city":
+		s, err = root.NewCityScenario(root.CityOptions{Seed: seed, Vehicles: vehicles})
+	case "parkinglot":
+		s, err = root.NewParkingLotScenario(root.ParkingLotOptions{Seed: seed, Vehicles: vehicles})
+	default:
+		return fmt.Errorf("unknown scenario %q", scen)
+	}
+	if err != nil {
+		return err
+	}
+
+	var arch root.Architecture
+	switch archName {
+	case "stationary":
+		arch = root.Stationary
+	case "infrastructure":
+		arch = root.Infrastructure
+		// Infrastructure needs RSUs; place three across the map.
+		b := s.Network.Bounds()
+		for i := 1; i <= 3; i++ {
+			x := b.Min.X + b.Width()*float64(i)/4
+			if _, err := s.AddRSU(geo.Point{X: x, Y: b.Center().Y}); err != nil {
+				return err
+			}
+		}
+	case "dynamic":
+		arch = root.Dynamic
+	default:
+		return fmt.Errorf("unknown architecture %q", archName)
+	}
+
+	stats := &root.CloudStats{}
+	var rec *trace.Recorder
+	if traceN > 0 {
+		var err error
+		if rec, err = trace.NewRecorder(traceN); err != nil {
+			return err
+		}
+	}
+	var cloud *root.Cloud
+	var authMet *root.AuthMetrics
+	if secure {
+		ta, err := root.NewTrustedAuthority("TA", seed)
+		if err != nil {
+			return err
+		}
+		authMet = &root.AuthMetrics{}
+		sd, err := ivc.DeploySecure(s, arch, deployCfg(rec), ivc.Security{TA: ta, Metrics: authMet}, stats)
+		if err != nil {
+			return err
+		}
+		cloud = sd.Deployment
+	} else {
+		var err error
+		cloud, err = ivc.Deploy(s, arch, deployCfg(rec), stats)
+		if err != nil {
+			return err
+		}
+	}
+	if err := s.Start(); err != nil {
+		return err
+	}
+	if err := s.RunFor(10 * time.Second); err != nil {
+		return err
+	}
+
+	members := 0
+	for _, c := range cloud.ActiveControllers() {
+		members += c.NumMembers()
+	}
+	fmt.Printf("scenario=%s arch=%s vehicles=%d: %d controller(s), %d member(s) after warm-up\n",
+		scen, archName, len(s.VehicleIDs()), len(cloud.ActiveControllers()), members)
+
+	for i := 0; i < tasks; i++ {
+		if err := cloud.SubmitAnywhere(root.Task{Ops: 2000, InputBytes: 2000, OutputBytes: 1000}, nil); err != nil {
+			fmt.Printf("  submit %d refused: %v\n", i, err)
+		}
+	}
+	if err := s.RunFor(root.Seconds(duration)); err != nil {
+		return err
+	}
+
+	fmt.Printf("tasks: submitted=%d completed=%d failed=%d retries=%d handovers=%d\n",
+		stats.Submitted.Value(), stats.Completed.Value(), stats.Failed.Value(),
+		stats.Retries.Value(), stats.Handovers.Value())
+	if stats.Latency.Count() > 0 {
+		fmt.Printf("latency: p50=%.1fms p95=%.1fms\n",
+			stats.Latency.Percentile(50), stats.Latency.Percentile(95))
+	}
+	if authMet != nil {
+		fmt.Printf("auth: %d handshakes ok, %d failures, %d timeouts, p50 %.1fms\n",
+			authMet.Successes.Value(), authMet.Failures.Value(), authMet.Timeouts.Value(),
+			authMet.Latency.Percentile(50))
+	}
+	rs := s.Medium.Stats()
+	fmt.Printf("radio: sent=%d delivered=%d lost(range)=%d lost(load)=%d, %.1f MB on air\n",
+		rs.Sent, rs.Delivered, rs.LostRange, rs.LostLoad, float64(rs.BytesOnAir)/(1<<20))
+	if rec != nil {
+		fmt.Printf("trace: %d events recorded (%s); tail follows\n", rec.Count(), rec.Summary())
+		if err := rec.Dump(os.Stdout, "", 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// deployCfg builds the default deployment config with optional tracing.
+func deployCfg(rec *trace.Recorder) ivc.DeployConfig {
+	return ivc.DeployConfig{
+		Handover:    true,
+		DwellMode:   mobility.DwellRouteAware,
+		ClusterAlgo: cluster.MobilitySimilarity{},
+		Controller:  ivc.ControllerConfig{Trace: rec},
+	}
+}

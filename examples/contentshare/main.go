@@ -1,0 +1,150 @@
+// Content sharing with sticky policies: an infotainment scenario where
+// a vehicle shares road-condition video wrapped in a data–policy
+// package (§V.C). The policy travels with the data: cluster heads with
+// level-3 automation may read it anywhere; ordinary buffer nodes only
+// inside the originating district; emergency responders anywhere once
+// emergency mode is on. Every access — allowed or denied — lands in the
+// package's tamper-evident audit chain.
+//
+//	go run ./examples/contentshare
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"vcloud/internal/access"
+	"vcloud/internal/cryptoprim"
+	"vcloud/internal/geo"
+)
+
+const (
+	attrHead      access.AttributeID = "traffic/role:cluster-head"
+	attrAuto3     access.AttributeID = "vendor/automation:3+"
+	attrBuffer    access.AttributeID = "traffic/role:buffer-node"
+	attrResponder access.AttributeID = "city/role:responder"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(11))
+
+	// Two independent attribute authorities — no single party can
+	// deanonymize or decrypt everything (§IV.C, [24]).
+	traffic, err := access.NewAuthority("traffic", rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	vendor, err := access.NewAuthority("vendor", rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	city, err := access.NewAuthority("city", rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	lookup := func(id access.AttributeID) (access.AttrKey, bool) {
+		switch id {
+		case attrHead, attrBuffer:
+			return traffic.Grant(id), true
+		case attrAuto3:
+			return vendor.Grant(id), true
+		case attrResponder:
+			return city.Grant(id), true
+		}
+		return access.AttrKey{}, false
+	}
+
+	// The owner composes the policy and seals the package. The owner
+	// signs with a pseudonym key: consumers verify integrity without
+	// learning who shared it.
+	district := geo.NewRect(geo.Point{X: 0, Y: 0}, geo.Point{X: 2000, Y: 2000})
+	policy := access.Policy{
+		Resource: "roadvideo/ice-on-A4",
+		Rules: []access.Rule{
+			{ // heads with high automation: anywhere
+				Action: access.Read,
+				AnyOf:  []access.Clause{{attrHead, attrAuto3}},
+			},
+			{ // buffer nodes: only inside the district, and slowly
+				Action:  access.Read,
+				AnyOf:   []access.Clause{{attrBuffer}},
+				Context: access.ContextRule{Area: &district, MaxSpeed: 20},
+			},
+			{ // responders: anywhere, but only during an emergency
+				Action:  access.Read,
+				AnyOf:   []access.Clause{{attrResponder}},
+				Context: access.ContextRule{EmergencyOnly: true},
+			},
+		},
+	}
+	ownerKey, err := cryptoprim.GenerateKey(rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	video := []byte("H264 frames: black ice near km 14, lane 2")
+	pkg, err := access.Seal("roadvideo/ice-on-A4", video, policy, 42, ownerKey, lookup, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("sealed data-policy package: 3 read clauses, owner-signed")
+
+	open := func(who string, ring *access.Keyring, ctx access.Context) {
+		var token [32]byte
+		rng.Read(token[:]) // anonymous one-time accessor token
+		data, d, err := pkg.Open(ring, ctx, token)
+		if err != nil {
+			fmt.Printf("  %-28s DENIED (%v; clauses checked: %d)\n", who, errShort(err), d.ClausesChecked)
+			return
+		}
+		fmt.Printf("  %-28s OK -> %q\n", who, data)
+	}
+
+	// A cluster head with automation 3 reads from anywhere.
+	head := access.NewKeyring()
+	head.Add(traffic.Grant(attrHead))
+	head.Add(vendor.Grant(attrAuto3))
+	open("cluster head (automation 3)", head, access.Context{Pos: geo.Point{X: 9000, Y: 0}, Now: 1})
+
+	// A buffer node inside the district, driving slowly: allowed.
+	buf := access.NewKeyring()
+	buf.Add(traffic.Grant(attrBuffer))
+	open("buffer node, in district", buf, access.Context{Pos: geo.Point{X: 800, Y: 900}, Speed: 10, Now: 2})
+
+	// The same buffer node outside the district: denied.
+	open("buffer node, outside", buf, access.Context{Pos: geo.Point{X: 5000, Y: 0}, Speed: 10, Now: 3})
+
+	// A responder in normal times: denied. In an emergency: granted in
+	// the same evaluation pass — §III.C's millisecond escalation.
+	resp := access.NewKeyring()
+	resp.Add(city.Grant(attrResponder))
+	open("responder, normal mode", resp, access.Context{Pos: geo.Point{X: 5000, Y: 0}, Now: 4})
+	open("responder, EMERGENCY", resp, access.Context{Pos: geo.Point{X: 5000, Y: 0}, Emergency: true, Now: 5})
+
+	// Revocation: the traffic authority revokes the buffer-node
+	// attribute (epoch bump). A re-sealed package rejects old keys.
+	traffic.Revoke(attrBuffer)
+	pkg2, err := access.Seal("roadvideo/ice-on-A4", video, policy, 43, ownerKey, lookup, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var token [32]byte
+	rng.Read(token[:])
+	if _, _, err := pkg2.Open(buf, access.Context{Pos: geo.Point{X: 800, Y: 900}, Speed: 10, Now: 6}, token); err != nil {
+		fmt.Printf("  %-28s DENIED after revocation (%v)\n", "buffer node, stale keys", errShort(err))
+	}
+
+	// The audit trail recorded everything, tamper-evidently.
+	fmt.Printf("\naudit chain: %d entries, intact=%v\n", len(pkg.Audit), pkg.VerifyAudit() == -1)
+	for i, e := range pkg.Audit {
+		fmt.Printf("  #%d t=%d allowed=%v accessor=%x…\n", i, e.At, e.Allowed, e.AccessorToken[:4])
+	}
+}
+
+func errShort(err error) string {
+	s := err.Error()
+	if len(s) > 60 {
+		return s[:60] + "…"
+	}
+	return s
+}

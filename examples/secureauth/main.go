@@ -1,0 +1,148 @@
+// Secure authentication showcase (Fig. 5): two vehicles mutually
+// authenticate under each of the three protocol families — pseudonym,
+// group and hybrid — while an eavesdropper listens and the TA revokes a
+// misbehaving vehicle mid-run. Printed: latency, bytes on air, CRL work,
+// what the eavesdropper could link, and who can trace whom.
+//
+//	go run ./examples/secureauth
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"time"
+
+	"vcloud/internal/attack"
+	"vcloud/internal/auth"
+	"vcloud/internal/cryptoprim"
+	"vcloud/internal/geo"
+	"vcloud/internal/pki"
+	"vcloud/internal/radio"
+	"vcloud/internal/sim"
+	"vcloud/internal/vnet"
+)
+
+func main() {
+	for _, scheme := range []auth.Scheme{auth.Pseudonym, auth.Group, auth.Hybrid} {
+		demo(scheme)
+		fmt.Println()
+	}
+}
+
+func demo(scheme auth.Scheme) {
+	kernel := sim.NewKernel(9)
+	bounds := geo.NewRect(geo.Point{X: 0, Y: 0}, geo.Point{X: 1000, Y: 1000})
+	medium, err := radio.NewMedium(kernel, bounds, radio.DefaultParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ta, err := pki.New("TA", rand.New(rand.NewSource(9)), pki.Config{PoolSize: 10})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// 50 revoked vehicles pre-populate the CRL (10 pseudonyms each).
+	for i := 0; i < 50; i++ {
+		id := pki.VehicleIdentity(fmt.Sprintf("revoked-%d", i))
+		if _, err := ta.Enroll(id); err != nil {
+			log.Fatal(err)
+		}
+		if err := ta.RevokeVehicle(id); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Hybrid revocation: verifiers cache the TA's trapdoor tags and
+	// refresh when the revocation version changes.
+	var tagsVersion uint64
+	var tags map[[32]byte]struct{}
+	anchors := auth.Anchors{
+		RootKey:  ta.RootKey(),
+		GroupKey: ta.GroupKey(),
+		CRL:      ta.CRL(),
+		CRLMode:  auth.CRLLinear,
+		GroupRevoked: func(sig cryptoprim.GroupSig) (bool, int) {
+			return !ta.GroupManager().CheckNotRevoked(sig), 50
+		},
+		HybridRevoked: func(id [32]byte) bool {
+			if tags == nil || tagsVersion != ta.RevocationVersion() {
+				tagsVersion = ta.RevocationVersion()
+				tags = ta.HybridRevocationTags(1024)
+			}
+			_, revoked := tags[id]
+			return revoked
+		},
+	}
+
+	met := &auth.Metrics{}
+	mkVehicle := func(addr vnet.Addr, name string, x float64) *auth.Authenticator {
+		pos := geo.Point{X: x, Y: 100}
+		medium.UpdatePosition(addr, pos)
+		node, err := vnet.NewNode(kernel, medium, addr, vnet.Config{}, func() (geo.Point, float64, float64) {
+			return pos, 0, 0
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		enr, err := ta.Enroll(pki.VehicleIdentity(name))
+		if err != nil {
+			log.Fatal(err)
+		}
+		a, err := auth.New(node, enr, anchors, scheme, auth.CostModel{}, met)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return a
+	}
+	alice := mkVehicle(1, "alice-"+scheme.String(), 100)
+	_ = mkVehicle(2, "bob-"+scheme.String(), 200)
+
+	// An eavesdropper parked between them hears every frame.
+	spy, err := attack.NewEavesdropper(medium, radio.NodeID(1<<24), geo.Point{X: 150, Y: 120})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Ten mutual handshakes.
+	for i := 0; i < 10; i++ {
+		i := i
+		kernel.At(sim.Time(i)*200*time.Millisecond, func() {
+			_ = alice.Authenticate(2, nil)
+		})
+	}
+	if err := kernel.Run(10 * time.Second); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("== %s (CRL: %d revoked pseudonyms)\n", scheme, ta.CRL().Len())
+	fmt.Printf("   handshakes: %d ok / %d attempted, p50 latency %.2f ms\n",
+		met.Successes.Value(), met.Attempts.Value(), met.Latency.Percentile(50))
+	fmt.Printf("   cost: %.0f bytes and %.1f CRL-entry scans per handshake\n",
+		float64(met.BytesSent.Value())/float64(met.Successes.Value()),
+		float64(met.CRLScanned.Value())/float64(met.Successes.Value()))
+	fmt.Printf("   eavesdropper overheard %d auth frames — payloads are signatures,\n", spy.Captured["auth.req"]+spy.Captured["auth.resp"])
+
+	switch scheme {
+	case auth.Pseudonym:
+		fmt.Println("   identities rotate per handshake; only the TA can trace serial→vehicle")
+	case auth.Group:
+		fmt.Printf("   one group of %d members; the group manager can open every signature\n",
+			ta.GroupManager().NumMembers())
+	case auth.Hybrid:
+		fmt.Println("   group-verified with one-time trapdoor IDs; only the TA traces, no CRL on vehicles")
+	}
+
+	// Mid-run revocation: alice turns malicious and the TA revokes her.
+	if err := ta.RevokeVehicle(pki.VehicleIdentity("alice-" + scheme.String())); err != nil {
+		log.Fatal(err)
+	}
+	before := met.Successes.Value()
+	_ = alice.Authenticate(2, nil)
+	if err := kernel.Run(kernel.Now() + 5*time.Second); err != nil {
+		log.Fatal(err)
+	}
+	if met.Successes.Value() == before {
+		fmt.Println("   after revocation: alice's handshake was rejected ✔")
+	} else {
+		fmt.Println("   after revocation: alice STILL authenticated ✘")
+	}
+}

@@ -1,0 +1,3 @@
+module vcloud
+
+go 1.22

@@ -1,0 +1,93 @@
+package access
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"vcloud/internal/cryptoprim"
+)
+
+// TestSealOpenRoundTripProperty: for random payloads and random
+// single-clause read policies, a keyring holding exactly the clause's
+// attributes always opens the package to the original bytes, and a
+// keyring missing one attribute never does.
+func TestSealOpenRoundTripProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	authority, err := NewAuthority("auth", rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner, err := cryptoprim.GenerateKey(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lookup := func(id AttributeID) (AttrKey, bool) { return authority.Grant(id), true }
+
+	var nonce uint64
+	f := func(data []byte, attrCount uint8) bool {
+		n := int(attrCount%4) + 1
+		clause := make(Clause, 0, n)
+		for i := 0; i < n; i++ {
+			clause = append(clause, AttributeID(rune('a'+i)))
+		}
+		policy := Policy{
+			Resource: "r",
+			Rules:    []Rule{{Action: Read, AnyOf: []Clause{clause}}},
+		}
+		nonce++
+		pkg, err := Seal("r", data, policy, nonce, owner, lookup, rng)
+		if err != nil {
+			return false
+		}
+		// Full keyring opens to the original bytes.
+		full := NewKeyring()
+		for _, a := range clause {
+			full.Add(authority.Grant(a))
+		}
+		got, d, err := pkg.Open(full, Context{}, [32]byte{1})
+		if err != nil || !d.Allowed || !bytes.Equal(got, data) {
+			return false
+		}
+		// Missing one attribute: always denied.
+		if n > 1 {
+			partial := NewKeyring()
+			for _, a := range clause[1:] {
+				partial.Add(authority.Grant(a))
+			}
+			if _, d, err := pkg.Open(partial, Context{}, [32]byte{2}); err == nil || d.Allowed {
+				return false
+			}
+		}
+		// The audit chain stays intact through every access.
+		return pkg.VerifyAudit() == -1
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEvaluateNeverAllowsWithoutAttrsProperty: an empty attribute set is
+// denied by every randomly-shaped policy that has non-empty clauses.
+func TestEvaluateNeverAllowsWithoutAttrsProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	f := func(ruleCount, clauseCount uint8) bool {
+		nr := int(ruleCount%4) + 1
+		p := Policy{Resource: "r"}
+		for i := 0; i < nr; i++ {
+			nc := int(clauseCount%3) + 1
+			rule := Rule{Action: Read}
+			for j := 0; j < nc; j++ {
+				rule.AnyOf = append(rule.AnyOf, Clause{AttributeID(rune('a' + j))})
+			}
+			p.Rules = append(p.Rules, rule)
+		}
+		d := Evaluate(&p, AttrSet{}, Read, Context{})
+		return !d.Allowed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,164 @@
+package auth
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"vcloud/internal/cryptoprim"
+	"vcloud/internal/sim"
+)
+
+func batchRig(t *testing.T) (*sim.Kernel, *cryptoprim.GroupManager, cryptoprim.GroupCred) {
+	t.Helper()
+	k := sim.NewKernel(1)
+	gm, err := cryptoprim.NewGroupManager("g", rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cred, err := gm.Enroll("member", rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k, gm, cred
+}
+
+func TestBatchVerifierValidation(t *testing.T) {
+	k := sim.NewKernel(1)
+	if _, err := NewBatchVerifier(nil, CostModel{}, time.Millisecond); err == nil {
+		t.Error("nil kernel should error")
+	}
+	if _, err := NewBatchVerifier(k, CostModel{}, 0); err == nil {
+		t.Error("zero window should error")
+	}
+}
+
+func TestBatchAmortizesVerification(t *testing.T) {
+	k, gm, cred := batchRig(t)
+	bv, err := NewBatchVerifier(k, CostModel{}, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 20
+	okCount := 0
+	var doneAt sim.Time
+	for i := 0; i < n; i++ {
+		msg := []byte{byte(i)}
+		sig := cred.Sign(msg, uint64(i))
+		bv.Submit(gm.PublicKey(), msg, sig, func(ok bool) {
+			if ok {
+				okCount++
+			}
+			doneAt = k.Now()
+		})
+	}
+	if bv.QueueLen() != n {
+		t.Fatalf("queue = %d", bv.QueueLen())
+	}
+	if err := k.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if okCount != n {
+		t.Fatalf("verified %d/%d", okCount, n)
+	}
+	// Individual: 20 × 2 ms = 40 ms of verification. Batch: 2 ms + 19 ×
+	// 0.2 ms = 5.8 ms, flushed at the 50 ms window.
+	want := 50*time.Millisecond + 2*time.Millisecond + 19*200*time.Microsecond
+	if doneAt != want {
+		t.Errorf("batch completed at %v, want %v", doneAt, want)
+	}
+	if bv.SavedTime <= 0 {
+		t.Error("no time saved by batching")
+	}
+	if bv.Batches.Count() != 1 || bv.Batches.Mean() != n {
+		t.Errorf("batch histogram: %v", bv.Batches.Summarize())
+	}
+}
+
+func TestBatchWithForgeryFallsBack(t *testing.T) {
+	k, gm, cred := batchRig(t)
+	bv, err := NewBatchVerifier(k, CostModel{}, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 valid + 1 forged signature.
+	var results []bool
+	for i := 0; i < 4; i++ {
+		msg := []byte{byte(i)}
+		bv.Submit(gm.PublicKey(), msg, cred.Sign(msg, uint64(i)), func(ok bool) {
+			results = append(results, ok)
+		})
+	}
+	forged := cred.Sign([]byte("original"), 99)
+	bv.Submit(gm.PublicKey(), []byte("tampered"), forged, func(ok bool) {
+		results = append(results, ok)
+	})
+	if err := k.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("results = %d", len(results))
+	}
+	valid := 0
+	for _, ok := range results {
+		if ok {
+			valid++
+		}
+	}
+	if valid != 4 {
+		t.Errorf("valid = %d, want 4 (forgery identified individually)", valid)
+	}
+	if bv.FallbackBatches.Value() != 1 {
+		t.Errorf("fallback batches = %d, want 1", bv.FallbackBatches.Value())
+	}
+}
+
+func TestBatchManualFlush(t *testing.T) {
+	k, gm, cred := batchRig(t)
+	bv, err := NewBatchVerifier(k, CostModel{}, time.Hour) // window never fires
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := false
+	msg := []byte("urgent")
+	bv.Submit(gm.PublicKey(), msg, cred.Sign(msg, 1), func(ok bool) { done = ok })
+	bv.Flush()
+	if bv.QueueLen() != 0 {
+		t.Error("queue not drained by Flush")
+	}
+	if err := k.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Error("flushed item not verified")
+	}
+	bv.Flush() // empty flush is a no-op
+}
+
+func TestBatchSeparateWindows(t *testing.T) {
+	k, gm, cred := batchRig(t)
+	bv, err := NewBatchVerifier(k, CostModel{}, 10*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	submit := func() {
+		msg := []byte{byte(count)}
+		bv.Submit(gm.PublicKey(), msg, cred.Sign(msg, uint64(count+100)), func(ok bool) {
+			if ok {
+				count++
+			}
+		})
+	}
+	submit()
+	k.After(100*time.Millisecond, submit)
+	if err := k.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Fatalf("count = %d", count)
+	}
+	if bv.Batches.Count() != 2 {
+		t.Errorf("batches = %d, want 2 separate windows", bv.Batches.Count())
+	}
+}

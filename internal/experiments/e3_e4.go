@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"vcloud/internal/cluster"
+	"vcloud/internal/metrics"
+	"vcloud/internal/roadnet"
+	"vcloud/internal/routing"
+	"vcloud/internal/scenario"
+	"vcloud/internal/sim"
+	"vcloud/internal/vnet"
+)
+
+// E3ClusterStability measures cluster-head churn and clustered time for
+// the three clustering algorithms across vehicle speeds — the §IV.A.1
+// claim that mobility-aware head election stabilizes clusters.
+func E3ClusterStability(cfg Config) (*Result, error) {
+	vehicles := pick(cfg, 30, 60)
+	runFor := sim.Time(pick(cfg, 60, 300)) * time.Second
+	speeds := []float64{15, 30}
+	if !cfg.Quick {
+		speeds = []float64{10, 20, 30, 40}
+	}
+
+	table := metrics.NewTable(
+		"E3 — Cluster stability vs speed",
+		"algorithm", "speed m/s", "head-chg/node/min", "clustered %", "clusters",
+	)
+	values := map[string]float64{}
+
+	algos := []cluster.Algorithm{
+		cluster.LowestID{},
+		cluster.MobilitySimilarity{},
+		cluster.PassiveMultiHop{MaxHops: 2},
+	}
+	for _, algo := range algos {
+		for _, speed := range speeds {
+			net, err := roadnet.Highway(roadnet.HighwaySpec{LengthM: 3000, Segments: 3, SpeedLimit: speed, Lanes: 2})
+			if err != nil {
+				return nil, err
+			}
+			s, err := scenario.New(scenario.Spec{Seed: cfg.Seed, Network: net, NumVehicles: vehicles})
+			if err != nil {
+				return nil, err
+			}
+			tracker := cluster.NewTracker()
+			runners := make([]*cluster.Runner, 0, vehicles)
+			for _, id := range s.VehicleIDs() {
+				node, _ := s.Node(id)
+				r, err := cluster.NewRunner(node, algo, time.Second, tracker)
+				if err != nil {
+					return nil, err
+				}
+				runners = append(runners, r)
+			}
+			if err := s.Start(); err != nil {
+				return nil, err
+			}
+			if err := s.RunFor(runFor); err != nil {
+				return nil, err
+			}
+			tracker.Finish(s.Kernel.Now())
+
+			churn := tracker.HeadChangesPerNodeMinute(vehicles, runFor)
+			clustered := tracker.MeanClusteredSeconds() / runFor.Seconds()
+			if clustered > 1 {
+				clustered = 1
+			}
+			heads := 0
+			for _, r := range runners {
+				if r.State().Role == cluster.Head {
+					heads++
+				}
+			}
+			table.AddRow(algo.Name(), fmt.Sprintf("%.0f", speed),
+				fmt.Sprintf("%.2f", churn), metrics.Pct(clustered), fmt.Sprintf("%d", heads))
+			key := fmt.Sprintf("%s/%.0f", algo.Name(), speed)
+			values[key+"/churn"] = churn
+			values[key+"/clustered"] = clustered
+		}
+	}
+	return &Result{ID: "E3", Title: "cluster stability", Table: table, Values: values}, nil
+}
+
+// E4Routing compares MoZo against greedy-geographic, AODV and epidemic
+// flooding across vehicle densities: delivery ratio, median delay, and
+// transmissions per delivery (the §IV.A.1 routing discussion, with MoZo
+// [22] as the authors' own system).
+func E4Routing(cfg Config) (*Result, error) {
+	densities := []int{20, 40}
+	if !cfg.Quick {
+		densities = []int{15, 30, 60, 90}
+	}
+	packets := pick(cfg, 40, 150)
+	warm := 10 * time.Second
+	window := sim.Time(pick(cfg, 60, 150)) * time.Second
+
+	table := metrics.NewTable(
+		"E4 — Routing protocols vs density",
+		"protocol", "vehicles", "delivery", "p50 delay", "tx/delivery",
+	)
+	values := map[string]float64{}
+
+	type mk struct {
+		name string
+		make func(s *scenario.Scenario, node *vnet.Node, st *routing.Stats) (routing.Router, error)
+	}
+	// Geographic protocols originate against a realistic (stale)
+	// location service; MoZo heads refresh stamps from fresh zone
+	// knowledge — the design point of [22].
+	staleFor := func(s *scenario.Scenario) *routing.StaleLoc {
+		return routing.NewStaleLoc(routing.OracleLoc{Positions: s.Medium}, s.Kernel.Now, 20*time.Second)
+	}
+	staleByScenario := map[*scenario.Scenario]*routing.StaleLoc{}
+	lookup := func(s *scenario.Scenario) *routing.StaleLoc {
+		if sl, ok := staleByScenario[s]; ok {
+			return sl
+		}
+		sl := staleFor(s)
+		staleByScenario[s] = sl
+		return sl
+	}
+	makers := []mk{
+		{"mozo", func(s *scenario.Scenario, node *vnet.Node, st *routing.Stats) (routing.Router, error) {
+			r, err := cluster.NewRunner(node, cluster.MobilitySimilarity{}, time.Second, nil)
+			if err != nil {
+				return nil, err
+			}
+			cfg := routing.GeoConfig{Loc: lookup(s), ZoneLoc: routing.OracleLoc{Positions: s.Medium}}
+			return routing.NewMoZo(node, st, cfg, r.State, nil)
+		}},
+		{"greedy", func(s *scenario.Scenario, node *vnet.Node, st *routing.Stats) (routing.Router, error) {
+			return routing.NewGreedy(node, st, routing.GeoConfig{Loc: lookup(s)}, nil)
+		}},
+		{"aodv", func(s *scenario.Scenario, node *vnet.Node, st *routing.Stats) (routing.Router, error) {
+			return routing.NewAODV(node, st, nil)
+		}},
+		{"epidemic", func(s *scenario.Scenario, node *vnet.Node, st *routing.Stats) (routing.Router, error) {
+			return routing.NewEpidemic(node, st, nil)
+		}},
+	}
+
+	for _, m := range makers {
+		for _, density := range densities {
+			net, err := roadnet.Highway(roadnet.HighwaySpec{LengthM: 3000, Segments: 3, SpeedLimit: 27, Lanes: 2})
+			if err != nil {
+				return nil, err
+			}
+			s, err := scenario.New(scenario.Spec{Seed: cfg.Seed, Network: net, NumVehicles: density})
+			if err != nil {
+				return nil, err
+			}
+			stats := &routing.Stats{}
+			var routers []routing.Router
+			for _, id := range s.VehicleIDs() {
+				node, _ := s.Node(id)
+				rt, err := m.make(s, node, stats)
+				if err != nil {
+					return nil, err
+				}
+				routers = append(routers, rt)
+			}
+			if err := s.Start(); err != nil {
+				return nil, err
+			}
+			if err := s.RunFor(warm); err != nil {
+				return nil, err
+			}
+			rng := s.Kernel.NewStream("traffic")
+			gap := window / sim.Time(packets+1)
+			for i := 0; i < packets; i++ {
+				s.Kernel.After(sim.Time(i)*gap, func() {
+					src := routers[rng.Intn(len(routers))]
+					ids := s.VehicleIDs()
+					dst := vnet.Addr(ids[rng.Intn(len(ids))])
+					_ = src.Send(dst, 500, nil)
+				})
+			}
+			if err := s.RunFor(window + 20*time.Second); err != nil {
+				return nil, err
+			}
+			table.AddRow(m.name, fmt.Sprintf("%d", density),
+				metrics.Pct(stats.DeliveryRatio()),
+				metrics.Ms(stats.Latency.Percentile(50)),
+				fmt.Sprintf("%.1f", stats.OverheadPerDelivery()))
+			key := fmt.Sprintf("%s/%d", m.name, density)
+			values[key+"/delivery"] = stats.DeliveryRatio()
+			values[key+"/overhead"] = stats.OverheadPerDelivery()
+			values[key+"/p50ms"] = stats.Latency.Percentile(50)
+		}
+	}
+	return &Result{ID: "E4", Title: "routing", Table: table, Values: values}, nil
+}

@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"vcloud/internal/access"
+	"vcloud/internal/auth"
+	"vcloud/internal/cryptoprim"
+	"vcloud/internal/geo"
+	"vcloud/internal/metrics"
+	"vcloud/internal/pki"
+	"vcloud/internal/radio"
+	"vcloud/internal/sim"
+	"vcloud/internal/vnet"
+)
+
+// E5Authentication reproduces Fig. 5: pseudonym vs group vs hybrid
+// authentication across revoked-population sizes, with the CRL-structure
+// ablation (linear vs bloom). Reported: handshake latency, bytes per
+// handshake, CRL entries scanned, and the privacy characteristics
+// (outsider anonymity set; who can trace).
+func E5Authentication(cfg Config) (*Result, error) {
+	revokedLevels := []int{0, 200}
+	if !cfg.Quick {
+		revokedLevels = []int{0, 100, 500, 2000}
+	}
+	handshakes := pick(cfg, 20, 60)
+
+	table := metrics.NewTable(
+		"E5 — Authentication protocols (Fig. 5)",
+		"scheme", "revoked", "p50 latency", "bytes/hs", "CRL scans/hs", "anonymity", "traced by",
+	)
+	values := map[string]float64{}
+
+	type arm struct {
+		scheme  auth.Scheme
+		crlMode auth.CRLMode
+		label   string
+	}
+	arms := []arm{
+		{auth.Pseudonym, auth.CRLLinear, "pseudonym(linear)"},
+		{auth.Pseudonym, auth.CRLBloom, "pseudonym(bloom)"},
+		{auth.Group, auth.CRLLinear, "group"},
+		{auth.Hybrid, auth.CRLLinear, "hybrid"},
+	}
+
+	for _, a := range arms {
+		for _, revoked := range revokedLevels {
+			k := sim.NewKernel(cfg.Seed)
+			bounds := geo.NewRect(geo.Point{X: 0, Y: 0}, geo.Point{X: 1000, Y: 1000})
+			medium, err := radio.NewMedium(k, bounds, radio.DefaultParams())
+			if err != nil {
+				return nil, err
+			}
+			poolSize := 20
+			ta, err := pki.New("TA", rand.New(rand.NewSource(cfg.Seed)), pki.Config{PoolSize: poolSize})
+			if err != nil {
+				return nil, err
+			}
+			// Populate the revoked set.
+			for i := 0; i < revoked; i++ {
+				id := pki.VehicleIdentity(fmt.Sprintf("rev-%d", i))
+				if _, err := ta.Enroll(id); err != nil {
+					return nil, err
+				}
+				if err := ta.RevokeVehicle(id); err != nil {
+					return nil, err
+				}
+			}
+			anchors := auth.Anchors{
+				RootKey:  ta.RootKey(),
+				GroupKey: ta.GroupKey(),
+				CRL:      ta.CRL(),
+				CRLMode:  a.crlMode,
+				GroupRevoked: func(sig cryptoprim.GroupSig) (bool, int) {
+					// Verifier-local revocation tokens: one per revoked
+					// member.
+					return !ta.GroupManager().CheckNotRevoked(sig), revoked
+				},
+			}
+			met := &auth.Metrics{}
+			var auths []*auth.Authenticator
+			for i := 0; i < 2; i++ {
+				pos := geo.Point{X: 100 + float64(i)*100, Y: 100}
+				addr := vnet.Addr(i)
+				medium.UpdatePosition(addr, pos)
+				node, err := vnet.NewNode(k, medium, addr, vnet.Config{}, func() (geo.Point, float64, float64) {
+					return pos, 0, 0
+				})
+				if err != nil {
+					return nil, err
+				}
+				enr, err := ta.Enroll(pki.VehicleIdentity(fmt.Sprintf("veh-%d", i)))
+				if err != nil {
+					return nil, err
+				}
+				au, err := auth.New(node, enr, anchors, a.scheme, auth.CostModel{}, met)
+				if err != nil {
+					return nil, err
+				}
+				auths = append(auths, au)
+			}
+			for i := 0; i < handshakes; i++ {
+				i := i
+				k.At(sim.Time(i)*100*time.Millisecond, func() {
+					_ = auths[0].Authenticate(1, nil)
+				})
+			}
+			if err := k.Run(sim.Time(handshakes)*100*time.Millisecond + 10*time.Second); err != nil {
+				return nil, err
+			}
+
+			succ := met.Successes.Value()
+			if succ == 0 {
+				return nil, fmt.Errorf("E5: no successful handshakes for %s/%d", a.label, revoked)
+			}
+			bytesPer := float64(met.BytesSent.Value()) / float64(succ)
+			scansPer := float64(met.CRLScanned.Value()) / float64(succ)
+			anonymity, tracer := privacyRow(a.scheme, poolSize, ta)
+			table.AddRow(a.label, fmt.Sprintf("%d", revoked),
+				metrics.Ms(met.Latency.Percentile(50)),
+				fmt.Sprintf("%.0f", bytesPer),
+				fmt.Sprintf("%.0f", scansPer),
+				anonymity, tracer)
+			key := fmt.Sprintf("%s/%d", a.label, revoked)
+			values[key+"/p50ms"] = met.Latency.Percentile(50)
+			values[key+"/bytes"] = bytesPer
+			values[key+"/scans"] = scansPer
+		}
+	}
+	return &Result{ID: "E5", Title: "authentication", Table: table, Values: values}, nil
+}
+
+// privacyRow returns the analytic privacy characteristics of a scheme:
+// the outsider anonymity-set size and who can deanonymize.
+func privacyRow(s auth.Scheme, poolSize int, ta *pki.TA) (anonymity, tracer string) {
+	switch s {
+	case auth.Pseudonym:
+		return fmt.Sprintf("pool=%d", poolSize), "TA (serial escrow)"
+	case auth.Group:
+		return fmt.Sprintf("group=%d", ta.GroupManager().NumMembers()), "group manager"
+	default:
+		return fmt.Sprintf("group=%d", ta.GroupManager().NumMembers()), "TA (trapdoor)"
+	}
+}
+
+// E6AccessControl measures policy-decision latency against policy-set
+// size and the emergency-escalation path (§III.C's "milliseconds"
+// requirement). Decisions are real computations, so this experiment
+// reports wall-clock nanoseconds per decision.
+func E6AccessControl(cfg Config) (*Result, error) {
+	policyCounts := []int{10, 100}
+	if !cfg.Quick {
+		policyCounts = []int{10, 100, 1000, 5000}
+	}
+	iters := pick(cfg, 2000, 20000)
+
+	table := metrics.NewTable(
+		"E6 — Access-control decision latency",
+		"policies", "ns/decision", "allowed", "emergency ns/decision",
+	)
+	values := map[string]float64{}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	for _, n := range policyCounts {
+		policies := make([]access.Policy, n)
+		area := geo.NewRect(geo.Point{X: 0, Y: 0}, geo.Point{X: 1000, Y: 1000})
+		for i := range policies {
+			policies[i] = access.Policy{
+				Resource: fmt.Sprintf("res-%d", i),
+				Rules: []access.Rule{
+					{
+						Action: access.Read,
+						AnyOf: []access.Clause{
+							{access.AttributeID(fmt.Sprintf("auth/role-%d", i%7)), "auth/automation3"},
+							{"auth/police"},
+						},
+						Context: access.ContextRule{Area: &area, MaxSpeed: 40},
+					},
+					{
+						Action:  access.Read,
+						AnyOf:   []access.Clause{{"auth/responder"}},
+						Context: access.ContextRule{EmergencyOnly: true},
+					},
+				},
+			}
+		}
+		attrs := access.AttrSet{
+			access.AttributeID(fmt.Sprintf("auth/role-%d", rng.Intn(7))): 0,
+			"auth/automation3": 0,
+		}
+		emergencyAttrs := access.AttrSet{"auth/responder": 0}
+		ctx := access.Context{Pos: geo.Point{X: 500, Y: 500}, Speed: 20}
+		emCtx := access.Context{Pos: geo.Point{X: 5000, Y: 0}, Speed: 60, Emergency: true}
+
+		// Normal decisions.
+		allowed := 0
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			p := &policies[i%n]
+			if d := access.Evaluate(p, attrs, access.Read, ctx); d.Allowed {
+				allowed++
+			}
+		}
+		perDecision := float64(time.Since(start).Nanoseconds()) / float64(iters)
+
+		// Emergency escalations.
+		emAllowed := 0
+		start = time.Now()
+		for i := 0; i < iters; i++ {
+			p := &policies[i%n]
+			if d := access.Evaluate(p, emergencyAttrs, access.Read, emCtx); d.Allowed {
+				emAllowed++
+			}
+		}
+		emPer := float64(time.Since(start).Nanoseconds()) / float64(iters)
+		if emAllowed == 0 {
+			return nil, fmt.Errorf("E6: emergency escalation never granted")
+		}
+
+		table.AddRow(fmt.Sprintf("%d", n),
+			fmt.Sprintf("%.0f", perDecision),
+			metrics.Pct(float64(allowed)/float64(iters)),
+			fmt.Sprintf("%.0f", emPer))
+		values[fmt.Sprintf("%d/ns", n)] = perDecision
+		values[fmt.Sprintf("%d/emergency-ns", n)] = emPer
+	}
+	return &Result{ID: "E6", Title: "access control", Table: table, Values: values}, nil
+}

@@ -1,0 +1,78 @@
+// Package experiments contains the runnable reproductions of every
+// figure and load-bearing claim of the paper, indexed E1–E10 (see
+// DESIGN.md for the mapping). Each experiment builds its scenario from
+// the substrate packages, runs it on the deterministic kernel, and
+// returns both a printable table (the paper-style rows) and a map of
+// named values that tests and benchmarks assert the *shape* of.
+//
+// The paper is a survey with no quantitative evaluation of its own; the
+// expected shapes come from its qualitative figures (Fig. 2, Fig. 4,
+// Fig. 5) and the explicit arguments of §III–§V. EXPERIMENTS.md records
+// claim-vs-measured for every run.
+package experiments
+
+import (
+	"fmt"
+
+	"vcloud/internal/metrics"
+)
+
+// Config tunes an experiment run.
+type Config struct {
+	// Seed drives all randomness; equal seeds reproduce runs exactly.
+	Seed int64
+	// Quick shrinks populations and durations for tests and benchmarks;
+	// the full-size runs back EXPERIMENTS.md.
+	Quick bool
+}
+
+// Result is one experiment's output.
+type Result struct {
+	ID     string
+	Title  string
+	Table  *metrics.Table
+	Values map[string]float64
+}
+
+// String renders the result table.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s\n", r.Table.String())
+}
+
+// Runner is a named experiment entry point.
+type Runner struct {
+	ID   string
+	Name string
+	Run  func(Config) (*Result, error)
+}
+
+// All lists every experiment in order.
+func All() []Runner {
+	return []Runner{
+		{"E1", "cloud comparison (Fig. 2)", E1CloudComparison},
+		{"E2", "v-cloud architectures (Fig. 4)", E2Architectures},
+		{"E3", "cluster stability", E3ClusterStability},
+		{"E4", "routing protocols", E4Routing},
+		{"E5", "authentication protocols (Fig. 5)", E5Authentication},
+		{"E6", "access-control latency", E6AccessControl},
+		{"E7", "task handover vs drop", E7TaskHandover},
+		{"E8", "replication vs availability", E8Replication},
+		{"E9", "trust validators vs attackers", E9Trust},
+		{"E10", "attack/defense drill", E10Attacks},
+	}
+}
+
+// pick returns quick when cfg.Quick, else full.
+func pick(cfg Config, quick, full int) int {
+	if cfg.Quick {
+		return quick
+	}
+	return full
+}
+
+func pickF(cfg Config, quick, full float64) float64 {
+	if cfg.Quick {
+		return quick
+	}
+	return full
+}

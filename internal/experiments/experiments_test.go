@@ -1,0 +1,236 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func quick(t *testing.T, run func(Config) (*Result, error)) *Result {
+	t.Helper()
+	r, err := run(Config{Seed: 42, Quick: true})
+	if err != nil {
+		t.Fatalf("experiment failed: %v", err)
+	}
+	if r.Table == nil || len(r.Values) == 0 {
+		t.Fatal("experiment produced no output")
+	}
+	out := r.Table.String()
+	if !strings.Contains(out, r.ID) {
+		t.Errorf("table title missing experiment id: %q", strings.SplitN(out, "\n", 2)[0])
+	}
+	t.Logf("\n%s", out)
+	return r
+}
+
+func TestAllRegistered(t *testing.T) {
+	runners := All()
+	if len(runners) != 10 {
+		t.Fatalf("runners = %d, want 10", len(runners))
+	}
+	seen := map[string]bool{}
+	for _, r := range runners {
+		if r.Run == nil || r.ID == "" {
+			t.Errorf("runner %q incomplete", r.ID)
+		}
+		if seen[r.ID] {
+			t.Errorf("duplicate id %s", r.ID)
+		}
+		seen[r.ID] = true
+	}
+}
+
+func TestE1Shape(t *testing.T) {
+	r := quick(t, E1CloudComparison)
+	v := r.Values
+	// Conventional cloud wins on raw latency while healthy...
+	if v["conventional/p50ms"] >= v["vehicular/p50ms"] {
+		t.Errorf("conventional p50 %.1fms should beat vehicular %.1fms while healthy",
+			v["conventional/p50ms"], v["vehicular/p50ms"])
+	}
+	// ...but dies with its infrastructure, while the vehicular cloud
+	// keeps working (Fig. 2 infrastructure-reliance row).
+	if v["conventional/outage"] > 0.2 {
+		t.Errorf("conventional completed %.0f%% during outage, should collapse", v["conventional/outage"]*100)
+	}
+	if v["vehicular/outage"] < 0.5*v["vehicular/healthy"] {
+		t.Errorf("vehicular outage completion %.2f dropped too much vs healthy %.2f",
+			v["vehicular/outage"], v["vehicular/healthy"])
+	}
+	if v["vehicular/healthy"] < 0.4 {
+		t.Errorf("vehicular healthy completion %.2f unreasonably low", v["vehicular/healthy"])
+	}
+}
+
+func TestE2Shape(t *testing.T) {
+	r := quick(t, E2Architectures)
+	v := r.Values
+	for _, arch := range []string{"stationary", "infrastructure", "dynamic"} {
+		if v[arch+"/healthy"] < 0.3 {
+			t.Errorf("%s healthy completion %.2f too low", arch, v[arch+"/healthy"])
+		}
+	}
+	// Dynamic degrades least under disaster (Fig. 4 / §IV.A.2 claim).
+	dynDrop := v["dynamic/healthy"] - v["dynamic/disaster"]
+	infraDrop := v["infrastructure/healthy"] - v["infrastructure/disaster"]
+	if dynDrop > infraDrop {
+		t.Errorf("dynamic degraded more (%.2f) than infrastructure-based (%.2f)", dynDrop, infraDrop)
+	}
+	if v["infrastructure/disaster"] > 0.3 {
+		t.Errorf("infrastructure cloud should collapse in disaster, got %.2f", v["infrastructure/disaster"])
+	}
+}
+
+func TestE3Shape(t *testing.T) {
+	r := quick(t, E3ClusterStability)
+	v := r.Values
+	// Mobility-aware clustering must beat lowest-ID on head churn at the
+	// higher speed level.
+	if v["mobility/30/churn"] >= v["lowest-id/30/churn"] {
+		t.Errorf("mobility churn %.2f should be below lowest-id %.2f at 30 m/s",
+			v["mobility/30/churn"], v["lowest-id/30/churn"])
+	}
+	// Vehicles spend most time clustered under every algorithm.
+	for _, algo := range []string{"lowest-id", "mobility", "pmc"} {
+		if v[algo+"/15/clustered"] < 0.5 {
+			t.Errorf("%s clustered share %.2f too low", algo, v[algo+"/15/clustered"])
+		}
+	}
+}
+
+func TestE4Shape(t *testing.T) {
+	r := quick(t, E4Routing)
+	v := r.Values
+	// Epidemic: best-or-equal delivery, worst overhead (at the denser
+	// setting).
+	if v["epidemic/40/delivery"]+0.05 < v["greedy/40/delivery"] {
+		t.Errorf("epidemic delivery %.2f below greedy %.2f", v["epidemic/40/delivery"], v["greedy/40/delivery"])
+	}
+	if v["epidemic/40/overhead"] <= v["greedy/40/overhead"] {
+		t.Errorf("epidemic overhead %.1f should exceed greedy %.1f",
+			v["epidemic/40/overhead"], v["greedy/40/overhead"])
+	}
+	// MoZo at least matches greedy under mobility.
+	if v["mozo/40/delivery"]+0.1 < v["greedy/40/delivery"] {
+		t.Errorf("mozo delivery %.2f well below greedy %.2f", v["mozo/40/delivery"], v["greedy/40/delivery"])
+	}
+}
+
+func TestE5Shape(t *testing.T) {
+	r := quick(t, E5Authentication)
+	v := r.Values
+	// Pseudonym verification cost grows with the revoked population
+	// under linear CRL scans…
+	if v["pseudonym(linear)/200/scans"] <= v["pseudonym(linear)/0/scans"] {
+		t.Errorf("linear CRL scans should grow with revocations: %v vs %v",
+			v["pseudonym(linear)/200/scans"], v["pseudonym(linear)/0/scans"])
+	}
+	// …while bloom stays near-constant, and group/hybrid avoid the
+	// per-pseudonym CRL entirely.
+	if v["pseudonym(bloom)/200/scans"] > 5 {
+		t.Errorf("bloom scans %.1f should be near zero", v["pseudonym(bloom)/200/scans"])
+	}
+	if v["hybrid/200/scans"] > 1 {
+		t.Errorf("hybrid should not scan CRLs, got %.1f", v["hybrid/200/scans"])
+	}
+	// Group/hybrid handshakes are smaller on air than certificate
+	// exchanges (Fig. 5).
+	if v["group/0/bytes"] >= v["pseudonym(linear)/0/bytes"] {
+		t.Errorf("group bytes %v should be below pseudonym %v",
+			v["group/0/bytes"], v["pseudonym(linear)/0/bytes"])
+	}
+}
+
+func TestE6Shape(t *testing.T) {
+	r := quick(t, E6AccessControl)
+	v := r.Values
+	// Decisions stay in the sub-microsecond-to-microsecond band — far
+	// inside §III.C's milliseconds budget — and emergency escalation is
+	// not more expensive than normal evaluation by more than ~10×.
+	for _, n := range []string{"10", "100"} {
+		if v[n+"/ns"] <= 0 || v[n+"/ns"] > 1e6 {
+			t.Errorf("ns/decision out of range for %s policies: %v", n, v[n+"/ns"])
+		}
+		if v[n+"/emergency-ns"] > 10*v[n+"/ns"]+1e4 {
+			t.Errorf("emergency path too slow: %v vs %v", v[n+"/emergency-ns"], v[n+"/ns"])
+		}
+	}
+}
+
+func TestE7Shape(t *testing.T) {
+	r := quick(t, E7TaskHandover)
+	v := r.Values
+	if v["handover(route)/completion"] < v["drop/completion"] {
+		t.Errorf("handover completion %.2f below drop %.2f",
+			v["handover(route)/completion"], v["drop/completion"])
+	}
+	if v["handover(route)/wasted"] >= v["drop/wasted"] {
+		t.Errorf("handover waste %.0f should be below drop waste %.0f",
+			v["handover(route)/wasted"], v["drop/wasted"])
+	}
+	if v["handover(route)/handovers"] == 0 {
+		t.Error("handover arm performed no handovers")
+	}
+}
+
+func TestE8Shape(t *testing.T) {
+	r := quick(t, E8Replication)
+	v := r.Values
+	// More replicas → higher availability at every churn level.
+	for _, churn := range []string{"0.05", "0.15"} {
+		k1 := v["k1/churn"+churn+"/availability"]
+		k3 := v["k3/churn"+churn+"/availability"]
+		if k3 < k1 {
+			t.Errorf("churn %s: k=3 availability %.2f below k=1 %.2f", churn, k3, k1)
+		}
+	}
+	if v["k3/churn0.05/availability"] < 0.9 {
+		t.Errorf("k=3 at low churn should be highly available, got %.2f", v["k3/churn0.05/availability"])
+	}
+	// Battery-sleep retention dominates the departed model: sleepers
+	// keep their replicas.
+	for _, key := range []string{"k1/churn0.05", "k2/churn0.15"} {
+		if v[key+"/retain/availability"] < v[key+"/availability"] {
+			t.Errorf("%s: sleeping model %.2f below departed %.2f", key,
+				v[key+"/retain/availability"], v[key+"/availability"])
+		}
+	}
+}
+
+func TestE9Shape(t *testing.T) {
+	r := quick(t, E9Trust)
+	v := r.Values
+	// Content-centric validation beats rotating-identity reputation at
+	// the high attacker fraction (§III.D claim).
+	if v["bayesian+path/0.3/accuracy"] <= v["reputation(rotating)/0.3/accuracy"] {
+		t.Errorf("path-diverse bayesian %.2f should beat rotating reputation %.2f",
+			v["bayesian+path/0.3/accuracy"], v["reputation(rotating)/0.3/accuracy"])
+	}
+	// Stable identities would rescue reputation — the diagnosis.
+	if v["reputation(stable)/0.3/accuracy"] <= v["reputation(rotating)/0.3/accuracy"] {
+		t.Errorf("stable-id reputation %.2f should beat rotating %.2f",
+			v["reputation(stable)/0.3/accuracy"], v["reputation(rotating)/0.3/accuracy"])
+	}
+	// Everything is accurate with few attackers.
+	if v["bayesian/0.1/accuracy"] < 0.8 {
+		t.Errorf("bayesian at 10%% attackers = %.2f, want high accuracy", v["bayesian/0.1/accuracy"])
+	}
+}
+
+func TestE10Shape(t *testing.T) {
+	r := quick(t, E10Attacks)
+	v := r.Values
+	if v["dos/flooded"] >= v["dos/clean"] {
+		t.Errorf("flood should degrade delivery: %.3f vs %.3f", v["dos/flooded"], v["dos/clean"])
+	}
+	if v["suppression/compromised"] >= v["suppression/honest"] {
+		t.Errorf("suppressor should reduce relay delivery: %.2f vs %.2f",
+			v["suppression/compromised"], v["suppression/honest"])
+	}
+	if v["sybil/diverse"] <= v["sybil/voting"] {
+		t.Errorf("path-diverse trust %.2f should resist sybil better than voting %.2f",
+			v["sybil/diverse"], v["sybil/voting"])
+	}
+	if v["tracking/fast"] < 0 || v["tracking/slow"] < 0 {
+		t.Error("tracking arm failed to run")
+	}
+}

@@ -1,0 +1,27 @@
+package experiments
+
+import (
+	"vcloud/internal/geo"
+	"vcloud/internal/radio"
+	"vcloud/internal/sim"
+	"vcloud/internal/vnet"
+)
+
+// chainNodes builds n static nodes in a line, spacing meters apart, for
+// focused protocol drills that do not need mobility.
+func chainNodes(k *sim.Kernel, m *radio.Medium, n int, spacing float64) ([]*vnet.Node, error) {
+	nodes := make([]*vnet.Node, 0, n)
+	for i := 0; i < n; i++ {
+		pos := geo.Point{X: float64(i) * spacing, Y: 0}
+		addr := vnet.Addr(i)
+		m.UpdatePosition(addr, pos)
+		node, err := vnet.NewNode(k, m, addr, vnet.Config{}, func() (geo.Point, float64, float64) {
+			return pos, 0, 0
+		})
+		if err != nil {
+			return nil, err
+		}
+		nodes = append(nodes, node)
+	}
+	return nodes, nil
+}

@@ -1,0 +1,195 @@
+package geo
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func mustGrid(t *testing.T, bounds Rect, cell float64) *GridIndex {
+	t.Helper()
+	g, err := NewGridIndex(bounds, cell)
+	if err != nil {
+		t.Fatalf("NewGridIndex: %v", err)
+	}
+	return g
+}
+
+func TestNewGridIndexValidation(t *testing.T) {
+	bounds := NewRect(Point{0, 0}, Point{100, 100})
+	if _, err := NewGridIndex(bounds, 0); err == nil {
+		t.Error("want error for zero cell size")
+	}
+	if _, err := NewGridIndex(bounds, -5); err == nil {
+		t.Error("want error for negative cell size")
+	}
+	if _, err := NewGridIndex(Rect{}, 10); err == nil {
+		t.Error("want error for empty bounds")
+	}
+}
+
+func TestGridUpdateRemove(t *testing.T) {
+	g := mustGrid(t, NewRect(Point{0, 0}, Point{1000, 1000}), 100)
+	g.Update(1, Point{50, 50})
+	g.Update(2, Point{55, 55})
+	if g.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", g.Len())
+	}
+	p, ok := g.Position(1)
+	if !ok || p != (Point{50, 50}) {
+		t.Fatalf("Position(1) = %v, %v", p, ok)
+	}
+	// Move within the same cell and across cells.
+	g.Update(1, Point{60, 60})
+	g.Update(1, Point{950, 950})
+	p, _ = g.Position(1)
+	if p != (Point{950, 950}) {
+		t.Fatalf("after move Position(1) = %v", p)
+	}
+	got := g.WithinRange(nil, Point{60, 60}, 20, -1)
+	if len(got) != 1 || got[0] != 2 {
+		t.Fatalf("WithinRange after move = %v, want [2]", got)
+	}
+	g.Remove(2)
+	if g.Len() != 1 {
+		t.Fatalf("Len after remove = %d", g.Len())
+	}
+	g.Remove(2) // removing absent id is a no-op
+	if _, ok := g.Position(2); ok {
+		t.Error("Position(2) should be absent")
+	}
+}
+
+func TestGridWithinRangeExclude(t *testing.T) {
+	g := mustGrid(t, NewRect(Point{0, 0}, Point{100, 100}), 25)
+	g.Update(7, Point{50, 50})
+	g.Update(8, Point{52, 50})
+	got := g.WithinRange(nil, Point{50, 50}, 10, 7)
+	if len(got) != 1 || got[0] != 8 {
+		t.Fatalf("WithinRange excluding 7 = %v, want [8]", got)
+	}
+}
+
+func TestGridOutOfBoundsPoints(t *testing.T) {
+	// Points outside the declared bounds must still be indexed (clamped to
+	// border cells) and findable; vehicles can momentarily overshoot.
+	g := mustGrid(t, NewRect(Point{0, 0}, Point{100, 100}), 10)
+	g.Update(1, Point{-20, -20})
+	g.Update(2, Point{150, 150})
+	if got := g.WithinRange(nil, Point{-20, -20}, 5, -1); len(got) != 1 {
+		t.Fatalf("out-of-bounds query = %v", got)
+	}
+	if got := g.WithinRange(nil, Point{150, 150}, 5, -1); len(got) != 1 {
+		t.Fatalf("out-of-bounds query high = %v", got)
+	}
+}
+
+// TestGridMatchesBruteForce is the core property test: the grid index must
+// return exactly the same id set as a brute-force scan, across random
+// configurations and radii.
+func TestGridMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	bounds := NewRect(Point{0, 0}, Point{2000, 2000})
+	for trial := 0; trial < 50; trial++ {
+		g := mustGrid(t, bounds, 150)
+		pts := make(map[int32]Point)
+		n := 1 + rng.Intn(200)
+		for i := 0; i < n; i++ {
+			id := int32(i)
+			p := Point{rng.Float64() * 2000, rng.Float64() * 2000}
+			g.Update(id, p)
+			pts[id] = p
+		}
+		// Random moves.
+		for i := 0; i < n/2; i++ {
+			id := int32(rng.Intn(n))
+			p := Point{rng.Float64() * 2000, rng.Float64() * 2000}
+			g.Update(id, p)
+			pts[id] = p
+		}
+		q := Point{rng.Float64() * 2000, rng.Float64() * 2000}
+		r := 50 + rng.Float64()*500
+		got := g.WithinRange(nil, q, r, -1)
+		var want []int32
+		for id, p := range pts {
+			if p.DistSq(q) <= r*r {
+				want = append(want, id)
+			}
+		}
+		sortInt32(got)
+		sortInt32(want)
+		if !equalInt32(got, want) {
+			t.Fatalf("trial %d: WithinRange mismatch\n got %v\nwant %v", trial, got, want)
+		}
+
+		// Nearest must match brute force too.
+		gotID, gotOK := g.Nearest(q, r, -1)
+		wantID, wantOK := int32(-1), false
+		bestD := r * r
+		for id, p := range pts {
+			d := p.DistSq(q)
+			if d > bestD {
+				continue
+			}
+			if !wantOK || d < bestD || (d == bestD && id < wantID) {
+				wantID, wantOK, bestD = id, true, d
+			}
+		}
+		if gotOK != wantOK || (gotOK && gotID != wantID) {
+			t.Fatalf("trial %d: Nearest = (%d,%v), want (%d,%v)", trial, gotID, gotOK, wantID, wantOK)
+		}
+	}
+}
+
+func TestGridNearestEmpty(t *testing.T) {
+	g := mustGrid(t, NewRect(Point{0, 0}, Point{100, 100}), 10)
+	if _, ok := g.Nearest(Point{50, 50}, 100, -1); ok {
+		t.Error("Nearest on empty index should report none")
+	}
+	g.Update(3, Point{50, 50})
+	if _, ok := g.Nearest(Point{50, 50}, 100, 3); ok {
+		t.Error("Nearest excluding the only entry should report none")
+	}
+}
+
+func TestGridZeroRadius(t *testing.T) {
+	g := mustGrid(t, NewRect(Point{0, 0}, Point{100, 100}), 10)
+	g.Update(1, Point{50, 50})
+	if got := g.WithinRange(nil, Point{50, 50}, 0, -1); len(got) != 0 {
+		t.Errorf("zero radius should return nothing, got %v", got)
+	}
+}
+
+func sortInt32(s []int32) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}
+
+func equalInt32(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func BenchmarkGridWithinRange(b *testing.B) {
+	bounds := NewRect(Point{0, 0}, Point{5000, 5000})
+	g, err := NewGridIndex(bounds, 300)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 2000; i++ {
+		g.Update(int32(i), Point{rng.Float64() * 5000, rng.Float64() * 5000})
+	}
+	buf := make([]int32, 0, 256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := Point{rng.Float64() * 5000, rng.Float64() * 5000}
+		buf = g.WithinRange(buf[:0], q, 300, -1)
+	}
+}

@@ -1,0 +1,215 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(5)
+	c.Add(-3) // ignored: counters are monotonic
+	if got := c.Value(); got != 6 {
+		t.Errorf("Value = %d, want 6", got)
+	}
+}
+
+func TestRatio(t *testing.T) {
+	if got := Ratio(1, 4); got != 0.25 {
+		t.Errorf("Ratio = %v", got)
+	}
+	if got := Ratio(1, 0); got != 0 {
+		t.Errorf("Ratio with zero total = %v, want 0", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Mean() != 0 || h.Percentile(50) != 0 || h.Min() != 0 || h.Max() != 0 || h.Stddev() != 0 {
+		t.Error("empty histogram should return zeros")
+	}
+	if h.Count() != 0 {
+		t.Error("empty Count")
+	}
+}
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	for _, v := range []float64{5, 1, 3, 2, 4} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Mean() != 3 {
+		t.Errorf("Mean = %v, want 3", h.Mean())
+	}
+	if h.Min() != 1 || h.Max() != 5 {
+		t.Errorf("Min/Max = %v/%v", h.Min(), h.Max())
+	}
+	if got := h.Percentile(50); got != 3 {
+		t.Errorf("P50 = %v, want 3", got)
+	}
+	if got := h.Percentile(0); got != 1 {
+		t.Errorf("P0 = %v, want 1", got)
+	}
+	if got := h.Percentile(100); got != 5 {
+		t.Errorf("P100 = %v, want 5", got)
+	}
+	// P25 of [1..5] with linear interpolation: rank 1.0 -> 2.
+	if got := h.Percentile(25); got != 2 {
+		t.Errorf("P25 = %v, want 2", got)
+	}
+	want := math.Sqrt(2) // population stddev of 1..5
+	if got := h.Stddev(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Stddev = %v, want %v", got, want)
+	}
+}
+
+func TestHistogramInterpolation(t *testing.T) {
+	var h Histogram
+	h.Observe(0)
+	h.Observe(10)
+	if got := h.Percentile(50); got != 5 {
+		t.Errorf("P50 of {0,10} = %v, want 5", got)
+	}
+	if got := h.Percentile(75); got != 7.5 {
+		t.Errorf("P75 of {0,10} = %v, want 7.5", got)
+	}
+}
+
+func TestHistogramObserveAfterPercentile(t *testing.T) {
+	// Observing after a percentile query must re-sort.
+	var h Histogram
+	h.Observe(10)
+	_ = h.Percentile(50)
+	h.Observe(1)
+	if got := h.Min(); got != 1 {
+		t.Errorf("Min after late observe = %v, want 1", got)
+	}
+}
+
+func TestHistogramNaNDropped(t *testing.T) {
+	var h Histogram
+	h.Observe(math.NaN())
+	h.Observe(1)
+	if h.Count() != 1 {
+		t.Errorf("Count = %d, want 1 (NaN dropped)", h.Count())
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	h.Observe(5)
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Error("Reset did not clear")
+	}
+	h.Observe(2)
+	if h.Mean() != 2 {
+		t.Errorf("Mean after reset+observe = %v", h.Mean())
+	}
+}
+
+func TestObserveDuration(t *testing.T) {
+	var h Histogram
+	h.ObserveDuration(1500 * time.Microsecond)
+	if got := h.Mean(); got != 1.5 {
+		t.Errorf("duration sample = %v ms, want 1.5", got)
+	}
+}
+
+func TestPercentileMonotonicProperty(t *testing.T) {
+	f := func(raw []float64, a, b float64) bool {
+		var h Histogram
+		for _, v := range raw {
+			if !math.IsInf(v, 0) {
+				h.Observe(math.Mod(v, 1e6))
+			}
+		}
+		pa := math.Abs(math.Mod(a, 100))
+		pb := math.Abs(math.Mod(b, 100))
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return h.Percentile(pa) <= h.Percentile(pb)+1e-9
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentileMatchesSortedIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var h Histogram
+	vals := make([]float64, 1001)
+	for i := range vals {
+		vals[i] = rng.Float64() * 1000
+		h.Observe(vals[i])
+	}
+	sort.Float64s(vals)
+	// With 1001 samples, P50 rank = 500 exactly.
+	if got := h.Percentile(50); got != vals[500] {
+		t.Errorf("P50 = %v, want %v", got, vals[500])
+	}
+}
+
+func TestSummary(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	s := h.Summarize()
+	if s.Count != 100 || s.Min != 1 || s.Max != 100 {
+		t.Errorf("Summary = %+v", s)
+	}
+	if !strings.Contains(s.String(), "n=100") {
+		t.Errorf("Summary.String() = %q", s.String())
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("E0: demo", "proto", "delivery", "delay")
+	tb.AddRow("mozo", "98.1%", "12.3ms")
+	tb.AddRowf("greedy", 0.5, 42)
+	out := tb.String()
+	if !strings.Contains(out, "E0: demo") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "mozo") || !strings.Contains(out, "greedy") {
+		t.Error("missing rows")
+	}
+	if !strings.Contains(out, "0.50") {
+		t.Error("float cell not formatted with 2 decimals")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("line count = %d, want 5\n%s", len(lines), out)
+	}
+}
+
+func TestTableRowWidthMismatch(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("1", "2", "3") // extra dropped
+	tb.AddRow("only")        // missing rendered empty
+	out := tb.String()
+	if strings.Contains(out, "3") {
+		t.Error("extra cell should be dropped")
+	}
+}
+
+func TestPctMs(t *testing.T) {
+	if got := Pct(0.123); got != "12.3%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := Ms(1.234); got != "1.23ms" {
+		t.Errorf("Ms = %q", got)
+	}
+}

@@ -1,0 +1,90 @@
+package mobility
+
+import "math"
+
+// Lane changing (MOBIL-flavoured): a vehicle blocked behind a slower
+// leader moves to an adjacent lane when the target lane offers a clearly
+// better gap and the move is safe for the target lane's follower. This
+// is the overtaking behaviour multi-lane highways need for realistic
+// density/speed distributions; single-lane edges are unaffected.
+const (
+	// laneChangeCooldown prevents oscillation (seconds between changes).
+	laneChangeCooldown = 5.0
+	// blockedGap is the leader gap (meters) below which a vehicle starts
+	// considering a change.
+	blockedGap = 50.0
+	// gapAdvantage is the factor by which the target lane's gap must
+	// beat the current one.
+	gapAdvantage = 1.5
+	// safeFollowerGap is the minimum clearance to the target lane's
+	// rear vehicle.
+	safeFollowerGap = 15.0
+)
+
+// maybeChangeLane evaluates a lane change for v and performs it when
+// warranted. dt ages the cooldown.
+func (m *Manager) maybeChangeLane(v *vehicle, dt float64) {
+	if v.laneCooldown > 0 {
+		v.laneCooldown -= dt
+		return
+	}
+	edge := m.net.Edge(v.edge)
+	if edge.Lanes < 2 {
+		return
+	}
+	desired := edge.SpeedLimit * v.profile.DesiredSpeedFactor
+	curGap, _, hasLeader := m.leaderGap(v)
+	// Only vehicles actually held up consider changing.
+	if !hasLeader || curGap > blockedGap || v.speed > desired*0.9 {
+		return
+	}
+	best := -1
+	bestGap := curGap * gapAdvantage
+	for _, lane := range []int{v.lane - 1, v.lane + 1} {
+		if lane < 0 || lane >= edge.Lanes {
+			continue
+		}
+		gap, follower := m.laneGaps(v, lane)
+		if follower < safeFollowerGap {
+			continue // unsafe cut-in
+		}
+		if gap > bestGap {
+			best, bestGap = lane, gap
+		}
+	}
+	if best < 0 {
+		return
+	}
+	m.removeFromLane(v)
+	v.lane = best
+	m.addToLane(v)
+	v.laneCooldown = laneChangeCooldown
+}
+
+// laneGaps returns the forward gap to the nearest leader and the
+// backward gap to the nearest follower in the given lane of v's edge.
+// Open road returns +Inf gaps.
+func (m *Manager) laneGaps(v *vehicle, lane int) (leader, follower float64) {
+	leader, follower = math.Inf(1), math.Inf(1)
+	lanes := m.perLane[v.edge]
+	if lane >= len(lanes) {
+		return leader, follower
+	}
+	for _, id := range lanes[lane] {
+		o := m.vehicles[id]
+		switch {
+		case o.offset > v.offset:
+			if g := o.offset - v.offset; g < leader {
+				leader = g
+			}
+		case o.offset < v.offset:
+			if g := v.offset - o.offset; g < follower {
+				follower = g
+			}
+		default:
+			// Exactly side by side: treat as zero follower gap (unsafe).
+			follower = 0
+		}
+	}
+	return leader, follower
+}

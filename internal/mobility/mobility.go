@@ -1,0 +1,470 @@
+// Package mobility simulates vehicle movement on a road network. It
+// provides the Intelligent Driver Model (IDM) for car following, random
+// trip generation over shortest paths, parked-vehicle behaviour for the
+// stationary-cloud scenarios, and dwell-time signals used by the v-cloud
+// task scheduler (both an oracle and realistic estimators).
+//
+// The Manager advances all vehicles on a fixed tick driven by the sim
+// kernel, maintaining per-lane ordering for leader lookup and a spatial
+// index for radio-range neighbor queries.
+package mobility
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"vcloud/internal/geo"
+	"vcloud/internal/roadnet"
+)
+
+// VehicleID identifies a vehicle across all subsystems.
+type VehicleID int32
+
+// Profile captures per-vehicle driving and equipment characteristics. The
+// paper (Fig. 1) stresses heterogeneity: automation level, sensors and
+// compute differ per vehicle and matter for task allocation.
+type Profile struct {
+	// AutomationLevel follows SAE J3016: 0 (none) .. 5 (full automation).
+	AutomationLevel int
+	// DesiredSpeedFactor scales the edge speed limit (e.g. 1.1 = drives
+	// 10% above the limit).
+	DesiredSpeedFactor float64
+	// MaxAccel and ComfortDecel are the IDM a and b parameters (m/s²).
+	MaxAccel, ComfortDecel float64
+	// Headway is the IDM desired time gap T in seconds.
+	Headway float64
+	// MinGap is the IDM jam distance s0 in meters.
+	MinGap float64
+	// CPU is compute capacity in abstract ops/sec; Storage in MB. Used by
+	// the v-cloud resource pool.
+	CPU     float64
+	Storage float64
+	// Sensors lists equipped sensor kinds (e.g. "camera", "lidar").
+	Sensors []string
+}
+
+// DefaultProfile returns a mid-range vehicle profile.
+func DefaultProfile() Profile {
+	return Profile{
+		AutomationLevel:    3,
+		DesiredSpeedFactor: 1.0,
+		MaxAccel:           1.5,
+		ComfortDecel:       2.0,
+		Headway:            1.5,
+		MinGap:             2.0,
+		CPU:                1000,
+		Storage:            256,
+		Sensors:            []string{"camera", "gps"},
+	}
+}
+
+// State is the externally visible kinematic state of a vehicle.
+type State struct {
+	ID      VehicleID
+	Pos     geo.Point
+	Speed   float64 // m/s
+	Heading float64 // radians
+	Edge    roadnet.EdgeID
+	Offset  float64 // meters along Edge
+	Parked  bool
+}
+
+// Velocity returns the velocity vector of the state.
+func (s State) Velocity() geo.Vector {
+	return geo.HeadingVector(s.Heading).Scale(s.Speed)
+}
+
+// vehicle is the internal mutable record.
+type vehicle struct {
+	id      VehicleID
+	profile Profile
+
+	edge   roadnet.EdgeID
+	lane   int
+	offset float64 // meters from edge start
+	speed  float64
+	parked bool
+	gone   bool // departed the simulation entirely
+
+	route    []roadnet.EdgeID // remaining edges after the current one
+	routeIdx int              // index into route of the next edge
+	dest     roadnet.NodeID
+	// laneCooldown throttles lane changes (seconds remaining).
+	laneCooldown float64
+	// loop, when non-nil, is a closed route driven forever (bus line).
+	loop []roadnet.EdgeID
+}
+
+// Manager owns all vehicles and advances them in lock-step.
+type Manager struct {
+	net      *roadnet.Network
+	index    *geo.GridIndex
+	vehicles map[VehicleID]*vehicle
+	// perLane[edge][lane] lists vehicle ids on that lane, unordered; the
+	// leader scan is linear, which is fine at realistic per-lane counts.
+	perLane map[roadnet.EdgeID][][]VehicleID
+	nextID  VehicleID
+	// tripRNG drives random destination choice; injected so runs are
+	// deterministic.
+	randFn func(n int) int
+	// departures notifies subscribers when a vehicle leaves (parks off or
+	// exits the scenario); used by vcloud for churn accounting.
+	departures []func(VehicleID)
+}
+
+// NewManager creates a mobility manager on the given network. cellSize
+// configures the spatial index and should match the radio range. randFn
+// must return a uniform int in [0,n); pass rng.Intn.
+func NewManager(net *roadnet.Network, cellSize float64, randFn func(n int) int) (*Manager, error) {
+	if net == nil {
+		return nil, fmt.Errorf("mobility: network must not be nil")
+	}
+	if randFn == nil {
+		return nil, fmt.Errorf("mobility: randFn must not be nil")
+	}
+	idx, err := geo.NewGridIndex(net.Bounds(), cellSize)
+	if err != nil {
+		return nil, fmt.Errorf("mobility: %w", err)
+	}
+	return &Manager{
+		net:      net,
+		index:    idx,
+		vehicles: make(map[VehicleID]*vehicle),
+		perLane:  make(map[roadnet.EdgeID][][]VehicleID),
+		randFn:   randFn,
+	}, nil
+}
+
+// Network returns the underlying road network.
+func (m *Manager) Network() *roadnet.Network { return m.net }
+
+// Index returns the spatial index over vehicle positions. Callers must
+// treat it as read-only.
+func (m *Manager) Index() *geo.GridIndex { return m.index }
+
+// OnDeparture registers fn to be called when a vehicle leaves the
+// simulation.
+func (m *Manager) OnDeparture(fn func(VehicleID)) {
+	if fn != nil {
+		m.departures = append(m.departures, fn)
+	}
+}
+
+// AddVehicle places a vehicle at the start of edge e with the given
+// profile, driving random trips. It returns the new vehicle's ID.
+func (m *Manager) AddVehicle(e roadnet.EdgeID, offset float64, profile Profile) (VehicleID, error) {
+	if int(e) >= m.net.NumEdges() || e < 0 {
+		return 0, fmt.Errorf("mobility: edge %d out of range", e)
+	}
+	edge := m.net.Edge(e)
+	if offset < 0 || offset > edge.Length {
+		return 0, fmt.Errorf("mobility: offset %v outside edge length %v", offset, edge.Length)
+	}
+	normalizeProfile(&profile)
+	id := m.nextID
+	m.nextID++
+	v := &vehicle{
+		id:      id,
+		profile: profile,
+		edge:    e,
+		lane:    int(id) % edge.Lanes,
+		offset:  offset,
+		speed:   0,
+	}
+	m.vehicles[id] = v
+	m.addToLane(v)
+	m.index.Update(int32(id), m.posOf(v))
+	m.pickNewDestination(v)
+	return id, nil
+}
+
+// AddParkedVehicle places a stationary vehicle (stationary v-cloud node).
+func (m *Manager) AddParkedVehicle(e roadnet.EdgeID, offset float64, profile Profile) (VehicleID, error) {
+	id, err := m.AddVehicle(e, offset, profile)
+	if err != nil {
+		return 0, err
+	}
+	v := m.vehicles[id]
+	v.parked = true
+	return id, nil
+}
+
+func normalizeProfile(p *Profile) {
+	d := DefaultProfile()
+	if p.DesiredSpeedFactor <= 0 {
+		p.DesiredSpeedFactor = d.DesiredSpeedFactor
+	}
+	if p.MaxAccel <= 0 {
+		p.MaxAccel = d.MaxAccel
+	}
+	if p.ComfortDecel <= 0 {
+		p.ComfortDecel = d.ComfortDecel
+	}
+	if p.Headway <= 0 {
+		p.Headway = d.Headway
+	}
+	if p.MinGap <= 0 {
+		p.MinGap = d.MinGap
+	}
+	if p.CPU <= 0 {
+		p.CPU = d.CPU
+	}
+	if p.Storage <= 0 {
+		p.Storage = d.Storage
+	}
+}
+
+// Remove departs a vehicle from the simulation (e.g. it parked and turned
+// off, or drove out of the modeled area).
+func (m *Manager) Remove(id VehicleID) {
+	v, ok := m.vehicles[id]
+	if !ok {
+		return
+	}
+	v.gone = true
+	m.removeFromLane(v)
+	m.index.Remove(int32(id))
+	delete(m.vehicles, id)
+	for _, fn := range m.departures {
+		fn(id)
+	}
+}
+
+// NumVehicles returns the live vehicle count.
+func (m *Manager) NumVehicles() int { return len(m.vehicles) }
+
+// State returns the kinematic state of a vehicle.
+func (m *Manager) State(id VehicleID) (State, bool) {
+	v, ok := m.vehicles[id]
+	if !ok {
+		return State{}, false
+	}
+	return State{
+		ID:      id,
+		Pos:     m.posOf(v),
+		Speed:   v.speed,
+		Heading: m.net.EdgeHeading(v.edge),
+		Edge:    v.edge,
+		Offset:  v.offset,
+		Parked:  v.parked,
+	}, true
+}
+
+// Profile returns the vehicle's profile.
+func (m *Manager) Profile(id VehicleID) (Profile, bool) {
+	v, ok := m.vehicles[id]
+	if !ok {
+		return Profile{}, false
+	}
+	return v.profile, true
+}
+
+// IDs appends all live vehicle IDs to dst in unspecified order and
+// returns it.
+func (m *Manager) IDs(dst []VehicleID) []VehicleID {
+	for id := range m.vehicles {
+		dst = append(dst, id)
+	}
+	return dst
+}
+
+func (m *Manager) posOf(v *vehicle) geo.Point {
+	edge := m.net.Edge(v.edge)
+	t := 0.0
+	if edge.Length > 0 {
+		t = v.offset / edge.Length
+	}
+	return m.net.PosAlong(v.edge, t)
+}
+
+func (m *Manager) addToLane(v *vehicle) {
+	lanes := m.perLane[v.edge]
+	if lanes == nil {
+		lanes = make([][]VehicleID, m.net.Edge(v.edge).Lanes)
+		m.perLane[v.edge] = lanes
+	}
+	if v.lane >= len(lanes) {
+		v.lane = len(lanes) - 1
+	}
+	lanes[v.lane] = append(lanes[v.lane], v.id)
+}
+
+func (m *Manager) removeFromLane(v *vehicle) {
+	lanes := m.perLane[v.edge]
+	if v.lane >= len(lanes) {
+		return
+	}
+	ids := lanes[v.lane]
+	for i, id := range ids {
+		if id == v.id {
+			ids[i] = ids[len(ids)-1]
+			lanes[v.lane] = ids[:len(ids)-1]
+			return
+		}
+	}
+}
+
+// leaderGap returns the bumper gap and speed of the nearest vehicle ahead
+// on the same edge+lane, or (inf, 0, false) when the lane ahead is clear.
+func (m *Manager) leaderGap(v *vehicle) (gap, leaderSpeed float64, ok bool) {
+	gap = math.Inf(1)
+	for _, id := range m.laneMates(v) {
+		if id == v.id {
+			continue
+		}
+		o := m.vehicles[id]
+		if o.offset <= v.offset {
+			continue
+		}
+		if g := o.offset - v.offset; g < gap {
+			gap, leaderSpeed, ok = g, o.speed, true
+		}
+	}
+	return gap, leaderSpeed, ok
+}
+
+func (m *Manager) laneMates(v *vehicle) []VehicleID {
+	lanes := m.perLane[v.edge]
+	if v.lane >= len(lanes) {
+		return nil
+	}
+	return lanes[v.lane]
+}
+
+// idmAccel computes the Intelligent Driver Model acceleration.
+func idmAccel(p Profile, speed, desired, gap, leaderSpeed float64, hasLeader bool) float64 {
+	if desired <= 0 {
+		desired = 0.1
+	}
+	free := 1 - math.Pow(speed/desired, 4)
+	if !hasLeader {
+		return p.MaxAccel * free
+	}
+	dv := speed - leaderSpeed
+	sStar := p.MinGap + math.Max(0, speed*p.Headway+speed*dv/(2*math.Sqrt(p.MaxAccel*p.ComfortDecel)))
+	if gap < 0.1 {
+		gap = 0.1
+	}
+	inter := math.Pow(sStar/gap, 2)
+	return p.MaxAccel * (free - inter)
+}
+
+// Step advances all vehicles by dt seconds. It is called from a sim
+// kernel ticker.
+func (m *Manager) Step(dt float64) {
+	if dt <= 0 {
+		return
+	}
+	// Two phases: compute accelerations against the current snapshot,
+	// then integrate, so update order does not leak into dynamics.
+	type upd struct {
+		v     *vehicle
+		accel float64
+	}
+	// Iterate in ID order: map order would perturb RNG draw sequences
+	// downstream and break run reproducibility.
+	ids := m.IDs(nil)
+	sortVehicleIDs(ids)
+	updates := make([]upd, 0, len(ids))
+	for _, id := range ids {
+		v := m.vehicles[id]
+		if v.parked {
+			continue
+		}
+		m.maybeChangeLane(v, dt)
+		edge := m.net.Edge(v.edge)
+		desired := edge.SpeedLimit * v.profile.DesiredSpeedFactor
+		gap, ls, hasLeader := m.leaderGap(v)
+		a := idmAccel(v.profile, v.speed, desired, gap, ls, hasLeader)
+		updates = append(updates, upd{v, a})
+	}
+	for _, u := range updates {
+		v := u.v
+		v.speed += u.accel * dt
+		if v.speed < 0 {
+			v.speed = 0
+		}
+		v.offset += v.speed * dt
+		for v.offset >= m.net.Edge(v.edge).Length {
+			if !m.advanceEdge(v) {
+				break
+			}
+		}
+		if !v.gone {
+			m.index.Update(int32(v.id), m.posOf(v))
+		}
+	}
+}
+
+// advanceEdge moves v onto the next edge of its route, wrapping the
+// leftover offset. It returns false when the vehicle stopped (reached its
+// destination and a new one could not be assigned, which does not happen
+// with random trips, or it departed).
+func (m *Manager) advanceEdge(v *vehicle) bool {
+	leftover := v.offset - m.net.Edge(v.edge).Length
+	if v.routeIdx >= len(v.route) {
+		// Arrived at destination: start a new trip from here.
+		m.pickNewDestination(v)
+		if v.routeIdx >= len(v.route) {
+			// No route found (isolated node); park in place.
+			v.offset = m.net.Edge(v.edge).Length
+			v.speed = 0
+			return false
+		}
+	}
+	next := v.route[v.routeIdx]
+	v.routeIdx++
+	m.removeFromLane(v)
+	v.edge = next
+	nextLanes := m.net.Edge(next).Lanes
+	v.lane = int(v.id) % nextLanes
+	v.offset = leftover
+	m.addToLane(v)
+	return true
+}
+
+// pickNewDestination assigns the vehicle's next route: loop vehicles
+// restart their loop; others draw a fresh random destination reachable
+// from the end of the current edge.
+func (m *Manager) pickNewDestination(v *vehicle) {
+	if v.loop != nil {
+		// The current edge is the last loop edge; continue from the top.
+		v.route = v.loop
+		v.routeIdx = 0
+		return
+	}
+	from := m.net.Edge(v.edge).To
+	for attempt := 0; attempt < 8; attempt++ {
+		dst := roadnet.NodeID(m.randFn(m.net.NumNodes()))
+		if dst == from {
+			continue
+		}
+		path, err := m.net.ShortestPath(from, dst)
+		if err != nil || len(path) == 0 {
+			continue
+		}
+		v.route = path
+		v.routeIdx = 0
+		v.dest = dst
+		return
+	}
+	v.route = nil
+	v.routeIdx = 0
+}
+
+func sortVehicleIDs(ids []VehicleID) {
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+}
+
+// RemainingRoute returns the edges the vehicle will traverse after its
+// current edge. The slice is a copy.
+func (m *Manager) RemainingRoute(id VehicleID) []roadnet.EdgeID {
+	v, ok := m.vehicles[id]
+	if !ok || v.routeIdx >= len(v.route) {
+		return nil
+	}
+	out := make([]roadnet.EdgeID, len(v.route)-v.routeIdx)
+	copy(out, v.route[v.routeIdx:])
+	return out
+}

@@ -1,0 +1,228 @@
+package pki
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"vcloud/internal/cryptoprim"
+)
+
+func newTA(t testing.TB, cfg Config) *TA {
+	t.Helper()
+	ta, err := New("TA", rand.New(rand.NewSource(1)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ta
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("TA", nil, Config{}); err == nil {
+		t.Error("nil rand should error")
+	}
+	if _, err := New("", rand.New(rand.NewSource(1)), Config{}); err == nil {
+		t.Error("empty name should error (CA rejects)")
+	}
+}
+
+func TestEnrollProducesWorkingCredentials(t *testing.T) {
+	ta := newTA(t, Config{PoolSize: 5})
+	e, err := ta.Enroll("veh-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ta.NumEnrolled() != 1 {
+		t.Errorf("NumEnrolled = %d", ta.NumEnrolled())
+	}
+	// Long-term cert verifies under the root.
+	if err := cryptoprim.CheckCert(&e.LongTerm, ta.RootKey(), 0); err != nil {
+		t.Errorf("long-term cert invalid: %v", err)
+	}
+	// Pseudonyms verify and the TA can trace them.
+	if e.Pseudonyms.Size() != 5 {
+		t.Errorf("pool size = %d", e.Pseudonyms.Size())
+	}
+	p := e.Pseudonyms.Current()
+	if err := cryptoprim.CheckCert(&p.Cert, ta.RootKey(), 0); err != nil {
+		t.Errorf("pseudonym cert invalid: %v", err)
+	}
+	owner, ok := ta.TracePseudonym(p.Cert.SerialOf())
+	if !ok || owner != "veh-1" {
+		t.Errorf("TracePseudonym = %q, %v", owner, ok)
+	}
+	// Group credential signs and the TA traces it.
+	sig := e.Group.Sign([]byte("m"), 1)
+	if !cryptoprim.VerifyGroupSig(ta.GroupKey(), []byte("m"), sig) {
+		t.Error("group signature invalid")
+	}
+	who, ok := ta.TraceGroupSig(sig)
+	if !ok || who != "veh-1" {
+		t.Errorf("TraceGroupSig = %q, %v", who, ok)
+	}
+	// Chain ids trace.
+	id0 := e.Chain.Next()
+	veh, ok := ta.TraceChainID(id0, 4)
+	if !ok || veh != "veh-1" {
+		t.Errorf("TraceChainID = %q, %v", veh, ok)
+	}
+	if _, ok := ta.TraceChainID([32]byte{1, 2, 3}, 4); ok {
+		t.Error("bogus chain id traced")
+	}
+}
+
+func TestEnrollValidation(t *testing.T) {
+	ta := newTA(t, Config{})
+	if _, err := ta.Enroll(""); err == nil {
+		t.Error("empty identity should error")
+	}
+	if _, err := ta.Enroll("veh-1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ta.Enroll("veh-1"); err == nil {
+		t.Error("double enrollment should error")
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	ta := newTA(t, Config{})
+	e, err := ta.Enroll("v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Pseudonyms.Size() != 20 {
+		t.Errorf("default pool size = %d, want 20", e.Pseudonyms.Size())
+	}
+	if e.LongTerm.NotAfter != 24*time.Hour {
+		t.Errorf("default lifetime = %v", e.LongTerm.NotAfter)
+	}
+}
+
+func TestRevocationPipeline(t *testing.T) {
+	ta := newTA(t, Config{PoolSize: 7})
+	e, err := ta.Enroll("veh-bad")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ta.IsRevoked("veh-bad") {
+		t.Error("fresh vehicle reported revoked")
+	}
+	if err := ta.RevokeVehicle("veh-bad"); err != nil {
+		t.Fatal(err)
+	}
+	if !ta.IsRevoked("veh-bad") {
+		t.Error("IsRevoked false after revocation")
+	}
+	// CRL must now contain all 7 pseudonym serials — the pool-size
+	// multiplication effect.
+	if ta.CRL().Len() != 7 {
+		t.Errorf("CRL len = %d, want 7", ta.CRL().Len())
+	}
+	for i := 0; i < 7; i++ {
+		s := e.Pseudonyms.Current().Cert.SerialOf()
+		if ok, _ := ta.CRL().ContainsLinear(s); !ok {
+			t.Error("pseudonym serial missing from CRL")
+		}
+		e.Pseudonyms.Rotate()
+	}
+	// Group membership revoked too.
+	sig := e.Group.Sign([]byte("m"), 2)
+	if ta.GroupManager().CheckNotRevoked(sig) {
+		t.Error("revoked vehicle passes group revocation check")
+	}
+	// Idempotent; unknown vehicle errors.
+	if err := ta.RevokeVehicle("veh-bad"); err != nil {
+		t.Errorf("double revoke should be a no-op, got %v", err)
+	}
+	if ta.CRL().Len() != 7 {
+		t.Error("double revoke grew the CRL")
+	}
+	if err := ta.RevokeVehicle("ghost"); err == nil {
+		t.Error("revoking unknown vehicle should error")
+	}
+}
+
+func TestCRLGrowthScalesWithPoolSize(t *testing.T) {
+	for _, pool := range []int{5, 20} {
+		ta := newTA(t, Config{PoolSize: pool})
+		for i := 0; i < 10; i++ {
+			id := VehicleIdentity(string(rune('a' + i)))
+			if _, err := ta.Enroll(id); err != nil {
+				t.Fatal(err)
+			}
+			if err := ta.RevokeVehicle(id); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := ta.CRL().Len(); got != 10*pool {
+			t.Errorf("pool %d: CRL len = %d, want %d", pool, got, 10*pool)
+		}
+	}
+}
+
+func TestRevocationVersionAndHybridTags(t *testing.T) {
+	ta := newTA(t, Config{PoolSize: 3})
+	if ta.RevocationVersion() != 0 {
+		t.Error("fresh TA version should be 0")
+	}
+	e, err := ta.Enroll("veh-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	id0 := e.Chain.Next()
+	// Pre-revocation: no tags.
+	if tags := ta.HybridRevocationTags(8); len(tags) != 0 {
+		t.Errorf("tags before revocation = %d", len(tags))
+	}
+	if err := ta.RevokeVehicle("veh-a"); err != nil {
+		t.Fatal(err)
+	}
+	if ta.RevocationVersion() != 1 {
+		t.Errorf("version = %d, want 1", ta.RevocationVersion())
+	}
+	tags := ta.HybridRevocationTags(8)
+	if len(tags) != 9 { // indices 0..8
+		t.Errorf("tags = %d, want 9", len(tags))
+	}
+	if _, ok := tags[id0]; !ok {
+		t.Error("revoked vehicle's chain id missing from tags")
+	}
+	// Idempotent revoke does not bump the version.
+	if err := ta.RevokeVehicle("veh-a"); err != nil {
+		t.Fatal(err)
+	}
+	if ta.RevocationVersion() != 1 {
+		t.Error("idempotent revoke bumped version")
+	}
+}
+
+func TestTraceGroupSigUnknown(t *testing.T) {
+	ta := newTA(t, Config{})
+	other, err := New("other", rand.New(rand.NewSource(9)), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := other.Enroll("foreign")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := ta.TraceGroupSig(e.Group.Sign([]byte("m"), 1)); ok {
+		t.Error("foreign signature traced")
+	}
+}
+
+func TestRefillPseudonymsValidation(t *testing.T) {
+	ta := newTA(t, Config{PoolSize: 2})
+	if _, err := ta.RefillPseudonyms("ghost"); err == nil {
+		t.Error("refill for unknown vehicle should error")
+	}
+	if _, err := ta.Enroll("veh-r"); err != nil {
+		t.Fatal(err)
+	}
+	if err := ta.RevokeVehicle("veh-r"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ta.RefillPseudonyms("veh-r"); err == nil {
+		t.Error("refill for revoked vehicle should error")
+	}
+}

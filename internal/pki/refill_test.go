@@ -1,0 +1,191 @@
+package pki_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"vcloud/internal/cryptoprim"
+	"vcloud/internal/geo"
+	"vcloud/internal/pki"
+	"vcloud/internal/radio"
+	"vcloud/internal/sim"
+	"vcloud/internal/vnet"
+)
+
+type refillRig struct {
+	k      *sim.Kernel
+	m      *radio.Medium
+	ta     *pki.TA
+	server *pki.RefillServer
+	client *pki.RefillClient
+	enr    *pki.Enrollment
+	stats  *pki.RefillStats
+}
+
+func newRefillRig(t *testing.T) *refillRig {
+	t.Helper()
+	k := sim.NewKernel(3)
+	bounds := geo.NewRect(geo.Point{X: 0, Y: 0}, geo.Point{X: 1000, Y: 1000})
+	m, err := radio.NewMedium(k, bounds, radio.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta, err := pki.New("TA", rand.New(rand.NewSource(3)), pki.Config{PoolSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkNode := func(addr vnet.Addr, x float64) *vnet.Node {
+		pos := geo.Point{X: x, Y: 100}
+		m.UpdatePosition(addr, pos)
+		n, err := vnet.NewNode(k, m, addr, vnet.Config{}, func() (geo.Point, float64, float64) { return pos, 0, 0 })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	rsuNode := mkNode(1<<20, 100)
+	vehNode := mkNode(0, 180)
+	stats := &pki.RefillStats{}
+	server, err := pki.NewRefillServer(rsuNode, ta, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enr, err := ta.Enroll("veh-0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := pki.NewRefillClient(vehNode, enr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &refillRig{k: k, m: m, ta: ta, server: server, client: client, enr: enr, stats: stats}
+}
+
+func TestRefillValidation(t *testing.T) {
+	r := newRefillRig(t)
+	if _, err := pki.NewRefillServer(nil, r.ta, r.stats); err == nil {
+		t.Error("nil node should error")
+	}
+	if _, err := pki.NewRefillClient(nil, r.enr); err == nil {
+		t.Error("nil node should error")
+	}
+}
+
+func TestRefillReplacesPoolAndKeepsTraceability(t *testing.T) {
+	r := newRefillRig(t)
+	// Exhaust the pool.
+	for i := 0; i < 4; i++ {
+		r.enr.Pseudonyms.Rotate()
+	}
+	if !r.client.NeedsRefill() {
+		t.Fatal("wrapped pool should need a refill")
+	}
+	oldSerial := r.enr.Pseudonyms.Current().Cert.SerialOf()
+
+	var got *cryptoprim.PseudonymPool
+	r.client.Request(1<<20, func(p *cryptoprim.PseudonymPool) { got = p })
+	if err := r.k.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got == nil {
+		t.Fatalf("refill did not complete (requests=%d rejected=%d)",
+			r.stats.Requests.Value(), r.stats.Rejected.Value())
+	}
+	if r.enr.Pseudonyms != got {
+		t.Error("enrollment pool not replaced")
+	}
+	if r.client.NeedsRefill() {
+		t.Error("fresh pool should not need refill")
+	}
+	newSerial := r.enr.Pseudonyms.Current().Cert.SerialOf()
+	if newSerial == oldSerial {
+		t.Error("refill returned the same pseudonyms")
+	}
+	// Both old and new pseudonyms trace to the vehicle at the TA.
+	for _, serial := range []cryptoprim.Serial{oldSerial, newSerial} {
+		owner, ok := r.ta.TracePseudonym(serial)
+		if !ok || owner != "veh-0" {
+			t.Errorf("TracePseudonym(%x…) = %q, %v", serial[:4], owner, ok)
+		}
+	}
+	if r.stats.Issued.Value() != 1 || r.stats.BytesSent.Value() == 0 {
+		t.Errorf("stats = %+v", r.stats)
+	}
+}
+
+func TestRefillRejectsRevokedVehicle(t *testing.T) {
+	r := newRefillRig(t)
+	if err := r.ta.RevokeVehicle("veh-0"); err != nil {
+		t.Fatal(err)
+	}
+	called := false
+	r.client.Request(1<<20, func(*cryptoprim.PseudonymPool) { called = true })
+	if err := r.k.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Error("revoked vehicle received a refill")
+	}
+	if r.stats.Rejected.Value() != 1 {
+		t.Errorf("rejected = %d, want 1", r.stats.Rejected.Value())
+	}
+}
+
+func TestRefillRejectsForgedSignature(t *testing.T) {
+	r := newRefillRig(t)
+	// A second vehicle presents veh-0's certificate but cannot sign for
+	// it: enroll a second vehicle and splice certificates.
+	enr2, err := r.ta.Enroll("veh-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := *r.enr // copy of veh-0's enrollment…
+	forged.LongKey = enr2.LongKey
+	// …signed with veh-1's key: the server must reject.
+	k := r.k
+	node := clientNode(t, r)
+	client2, err := pki.NewRefillClient(node, &forged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	called := false
+	client2.Request(1<<20, func(*cryptoprim.PseudonymPool) { called = true })
+	if err := k.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if called {
+		t.Error("forged refill request was serviced")
+	}
+	if r.stats.Rejected.Value() == 0 {
+		t.Error("forgery not recorded as rejected")
+	}
+}
+
+// clientNode builds one more node on the rig's medium.
+func clientNode(t *testing.T, r *refillRig) *vnet.Node {
+	t.Helper()
+	pos := geo.Point{X: 160, Y: 100}
+	r.m.UpdatePosition(7, pos)
+	n, err := vnet.NewNode(r.k, r.m, 7, vnet.Config{}, func() (geo.Point, float64, float64) { return pos, 0, 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestRefillStopDetaches(t *testing.T) {
+	r := newRefillRig(t)
+	r.server.Stop()
+	r.server.Stop() // double stop safe
+	called := false
+	r.client.Request(1<<20, func(*cryptoprim.PseudonymPool) { called = true })
+	if err := r.k.Run(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if called || r.stats.Issued.Value() != 0 {
+		t.Error("stopped server serviced a request")
+	}
+	r.client.Stop()
+	r.client.Stop() // double stop safe
+}

@@ -1,0 +1,374 @@
+// Package radio models the shared wireless medium that V2V and V2I
+// communication crosses: a DSRC-like broadcast channel with
+// distance-dependent reception probability, load-dependent collision
+// loss, and transmission delay, plus a cellular/Internet uplink model for
+// the conventional-cloud baseline (E1).
+//
+// The model is deliberately at the "packet-level abstraction" fidelity of
+// vehicular-networking simulators: no per-bit PHY, but the three effects
+// the paper's challenges derive from — limited range, intermittent
+// delivery, and contention under load — are all present and tunable.
+package radio
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"vcloud/internal/geo"
+	"vcloud/internal/sim"
+)
+
+// NodeID identifies a radio endpoint (vehicle OBU or RSU).
+type NodeID int32
+
+// Broadcast is the destination value meaning "all nodes in range".
+const Broadcast NodeID = -1
+
+// Frame is a delivered radio frame.
+type Frame struct {
+	From    NodeID
+	To      NodeID // Broadcast or a specific node
+	Size    int    // bytes on air
+	Payload any
+	SentAt  sim.Time
+}
+
+// Handler receives frames addressed to (or overheard by) a node.
+type Handler func(Frame)
+
+// Params configures the medium.
+type Params struct {
+	// RangeMax is the hard reception cutoff in meters.
+	RangeMax float64
+	// RangeReliable is the distance up to which reception is certain
+	// (absent collisions). Between RangeReliable and RangeMax the success
+	// probability falls off quadratically to zero.
+	RangeReliable float64
+	// BitrateMbps is the channel bitrate used for transmission delay.
+	BitrateMbps float64
+	// LoadWindow is the sliding window over which channel airtime is
+	// accumulated for the collision model.
+	LoadWindow sim.Time
+	// CollisionFactor scales how aggressively load translates into loss:
+	// pLoss = min(MaxCollisionLoss, CollisionFactor × airtimeFraction).
+	CollisionFactor float64
+	// MaxCollisionLoss caps the load-induced loss probability.
+	MaxCollisionLoss float64
+	// UnicastRetries is the number of link-layer retransmissions for
+	// unicast frames (802.11-style ARQ). Broadcasts are never retried,
+	// as on a real MAC. Default 3.
+	UnicastRetries int
+}
+
+// DefaultParams returns DSRC-flavoured defaults (300 m range, 6 Mbps).
+func DefaultParams() Params {
+	return Params{
+		RangeMax:         300,
+		RangeReliable:    150,
+		BitrateMbps:      6,
+		LoadWindow:       100 * time.Millisecond,
+		CollisionFactor:  1.0,
+		MaxCollisionLoss: 0.9,
+		UnicastRetries:   3,
+	}
+}
+
+func (p Params) validate() error {
+	if p.RangeMax <= 0 {
+		return fmt.Errorf("radio: RangeMax must be positive, got %v", p.RangeMax)
+	}
+	if p.RangeReliable <= 0 || p.RangeReliable > p.RangeMax {
+		return fmt.Errorf("radio: RangeReliable must be in (0, RangeMax], got %v", p.RangeReliable)
+	}
+	if p.BitrateMbps <= 0 {
+		return fmt.Errorf("radio: BitrateMbps must be positive, got %v", p.BitrateMbps)
+	}
+	if p.LoadWindow <= 0 {
+		return fmt.Errorf("radio: LoadWindow must be positive, got %v", p.LoadWindow)
+	}
+	return nil
+}
+
+// Stats aggregates medium counters.
+type Stats struct {
+	Sent       uint64 // frames transmitted
+	Delivered  uint64 // frame receptions (one broadcast may deliver many)
+	LostRange  uint64 // receptions lost to distance fade
+	LostLoad   uint64 // receptions lost to collisions
+	BytesOnAir uint64
+}
+
+// Medium is the shared channel. It owns a spatial index over node
+// positions which callers keep current via UpdatePosition.
+type Medium struct {
+	kernel   *sim.Kernel
+	rng      *rand.Rand
+	params   Params
+	index    *geo.GridIndex
+	handlers map[NodeID]Handler
+	// airtime is the decaying load accumulator, in seconds of channel
+	// time; lastDecay is when it was last aged.
+	airtime   float64
+	lastDecay sim.Time
+	stats     Stats
+	// partition optionally drops frames between groups (used to model
+	// obstacles or jamming zones in attack experiments).
+	blocked func(from, to NodeID) bool
+	// promiscuous nodes overhear every frame transmitted in their range,
+	// regardless of addressing — the §III eavesdropping threat model.
+	promiscuous map[NodeID]Handler
+}
+
+// NewMedium creates a medium over the given bounds.
+func NewMedium(kernel *sim.Kernel, bounds geo.Rect, params Params) (*Medium, error) {
+	if kernel == nil {
+		return nil, fmt.Errorf("radio: kernel must not be nil")
+	}
+	if err := params.validate(); err != nil {
+		return nil, err
+	}
+	idx, err := geo.NewGridIndex(bounds, params.RangeMax)
+	if err != nil {
+		return nil, fmt.Errorf("radio: %w", err)
+	}
+	return &Medium{
+		kernel:      kernel,
+		rng:         kernel.NewStream("radio"),
+		params:      params,
+		index:       idx,
+		handlers:    make(map[NodeID]Handler),
+		promiscuous: make(map[NodeID]Handler),
+	}, nil
+}
+
+// SetPromiscuous registers (or, with a nil handler, removes) an
+// eavesdropping listener: the node overhears every frame whose
+// transmitter is within range, including unicasts addressed to others.
+// The node must have a position (UpdatePosition) to overhear anything.
+func (m *Medium) SetPromiscuous(id NodeID, h Handler) {
+	if h == nil {
+		delete(m.promiscuous, id)
+		return
+	}
+	m.promiscuous[id] = h
+}
+
+// Register attaches a node's receive handler. Re-registering replaces the
+// handler.
+func (m *Medium) Register(id NodeID, h Handler) {
+	if h == nil {
+		delete(m.handlers, id)
+		return
+	}
+	m.handlers[id] = h
+}
+
+// Unregister removes a node from the medium entirely.
+func (m *Medium) Unregister(id NodeID) {
+	delete(m.handlers, id)
+	m.index.Remove(int32(id))
+}
+
+// UpdatePosition moves a node. Vehicles call this every mobility tick;
+// RSUs once at setup.
+func (m *Medium) UpdatePosition(id NodeID, p geo.Point) {
+	m.index.Update(int32(id), p)
+}
+
+// Position returns a node's last known position.
+func (m *Medium) Position(id NodeID) (geo.Point, bool) {
+	return m.index.Position(int32(id))
+}
+
+// SetBlocked installs a frame filter; frames for which fn returns true are
+// silently dropped. Pass nil to clear. Attack experiments use this for
+// jamming / partition injection.
+func (m *Medium) SetBlocked(fn func(from, to NodeID) bool) { m.blocked = fn }
+
+// Stats returns a copy of the medium counters.
+func (m *Medium) Stats() Stats { return m.stats }
+
+// Params returns the medium configuration.
+func (m *Medium) Params() Params { return m.params }
+
+// Neighbors appends the IDs of nodes within range of node id (excluding
+// itself) and returns the slice. It reflects true geometry, not beacons;
+// protocol code should normally use vnet neighbor tables instead.
+func (m *Medium) Neighbors(dst []NodeID, id NodeID) []NodeID {
+	p, ok := m.index.Position(int32(id))
+	if !ok {
+		return dst
+	}
+	raw := m.index.WithinRange(nil, p, m.params.RangeMax, int32(id))
+	for _, r := range raw {
+		dst = append(dst, NodeID(r))
+	}
+	return dst
+}
+
+// txDelay returns the on-air time of size bytes.
+func (m *Medium) txDelay(size int) sim.Time {
+	bits := float64(size * 8)
+	sec := bits / (m.params.BitrateMbps * 1e6)
+	return sim.Time(sec * float64(time.Second))
+}
+
+// loadFraction ages the airtime accumulator and returns the fraction of
+// the window the channel was busy.
+func (m *Medium) loadFraction() float64 {
+	now := m.kernel.Now()
+	if now > m.lastDecay {
+		elapsed := float64(now-m.lastDecay) / float64(m.params.LoadWindow)
+		m.airtime *= math.Exp(-elapsed)
+		m.lastDecay = now
+	}
+	window := float64(m.params.LoadWindow) / float64(time.Second)
+	f := m.airtime / window
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// receptionProb returns the distance-fade success probability.
+func (m *Medium) receptionProb(d float64) float64 {
+	if d <= m.params.RangeReliable {
+		return 1
+	}
+	if d >= m.params.RangeMax {
+		return 0
+	}
+	// Quadratic falloff from 1 at RangeReliable to 0 at RangeMax.
+	x := (d - m.params.RangeReliable) / (m.params.RangeMax - m.params.RangeReliable)
+	return (1 - x) * (1 - x)
+}
+
+// Send transmits a frame. to == Broadcast delivers to every node in range;
+// otherwise only the addressed node (if in range) receives it. Send never
+// fails: lost frames are simply not delivered, as on a real channel.
+func (m *Medium) Send(from, to NodeID, size int, payload any) {
+	src, ok := m.index.Position(int32(from))
+	if !ok {
+		return
+	}
+	if size < 1 {
+		size = 1
+	}
+	m.stats.Sent++
+	m.stats.BytesOnAir += uint64(size)
+
+	// Account airtime for the collision model.
+	load := m.loadFraction()
+	m.airtime += float64(m.txDelay(size)) / float64(time.Second)
+
+	pCollide := m.params.CollisionFactor * load
+	if pCollide > m.params.MaxCollisionLoss {
+		pCollide = m.params.MaxCollisionLoss
+	}
+
+	deliver := func(dst NodeID, dstPos geo.Point, retries int) {
+		if m.blocked != nil && m.blocked(from, dst) {
+			return
+		}
+		h, ok := m.handlers[dst]
+		if !ok {
+			return
+		}
+		d := src.Dist(dstPos)
+		pRecv := m.receptionProb(d)
+		// Link-layer ARQ: unicast frames get retries+1 attempts; each
+		// failed attempt costs one extra transmission slot of delay.
+		attempts := 0
+		ok = false
+		var lossKind *uint64
+		for try := 0; try <= retries; try++ {
+			attempts++
+			if m.rng.Float64() >= pRecv {
+				lossKind = &m.stats.LostRange
+				continue
+			}
+			if m.rng.Float64() < pCollide {
+				lossKind = &m.stats.LostLoad
+				continue
+			}
+			ok = true
+			break
+		}
+		if !ok {
+			*lossKind++
+			return
+		}
+		f := Frame{From: from, To: to, Size: size, Payload: payload, SentAt: m.kernel.Now()}
+		// Transmission delay (per attempt) plus a small MAC access jitter.
+		jitter := sim.Time(m.rng.Int63n(int64(500 * time.Microsecond)))
+		m.kernel.After(sim.Time(attempts)*m.txDelay(size)+jitter, func() {
+			m.stats.Delivered++
+			h(f)
+		})
+	}
+
+	if to == Broadcast {
+		ids := m.index.WithinRange(nil, src, m.params.RangeMax, int32(from))
+		// Sort for determinism: map-free but index order depends on
+		// insertion; normalize.
+		sortNodeIDs(ids)
+		for _, raw := range ids {
+			dst := NodeID(raw)
+			if p, ok := m.index.Position(raw); ok {
+				deliver(dst, p, 0) // no ARQ for broadcast
+			}
+		}
+	} else if p, ok := m.index.Position(int32(to)); ok {
+		retries := m.params.UnicastRetries
+		if retries < 0 {
+			retries = 0
+		}
+		deliver(to, p, retries)
+	}
+
+	// Eavesdroppers overhear whatever their radio can demodulate,
+	// without ARQ (they cannot request retransmissions).
+	if len(m.promiscuous) == 0 {
+		return
+	}
+	spies := make([]NodeID, 0, len(m.promiscuous))
+	for id := range m.promiscuous {
+		spies = append(spies, id)
+	}
+	sortPromiscuous(spies)
+	for _, id := range spies {
+		if id == from || id == to {
+			continue // the sender and the addressed node already have it
+		}
+		p, ok := m.index.Position(int32(id))
+		if !ok {
+			continue
+		}
+		d := src.Dist(p)
+		if m.rng.Float64() >= m.receptionProb(d) {
+			continue
+		}
+		h := m.promiscuous[id]
+		f := Frame{From: from, To: to, Size: size, Payload: payload, SentAt: m.kernel.Now()}
+		m.kernel.After(m.txDelay(size), func() { h(f) })
+	}
+}
+
+func sortPromiscuous(ids []NodeID) {
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}
+
+func sortNodeIDs(ids []int32) {
+	// Insertion sort: neighbor lists are small and often nearly sorted.
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+}

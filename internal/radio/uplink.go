@@ -1,0 +1,115 @@
+package radio
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"vcloud/internal/sim"
+)
+
+// Uplink models the cellular/Internet path a conventional cloud depends
+// on: fixed base latency, bandwidth-limited transfer time, a loss
+// probability, and an availability switch the disaster experiments (E1,
+// E2) flip off. The paper's Fig. 2 "infrastructure reliance" row is about
+// exactly this dependency.
+type UplinkParams struct {
+	// BaseRTT is the round-trip latency to the cloud when healthy.
+	BaseRTT sim.Time
+	// BandwidthMbps limits transfer rates.
+	BandwidthMbps float64
+	// LossProb is the per-message loss probability when healthy.
+	LossProb float64
+	// JitterFrac adds uniform ±frac jitter to latency.
+	JitterFrac float64
+}
+
+// DefaultUplinkParams returns LTE-flavoured defaults.
+func DefaultUplinkParams() UplinkParams {
+	return UplinkParams{
+		BaseRTT:       60 * time.Millisecond,
+		BandwidthMbps: 20,
+		LossProb:      0.01,
+		JitterFrac:    0.2,
+	}
+}
+
+// Uplink is a point-to-cloud link shared by all vehicles under coverage.
+type Uplink struct {
+	kernel    *sim.Kernel
+	rng       *rand.Rand
+	params    UplinkParams
+	available bool
+
+	sent, delivered, lost uint64
+}
+
+// NewUplink creates a healthy uplink.
+func NewUplink(kernel *sim.Kernel, params UplinkParams) (*Uplink, error) {
+	if kernel == nil {
+		return nil, fmt.Errorf("radio: kernel must not be nil")
+	}
+	if params.BaseRTT <= 0 {
+		return nil, fmt.Errorf("radio: BaseRTT must be positive, got %v", params.BaseRTT)
+	}
+	if params.BandwidthMbps <= 0 {
+		return nil, fmt.Errorf("radio: BandwidthMbps must be positive, got %v", params.BandwidthMbps)
+	}
+	if params.LossProb < 0 || params.LossProb >= 1 {
+		return nil, fmt.Errorf("radio: LossProb must be in [0,1), got %v", params.LossProb)
+	}
+	return &Uplink{
+		kernel:    kernel,
+		rng:       kernel.NewStream("uplink"),
+		params:    params,
+		available: true,
+	}, nil
+}
+
+// SetAvailable toggles the uplink (network outage / disaster).
+func (u *Uplink) SetAvailable(ok bool) { u.available = ok }
+
+// Available reports whether the uplink is up.
+func (u *Uplink) Available() bool { return u.available }
+
+// Counters returns (sent, delivered, lost).
+func (u *Uplink) Counters() (sent, delivered, lost uint64) {
+	return u.sent, u.delivered, u.lost
+}
+
+// RoundTrip schedules fn after a full request/response exchange of the
+// given sizes, or drops it (fn never runs) on loss or outage. It reports
+// whether the exchange was initiated (false = uplink down).
+func (u *Uplink) RoundTrip(reqBytes, respBytes int, fn func()) bool {
+	if !u.available {
+		return false
+	}
+	u.sent++
+	if u.rng.Float64() < u.params.LossProb {
+		u.lost++
+		return true
+	}
+	if reqBytes < 0 {
+		reqBytes = 0
+	}
+	if respBytes < 0 {
+		respBytes = 0
+	}
+	transfer := float64((reqBytes+respBytes)*8) / (u.params.BandwidthMbps * 1e6)
+	lat := float64(u.params.BaseRTT) + transfer*float64(time.Second)
+	if u.params.JitterFrac > 0 {
+		lat *= 1 + (u.rng.Float64()*2-1)*u.params.JitterFrac
+	}
+	u.kernel.After(sim.Time(lat), func() {
+		if !u.available {
+			// Outage hit mid-flight.
+			u.lost++
+			return
+		}
+		u.delivered++
+		if fn != nil {
+			fn()
+		}
+	})
+	return true
+}

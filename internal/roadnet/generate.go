@@ -1,0 +1,151 @@
+package roadnet
+
+import (
+	"fmt"
+
+	"vcloud/internal/geo"
+)
+
+// GridSpec configures a Manhattan-grid network: Rows×Cols intersections
+// spaced Spacing meters apart, every street two-way.
+type GridSpec struct {
+	Rows, Cols int
+	Spacing    float64 // meters between intersections
+	SpeedLimit float64 // m/s, e.g. 13.9 (50 km/h) urban
+	Lanes      int
+}
+
+// Grid generates a Manhattan grid network, the urban scenario used by the
+// clustering and routing experiments.
+func Grid(spec GridSpec) (*Network, error) {
+	if spec.Rows < 2 || spec.Cols < 2 {
+		return nil, fmt.Errorf("roadnet: grid needs at least 2x2 intersections, got %dx%d", spec.Rows, spec.Cols)
+	}
+	if spec.Spacing <= 0 {
+		return nil, fmt.Errorf("roadnet: grid spacing must be positive, got %v", spec.Spacing)
+	}
+	if spec.SpeedLimit <= 0 {
+		spec.SpeedLimit = 13.9 // 50 km/h default
+	}
+	if spec.Lanes < 1 {
+		spec.Lanes = 1
+	}
+	b := NewBuilder()
+	ids := make([][]NodeID, spec.Rows)
+	for r := 0; r < spec.Rows; r++ {
+		ids[r] = make([]NodeID, spec.Cols)
+		for c := 0; c < spec.Cols; c++ {
+			ids[r][c] = b.AddNode(geo.Point{X: float64(c) * spec.Spacing, Y: float64(r) * spec.Spacing})
+		}
+	}
+	for r := 0; r < spec.Rows; r++ {
+		for c := 0; c < spec.Cols; c++ {
+			if c+1 < spec.Cols {
+				if _, _, err := b.AddTwoWay(ids[r][c], ids[r][c+1], spec.SpeedLimit, spec.Lanes); err != nil {
+					return nil, err
+				}
+			}
+			if r+1 < spec.Rows {
+				if _, _, err := b.AddTwoWay(ids[r][c], ids[r+1][c], spec.SpeedLimit, spec.Lanes); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+// HighwaySpec configures a straight multi-segment highway corridor with
+// both travel directions, the high-mobility scenario of E3/E4.
+type HighwaySpec struct {
+	LengthM    float64 // total corridor length in meters
+	Segments   int     // number of segments (interchange spacing)
+	SpeedLimit float64 // m/s, e.g. 33.3 (120 km/h)
+	Lanes      int
+}
+
+// Highway generates a two-direction highway corridor along the X axis.
+// The opposing carriageway is offset 30 m in Y so positions of opposite
+// directions differ (relevant to radio range and clustering).
+func Highway(spec HighwaySpec) (*Network, error) {
+	if spec.LengthM <= 0 {
+		return nil, fmt.Errorf("roadnet: highway length must be positive, got %v", spec.LengthM)
+	}
+	if spec.Segments < 1 {
+		spec.Segments = 1
+	}
+	if spec.SpeedLimit <= 0 {
+		spec.SpeedLimit = 33.3 // 120 km/h default
+	}
+	if spec.Lanes < 1 {
+		spec.Lanes = 2
+	}
+	b := NewBuilder()
+	segLen := spec.LengthM / float64(spec.Segments)
+	// Eastbound chain at Y=0, westbound chain at Y=30.
+	east := make([]NodeID, spec.Segments+1)
+	west := make([]NodeID, spec.Segments+1)
+	for i := 0; i <= spec.Segments; i++ {
+		east[i] = b.AddNode(geo.Point{X: float64(i) * segLen, Y: 0})
+	}
+	for i := 0; i <= spec.Segments; i++ {
+		west[i] = b.AddNode(geo.Point{X: float64(i) * segLen, Y: 30})
+	}
+	for i := 0; i < spec.Segments; i++ {
+		if _, err := b.AddEdge(east[i], east[i+1], spec.SpeedLimit, spec.Lanes); err != nil {
+			return nil, err
+		}
+		if _, err := b.AddEdge(west[i+1], west[i], spec.SpeedLimit, spec.Lanes); err != nil {
+			return nil, err
+		}
+	}
+	// U-turn ramps at both ends so trips can continue indefinitely.
+	if _, err := b.AddEdge(east[spec.Segments], west[spec.Segments], spec.SpeedLimit/2, 1); err != nil {
+		return nil, err
+	}
+	if _, err := b.AddEdge(west[0], east[0], spec.SpeedLimit/2, 1); err != nil {
+		return nil, err
+	}
+	return b.Build()
+}
+
+// ParkingLotSpec configures the stationary scenario ([4]'s airport long-term
+// lot): rows of parking aisles connected to a single gate.
+type ParkingLotSpec struct {
+	Aisles    int
+	AisleLenM float64
+	AisleGapM float64
+}
+
+// ParkingLot generates a comb-shaped lot: a spine road with aisles. The
+// vehicles in the stationary experiments park along the aisles and do not
+// move; the road structure still matters for the gate-to-aisle distances
+// used in radio reachability.
+func ParkingLot(spec ParkingLotSpec) (*Network, error) {
+	if spec.Aisles < 1 {
+		return nil, fmt.Errorf("roadnet: parking lot needs at least one aisle, got %d", spec.Aisles)
+	}
+	if spec.AisleLenM <= 0 {
+		spec.AisleLenM = 200
+	}
+	if spec.AisleGapM <= 0 {
+		spec.AisleGapM = 40
+	}
+	const speed = 5.0 // m/s lot speed
+	b := NewBuilder()
+	gate := b.AddNode(geo.Point{X: 0, Y: 0})
+	prevSpine := gate
+	for i := 0; i < spec.Aisles; i++ {
+		y := float64(i+1) * spec.AisleGapM
+		spine := b.AddNode(geo.Point{X: 0, Y: y})
+		if _, _, err := b.AddTwoWay(prevSpine, spine, speed, 1); err != nil {
+			return nil, err
+		}
+		end := b.AddNode(geo.Point{X: spec.AisleLenM, Y: y})
+		if _, _, err := b.AddTwoWay(spine, end, speed, 1); err != nil {
+			return nil, err
+		}
+		prevSpine = spine
+	}
+	return b.Build()
+}

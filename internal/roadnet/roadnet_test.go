@@ -1,0 +1,322 @@
+package roadnet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"vcloud/internal/geo"
+)
+
+func mustGrid(t testing.TB, rows, cols int) *Network {
+	t.Helper()
+	n, err := Grid(GridSpec{Rows: rows, Cols: cols, Spacing: 100, SpeedLimit: 14, Lanes: 1})
+	if err != nil {
+		t.Fatalf("Grid: %v", err)
+	}
+	return n
+}
+
+func TestBuilderValidation(t *testing.T) {
+	b := NewBuilder()
+	if _, err := b.Build(); err == nil {
+		t.Error("empty network should not build")
+	}
+	b = NewBuilder()
+	a := b.AddNode(geo.Point{X: 0, Y: 0})
+	c := b.AddNode(geo.Point{X: 100, Y: 0})
+	if _, err := b.AddEdge(a, a, 10, 1); err == nil {
+		t.Error("self-loop should error")
+	}
+	if _, err := b.AddEdge(a, NodeID(99), 10, 1); err == nil {
+		t.Error("out-of-range endpoint should error")
+	}
+	if _, err := b.AddEdge(a, c, 0, 1); err == nil {
+		t.Error("zero speed limit should error")
+	}
+	if _, err := b.AddEdge(a, c, -5, 1); err == nil {
+		t.Error("negative speed limit should error")
+	}
+	eid, err := b.AddEdge(a, c, 10, 0) // lanes clamped to 1
+	if err != nil {
+		t.Fatalf("AddEdge: %v", err)
+	}
+	n, err := b.Build()
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if n.Edge(eid).Lanes != 1 {
+		t.Errorf("lanes = %d, want clamped 1", n.Edge(eid).Lanes)
+	}
+	if n.Edge(eid).Length != 100 {
+		t.Errorf("derived length = %v, want 100", n.Edge(eid).Length)
+	}
+}
+
+func TestGridStructure(t *testing.T) {
+	n := mustGrid(t, 3, 4)
+	if n.NumNodes() != 12 {
+		t.Errorf("nodes = %d, want 12", n.NumNodes())
+	}
+	// Horizontal: 3 rows × 3 gaps × 2 dirs = 18; vertical: 2×4×2 = 16.
+	if n.NumEdges() != 34 {
+		t.Errorf("edges = %d, want 34", n.NumEdges())
+	}
+	// Every node must have at least 2 outgoing edges (corner nodes).
+	for i := 0; i < n.NumNodes(); i++ {
+		if len(n.Node(NodeID(i)).Out()) < 2 {
+			t.Errorf("node %d has %d out-edges", i, len(n.Node(NodeID(i)).Out()))
+		}
+	}
+	if !n.Bounds().Contains(geo.Point{X: 300, Y: 200}) {
+		t.Error("bounds should contain far corner")
+	}
+}
+
+func TestGridValidation(t *testing.T) {
+	if _, err := Grid(GridSpec{Rows: 1, Cols: 5, Spacing: 100}); err == nil {
+		t.Error("1-row grid should error")
+	}
+	if _, err := Grid(GridSpec{Rows: 3, Cols: 3, Spacing: 0}); err == nil {
+		t.Error("zero spacing should error")
+	}
+}
+
+func TestGridDefaults(t *testing.T) {
+	n, err := Grid(GridSpec{Rows: 2, Cols: 2, Spacing: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sl := n.Edge(0).SpeedLimit; sl != 13.9 {
+		t.Errorf("default speed = %v, want 13.9", sl)
+	}
+}
+
+func TestShortestPathOnGrid(t *testing.T) {
+	n := mustGrid(t, 4, 4)
+	src := n.NearestNode(geo.Point{X: 0, Y: 0})
+	dst := n.NearestNode(geo.Point{X: 300, Y: 300})
+	path, err := n.ShortestPath(src, dst)
+	if err != nil {
+		t.Fatalf("ShortestPath: %v", err)
+	}
+	if got := n.PathLength(path); got != 600 {
+		t.Errorf("path length = %v, want 600 (Manhattan distance)", got)
+	}
+	// Path must be contiguous: each edge starts where the previous ended.
+	at := src
+	for _, e := range path {
+		if n.Edge(e).From != at {
+			t.Fatalf("discontiguous path at edge %d", e)
+		}
+		at = n.Edge(e).To
+	}
+	if at != dst {
+		t.Fatalf("path ends at %d, want %d", at, dst)
+	}
+	if pt := n.PathTime(path); math.Abs(pt-600.0/14.0) > 1e-9 {
+		t.Errorf("path time = %v", pt)
+	}
+}
+
+func TestShortestPathTrivialAndErrors(t *testing.T) {
+	n := mustGrid(t, 2, 2)
+	path, err := n.ShortestPath(0, 0)
+	if err != nil || path != nil {
+		t.Errorf("self path = %v, %v; want nil, nil", path, err)
+	}
+	if _, err := n.ShortestPath(0, NodeID(99)); err == nil {
+		t.Error("out-of-range dst should error")
+	}
+	if _, err := n.ShortestPath(NodeID(-1), 0); err == nil {
+		t.Error("negative src should error")
+	}
+}
+
+func TestShortestPathUnreachable(t *testing.T) {
+	b := NewBuilder()
+	a := b.AddNode(geo.Point{X: 0, Y: 0})
+	c := b.AddNode(geo.Point{X: 100, Y: 0})
+	d := b.AddNode(geo.Point{X: 200, Y: 0})
+	if _, err := b.AddEdge(a, c, 10, 1); err != nil {
+		t.Fatal(err)
+	}
+	// d has no incoming edges.
+	_ = d
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.ShortestPath(a, d); err == nil {
+		t.Error("unreachable node should error")
+	}
+	// One-way edge: c cannot reach a.
+	if _, err := n.ShortestPath(c, a); err == nil {
+		t.Error("one-way reverse should error")
+	}
+}
+
+func TestShortestPathPrefersFaster(t *testing.T) {
+	// Two routes a->d: short but slow via b, long but fast via c.
+	b := NewBuilder()
+	a := b.AddNode(geo.Point{X: 0, Y: 0})
+	bn := b.AddNode(geo.Point{X: 50, Y: 10})
+	cn := b.AddNode(geo.Point{X: 50, Y: -200})
+	d := b.AddNode(geo.Point{X: 100, Y: 0})
+	if _, err := b.AddEdge(a, bn, 2, 1); err != nil { // slow
+		t.Fatal(err)
+	}
+	if _, err := b.AddEdge(bn, d, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.AddEdge(a, cn, 40, 1); err != nil { // fast detour
+		t.Fatal(err)
+	}
+	if _, err := b.AddEdge(cn, d, 40, 1); err != nil {
+		t.Fatal(err)
+	}
+	n, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path, err := n.ShortestPath(a, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Edge(path[0]).To != cn {
+		t.Error("A* should prefer the faster (longer) route")
+	}
+}
+
+// TestShortestPathMatchesDijkstraProperty: A* with the straight-line
+// heuristic must return a path whose travel time equals a reference
+// Bellman-Ford computation, on random grid pairs.
+func TestShortestPathMatchesReference(t *testing.T) {
+	n := mustGrid(t, 5, 5)
+	// Reference: Bellman-Ford travel times from every source.
+	ref := func(src NodeID) []float64 {
+		dist := make([]float64, n.NumNodes())
+		for i := range dist {
+			dist[i] = math.Inf(1)
+		}
+		dist[src] = 0
+		for iter := 0; iter < n.NumNodes(); iter++ {
+			for i := 0; i < n.NumEdges(); i++ {
+				e := n.Edge(EdgeID(i))
+				if d := dist[e.From] + e.Length/e.SpeedLimit; d < dist[e.To] {
+					dist[e.To] = d
+				}
+			}
+		}
+		return dist
+	}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		src := NodeID(rng.Intn(n.NumNodes()))
+		dst := NodeID(rng.Intn(n.NumNodes()))
+		if src == dst {
+			continue
+		}
+		path, err := n.ShortestPath(src, dst)
+		if err != nil {
+			t.Fatalf("ShortestPath(%d,%d): %v", src, dst, err)
+		}
+		want := ref(src)[dst]
+		if got := n.PathTime(path); math.Abs(got-want) > 1e-9 {
+			t.Errorf("trial %d: path time %v, reference %v", trial, got, want)
+		}
+	}
+}
+
+func TestHighway(t *testing.T) {
+	n, err := Highway(HighwaySpec{LengthM: 5000, Segments: 5, SpeedLimit: 33, Lanes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.NumNodes() != 12 {
+		t.Errorf("nodes = %d, want 12", n.NumNodes())
+	}
+	// 5 east + 5 west + 2 ramps.
+	if n.NumEdges() != 12 {
+		t.Errorf("edges = %d, want 12", n.NumEdges())
+	}
+	// The corridor must form a cycle: from any node you can get back.
+	for i := 0; i < n.NumNodes(); i++ {
+		for j := 0; j < n.NumNodes(); j++ {
+			if i == j {
+				continue
+			}
+			if _, err := n.ShortestPath(NodeID(i), NodeID(j)); err != nil {
+				t.Fatalf("highway not strongly connected: %d->%d: %v", i, j, err)
+			}
+		}
+	}
+}
+
+func TestHighwayValidation(t *testing.T) {
+	if _, err := Highway(HighwaySpec{LengthM: 0}); err == nil {
+		t.Error("zero length should error")
+	}
+}
+
+func TestParkingLot(t *testing.T) {
+	n, err := ParkingLot(ParkingLotSpec{Aisles: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// gate + 3 spine + 3 aisle ends.
+	if n.NumNodes() != 7 {
+		t.Errorf("nodes = %d, want 7", n.NumNodes())
+	}
+	// Gate must reach every aisle end.
+	for i := 1; i < n.NumNodes(); i++ {
+		if _, err := n.ShortestPath(0, NodeID(i)); err != nil {
+			t.Errorf("gate cannot reach node %d: %v", i, err)
+		}
+	}
+	if _, err := ParkingLot(ParkingLotSpec{Aisles: 0}); err == nil {
+		t.Error("zero aisles should error")
+	}
+}
+
+func TestPosAlongAndHeading(t *testing.T) {
+	n := mustGrid(t, 2, 2)
+	// Find the eastbound edge from node at (0,0).
+	var east EdgeID = -1
+	for _, eid := range n.Node(n.NearestNode(geo.Point{})).Out() {
+		if n.EdgeHeading(eid) == 0 {
+			east = eid
+		}
+	}
+	if east < 0 {
+		t.Fatal("no eastbound edge found")
+	}
+	p := n.PosAlong(east, 0.25)
+	if p != (geo.Point{X: 25, Y: 0}) {
+		t.Errorf("PosAlong = %v, want (25,0)", p)
+	}
+}
+
+func TestNearestNode(t *testing.T) {
+	n := mustGrid(t, 3, 3)
+	id := n.NearestNode(geo.Point{X: 104, Y: 96})
+	if n.Node(id).Pos != (geo.Point{X: 100, Y: 100}) {
+		t.Errorf("NearestNode pos = %v, want (100,100)", n.Node(id).Pos)
+	}
+}
+
+func BenchmarkShortestPathGrid20(b *testing.B) {
+	n := mustGrid(b, 20, 20)
+	rng := rand.New(rand.NewSource(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := NodeID(rng.Intn(n.NumNodes()))
+		dst := NodeID(rng.Intn(n.NumNodes()))
+		if src == dst {
+			continue
+		}
+		if _, err := n.ShortestPath(src, dst); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,264 @@
+package routing
+
+import (
+	"fmt"
+	"time"
+
+	"vcloud/internal/sim"
+	"vcloud/internal/vnet"
+)
+
+const (
+	aodvDataKind = "route.aodv.data"
+	aodvReqKind  = "route.aodv.rreq"
+	aodvRepKind  = "route.aodv.rrep"
+	aodvTTL      = 16
+	// aodvRouteLifetime is how long a discovered route stays valid; high
+	// mobility breaks routes well before expiry, which is the point of
+	// the E4 comparison.
+	aodvRouteLifetime = 10 * time.Second
+	// aodvQueueDeadline bounds how long data waits for route discovery.
+	aodvQueueDeadline = 5 * time.Second
+)
+
+// rreq is the route-request payload.
+type rreq struct {
+	Target vnet.Addr
+}
+
+// rrep is the route-reply payload, unicast along the reverse path.
+type rrep struct {
+	Target vnet.Addr // the discovered destination
+	Source vnet.Addr // the RREQ originator the reply travels to
+}
+
+type routeEntry struct {
+	next    vnet.Addr
+	expires sim.Time
+}
+
+// AODV is the reactive (on-demand) routing baseline.
+type AODV struct {
+	common
+	routes  map[vnet.Addr]routeEntry
+	pending map[vnet.Addr][]pendingPacket
+	ticker  *sim.Ticker
+	stopped bool
+}
+
+type pendingPacket struct {
+	msg      vnet.Message
+	deadline sim.Time
+}
+
+// NewAODV creates an AODV-lite router on node.
+func NewAODV(node *vnet.Node, stats *Stats, deliver DeliverFunc) (*AODV, error) {
+	c, err := newCommon(node, stats, deliver)
+	if err != nil {
+		return nil, err
+	}
+	a := &AODV{
+		common:  c,
+		routes:  make(map[vnet.Addr]routeEntry),
+		pending: make(map[vnet.Addr][]pendingPacket),
+	}
+	node.Handle(aodvDataKind, a.onData)
+	node.Handle(aodvReqKind, a.onRREQ)
+	node.Handle(aodvRepKind, a.onRREP)
+	t, err := node.Kernel().Every(time.Second, a.expirePending)
+	if err != nil {
+		return nil, err
+	}
+	a.ticker = t
+	return a, nil
+}
+
+// Name implements Router.
+func (a *AODV) Name() string { return "aodv" }
+
+// Stop implements Router.
+func (a *AODV) Stop() {
+	if a.stopped {
+		return
+	}
+	a.stopped = true
+	a.ticker.Stop()
+	a.node.Handle(aodvDataKind, nil)
+	a.node.Handle(aodvReqKind, nil)
+	a.node.Handle(aodvRepKind, nil)
+}
+
+// Send implements Router.
+func (a *AODV) Send(dest vnet.Addr, size int, data any) error {
+	if a.stopped {
+		return fmt.Errorf("routing: router stopped")
+	}
+	if dest == a.node.Addr() {
+		return fmt.Errorf("routing: cannot send to self")
+	}
+	msg := a.node.NewMessage(dest, aodvDataKind, size, aodvTTL, Packet{Data: data})
+	a.stats.Originated.Inc()
+	a.forwardData(msg)
+	return nil
+}
+
+// route returns a live route entry.
+func (a *AODV) route(dest vnet.Addr) (routeEntry, bool) {
+	e, ok := a.routes[dest]
+	if !ok {
+		return routeEntry{}, false
+	}
+	if a.node.Kernel().Now() > e.expires {
+		delete(a.routes, dest)
+		return routeEntry{}, false
+	}
+	return e, true
+}
+
+// learn records a route to dest via next.
+func (a *AODV) learn(dest, next vnet.Addr) {
+	if dest == a.node.Addr() {
+		return
+	}
+	a.routes[dest] = routeEntry{next: next, expires: a.node.Kernel().Now() + aodvRouteLifetime}
+}
+
+func (a *AODV) forwardData(msg vnet.Message) {
+	// Destination adjacent? Deliver directly.
+	if _, ok := a.node.Neighbor(msg.Dest); ok {
+		a.stats.Transmissions.Inc()
+		if !a.node.Forward(msg.Dest, msg) {
+			a.stats.Dropped.Inc()
+		}
+		return
+	}
+	if e, ok := a.route(msg.Dest); ok {
+		a.stats.Transmissions.Inc()
+		if !a.node.Forward(e.next, msg) {
+			a.stats.Dropped.Inc()
+		}
+		return
+	}
+	// No route: only the origin queues and discovers; intermediate nodes
+	// drop (route broke underneath the packet).
+	if msg.Origin != a.node.Addr() {
+		a.stats.Dropped.Inc()
+		return
+	}
+	a.pending[msg.Dest] = append(a.pending[msg.Dest], pendingPacket{
+		msg:      msg,
+		deadline: a.node.Kernel().Now() + aodvQueueDeadline,
+	})
+	a.discover(msg.Dest)
+}
+
+func (a *AODV) discover(target vnet.Addr) {
+	req := a.node.NewMessage(vnet.BroadcastAddr, aodvReqKind, 64, aodvTTL, rreq{Target: target})
+	a.stats.ControlMsgs.Inc()
+	a.stats.Transmissions.Inc()
+	a.node.Seen(req) // don't re-process our own flood
+	a.node.BroadcastLocal(req)
+}
+
+func (a *AODV) onRREQ(msg vnet.Message, relayer vnet.Addr) {
+	if a.stopped || a.node.Seen(msg) {
+		return
+	}
+	req, ok := msg.Payload.(rreq)
+	if !ok {
+		return
+	}
+	// Reverse route to the RREQ originator.
+	a.learn(msg.Origin, relayer)
+	if req.Target == a.node.Addr() {
+		// Reply along the reverse path.
+		rep := a.node.NewMessage(msg.Origin, aodvRepKind, 64, aodvTTL, rrep{Target: req.Target, Source: msg.Origin})
+		a.stats.ControlMsgs.Inc()
+		a.stats.Transmissions.Inc()
+		a.node.SendTo(relayer, rep)
+		return
+	}
+	// Re-flood.
+	msg.TTL--
+	if msg.TTL <= 0 {
+		return
+	}
+	a.stats.ControlMsgs.Inc()
+	a.stats.Transmissions.Inc()
+	a.node.BroadcastLocal(msg)
+}
+
+func (a *AODV) onRREP(msg vnet.Message, relayer vnet.Addr) {
+	if a.stopped {
+		return
+	}
+	rep, ok := msg.Payload.(rrep)
+	if !ok {
+		return
+	}
+	// Forward route to the replying destination.
+	a.learn(rep.Target, relayer)
+	if rep.Source == a.node.Addr() {
+		// Discovery complete: flush queued data.
+		a.flush(rep.Target)
+		return
+	}
+	// Relay the RREP along the reverse route to the source.
+	if e, ok := a.route(rep.Source); ok {
+		a.stats.ControlMsgs.Inc()
+		a.stats.Transmissions.Inc()
+		if !a.node.Forward(e.next, msg) {
+			a.stats.Dropped.Inc()
+		}
+	}
+}
+
+func (a *AODV) flush(dest vnet.Addr) {
+	queued := a.pending[dest]
+	delete(a.pending, dest)
+	for _, p := range queued {
+		a.forwardData(p.msg)
+	}
+}
+
+func (a *AODV) onData(msg vnet.Message, relayer vnet.Addr) {
+	if a.stopped {
+		return
+	}
+	// Passive route learning: the relayer can reach the origin.
+	a.learn(msg.Origin, relayer)
+	if msg.Dest == a.node.Addr() {
+		if a.node.Seen(msg) {
+			a.stats.DupDelivered.Inc()
+			return
+		}
+		a.arrived(msg, aodvTTL-msg.TTL)
+		return
+	}
+	a.forwardData(msg)
+}
+
+// expirePending drops queued data whose route discovery never completed.
+func (a *AODV) expirePending() {
+	if a.stopped {
+		return
+	}
+	now := a.node.Kernel().Now()
+	for dest, queued := range a.pending {
+		keep := queued[:0]
+		for _, p := range queued {
+			if now > p.deadline {
+				a.stats.Dropped.Inc()
+				continue
+			}
+			keep = append(keep, p)
+		}
+		if len(keep) == 0 {
+			delete(a.pending, dest)
+		} else {
+			a.pending[dest] = keep
+		}
+	}
+}
+
+var _ Router = (*AODV)(nil)

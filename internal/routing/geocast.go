@@ -1,0 +1,153 @@
+package routing
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"vcloud/internal/geo"
+	"vcloud/internal/sim"
+	"vcloud/internal/vnet"
+)
+
+const (
+	geocastKind = "route.geocast"
+	geocastTTL  = 24
+)
+
+// GeoPacket is a region-addressed payload: every vehicle inside the
+// circle should receive it. This is the dissemination primitive of the
+// paper's emergency scenarios (§V.A: "set the vehicles in a given range
+// into an emergency mode", evacuation notices, local hazard warnings).
+type GeoPacket struct {
+	Center geo.Point
+	Radius float64
+	// SenderPos is the transmitting hop's position, used for the
+	// directed-flood forwarding rule.
+	SenderPos geo.Point
+	Data      any
+}
+
+// Geocast delivers messages to every node inside a target region using
+// directed flooding: a receiver rebroadcasts if it is inside the region,
+// or strictly closer to it than the hop it heard the packet from —
+// frames flow toward the region and flood within it, without soaking
+// the whole network.
+type Geocast struct {
+	common
+	rng *rand.Rand
+	// DeliverRegion fires once per node inside the region.
+	deliverRegion func(from vnet.Addr, data any, latency sim.Time)
+	stopped       bool
+}
+
+// NewGeocast creates a geocast endpoint on node. deliver fires when a
+// region-addressed packet arrives at this node while it is inside the
+// target region.
+func NewGeocast(node *vnet.Node, stats *Stats, deliver func(from vnet.Addr, data any, latency sim.Time)) (*Geocast, error) {
+	c, err := newCommon(node, stats, nil)
+	if err != nil {
+		return nil, err
+	}
+	g := &Geocast{
+		common:        c,
+		rng:           node.Kernel().NewStream(fmt.Sprintf("geocast-%d", node.Addr())),
+		deliverRegion: deliver,
+	}
+	node.Handle(geocastKind, g.onMessage)
+	return g, nil
+}
+
+// Name implements Router naming conventions.
+func (g *Geocast) Name() string { return "geocast" }
+
+// Stop detaches the endpoint.
+func (g *Geocast) Stop() {
+	if g.stopped {
+		return
+	}
+	g.stopped = true
+	g.node.Handle(geocastKind, nil)
+}
+
+// SendRegion disseminates data to every node within radius of center.
+func (g *Geocast) SendRegion(center geo.Point, radius float64, size int, data any) error {
+	if g.stopped {
+		return fmt.Errorf("routing: geocast stopped")
+	}
+	if radius <= 0 {
+		return fmt.Errorf("routing: geocast radius must be positive, got %v", radius)
+	}
+	pkt := GeoPacket{Center: center, Radius: radius, SenderPos: g.node.Position(), Data: data}
+	msg := g.node.NewMessage(vnet.BroadcastAddr, geocastKind, size, geocastTTL, pkt)
+	g.stats.Originated.Inc()
+	g.node.Seen(msg)
+	g.transmitTwice(msg, 0)
+	// The sender may itself be in the region.
+	g.maybeDeliver(msg, pkt)
+	return nil
+}
+
+// transmitTwice sends the frame now (after delay) and once more ~100 ms
+// later: broadcasts have no link-layer ARQ, so a single collision could
+// otherwise sever the directed flood.
+func (g *Geocast) transmitTwice(msg vnet.Message, delay sim.Time) {
+	send := func() {
+		if g.stopped {
+			return
+		}
+		g.stats.Transmissions.Inc()
+		g.node.BroadcastLocal(msg)
+	}
+	if delay == 0 {
+		send()
+	} else {
+		g.node.Kernel().After(delay, send)
+	}
+	gap := 100*time.Millisecond + sim.Time(g.rng.Int63n(int64(50*time.Millisecond)))
+	g.node.Kernel().After(delay+gap, send)
+}
+
+func (g *Geocast) maybeDeliver(msg vnet.Message, pkt GeoPacket) {
+	if g.deliverRegion == nil {
+		return
+	}
+	if g.node.Position().Dist(pkt.Center) <= pkt.Radius {
+		g.stats.Delivered.Inc()
+		lat := g.node.Kernel().Now() - msg.OriginatedAt
+		g.stats.Latency.ObserveDuration(lat)
+		g.deliverRegion(msg.Origin, pkt.Data, lat)
+	}
+}
+
+func (g *Geocast) onMessage(msg vnet.Message, _ vnet.Addr) {
+	if g.stopped {
+		return
+	}
+	pkt, ok := msg.Payload.(GeoPacket)
+	if !ok {
+		return
+	}
+	if g.node.Seen(msg) {
+		return
+	}
+	g.maybeDeliver(msg, pkt)
+
+	// Forwarding rule: inside the region → flood; outside → only if this
+	// hop makes strict progress toward the region versus the previous
+	// transmitter (with a 20 m hysteresis against ping-pong).
+	self := g.node.Position()
+	inRegion := self.Dist(pkt.Center) <= pkt.Radius
+	progress := self.Dist(pkt.Center)+20 < pkt.SenderPos.Dist(pkt.Center)
+	if !inRegion && !progress {
+		return
+	}
+	msg.TTL--
+	if msg.TTL <= 0 {
+		g.stats.Dropped.Inc()
+		return
+	}
+	pkt.SenderPos = self
+	msg.Payload = pkt
+	g.transmitTwice(msg, sim.Time(g.rng.Int63n(int64(20*time.Millisecond))))
+}

@@ -1,0 +1,96 @@
+package routing_test
+
+import (
+	"testing"
+	"time"
+
+	"vcloud/internal/geo"
+	"vcloud/internal/routing"
+	"vcloud/internal/sim"
+	"vcloud/internal/vnet"
+)
+
+func TestGeocastReachesRegionOnly(t *testing.T) {
+	// A 12-node chain; the target region covers nodes 8..11. Nodes in
+	// the region must receive; the flood must travel through the middle
+	// without delivering there.
+	r := newChain(t, 12, 140)
+	var stats routing.Stats
+	received := map[vnet.Addr]bool{}
+	gcs := make([]*routing.Geocast, len(r.nodes))
+	for i, n := range r.nodes {
+		addr := n.Addr()
+		var err error
+		gcs[i], err = routing.NewGeocast(n, &stats, func(from vnet.Addr, data any, lat sim.Time) {
+			received[addr] = true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Region centered at node 9 (x=1260), radius 290 → covers nodes
+	// 7..11 (x in [970, 1550]).
+	center := geo.Point{X: 1260, Y: 0}
+	if err := gcs[0].SendRegion(center, 290, 300, "evacuate"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.k.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i := 8; i <= 11; i++ {
+		if !received[r.nodes[i].Addr()] {
+			t.Errorf("node %d inside the region missed the geocast", i)
+		}
+	}
+	for i := 0; i <= 5; i++ {
+		if received[r.nodes[i].Addr()] {
+			t.Errorf("node %d outside the region received a delivery", i)
+		}
+	}
+	if stats.Delivered.Value() < 4 {
+		t.Errorf("delivered = %d, want >= 4", stats.Delivered.Value())
+	}
+	// Directed flood: transmissions should be far below nodes × TTL.
+	if stats.Transmissions.Value() > 30 {
+		t.Errorf("transmissions = %d, directed flood should be bounded", stats.Transmissions.Value())
+	}
+}
+
+func TestGeocastSenderInsideRegion(t *testing.T) {
+	r := newChain(t, 3, 100)
+	var stats routing.Stats
+	got := 0
+	g, err := routing.NewGeocast(r.nodes[0], &stats, func(vnet.Addr, any, sim.Time) { got++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SendRegion(geo.Point{X: 0, Y: 0}, 50, 100, "self"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.k.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Errorf("sender inside region delivered %d times, want 1", got)
+	}
+}
+
+func TestGeocastValidation(t *testing.T) {
+	r := newChain(t, 1, 100)
+	var stats routing.Stats
+	g, err := routing.NewGeocast(r.nodes[0], &stats, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SendRegion(geo.Point{}, 0, 100, nil); err == nil {
+		t.Error("zero radius should error")
+	}
+	g.Stop()
+	g.Stop() // double stop safe
+	if err := g.SendRegion(geo.Point{}, 100, 100, nil); err == nil {
+		t.Error("send after stop should error")
+	}
+	if _, err := routing.NewGeocast(nil, &stats, nil); err == nil {
+		t.Error("nil node should error")
+	}
+}

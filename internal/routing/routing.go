@@ -1,0 +1,158 @@
+// Package routing implements the VANET routing protocols surveyed in the
+// paper's §IV.A.1, all running hop-by-hop over the lossy radio medium:
+//
+//   - MoZo (moving-zone based routing, Lin et al. [22] — the authors' own
+//     system): greedy geographic forwarding assisted by cluster heads,
+//     which refresh the destination's position from zone knowledge and
+//     prefer same-direction next hops so links live longer.
+//   - Greedy: plain greedy geographic forwarding with carry-and-forward
+//     when no neighbor makes progress (GPSR-like baseline).
+//   - AODV: on-demand route discovery (RREQ flood / RREP reverse path)
+//     with route expiry — the topology-based baseline that suffers under
+//     mobility.
+//   - Epidemic: TTL-bounded flooding — the delivery upper bound with
+//     ruinous overhead.
+//
+// Every protocol reports through a shared Stats so experiment E4 can
+// print the paper-style comparison rows.
+package routing
+
+import (
+	"fmt"
+
+	"vcloud/internal/geo"
+	"vcloud/internal/metrics"
+	"vcloud/internal/sim"
+	"vcloud/internal/vnet"
+)
+
+// Packet is the routed payload envelope.
+type Packet struct {
+	// DestPos is the destination position stamp used by geographic
+	// protocols; refreshed by MoZo at head hops.
+	DestPos geo.Point
+	// Data is the application payload.
+	Data any
+}
+
+// Stats aggregates routing outcomes across all nodes of one protocol
+// instance set.
+type Stats struct {
+	Originated    metrics.Counter
+	Delivered     metrics.Counter
+	DupDelivered  metrics.Counter // duplicates reaching dest (epidemic)
+	Dropped       metrics.Counter // TTL exhaustion, queue overflow, no route
+	Transmissions metrics.Counter // every radio send (cost)
+	ControlMsgs   metrics.Counter // protocol control traffic (RREQ/RREP)
+	Latency       metrics.Histogram
+}
+
+// DeliveryRatio returns delivered/originated.
+func (s *Stats) DeliveryRatio() float64 {
+	return metrics.Ratio(s.Delivered.Value(), s.Originated.Value())
+}
+
+// OverheadPerDelivery returns transmissions per delivered packet.
+func (s *Stats) OverheadPerDelivery() float64 {
+	d := s.Delivered.Value()
+	if d == 0 {
+		return float64(s.Transmissions.Value())
+	}
+	return float64(s.Transmissions.Value()) / float64(d)
+}
+
+// LocService resolves a node's current position, as a location service
+// (e.g. an RLS/GLS overlay) would. Geographic protocols query it at
+// origination time only; the returned position then goes stale as the
+// packet travels — that staleness is what zone-assisted refresh fixes.
+type LocService interface {
+	Lookup(addr vnet.Addr) (geo.Point, bool)
+}
+
+// OracleLoc is a LocService backed by the radio medium's true positions.
+type OracleLoc struct {
+	Positions interface {
+		Position(id vnet.Addr) (geo.Point, bool)
+	}
+}
+
+// Lookup implements LocService.
+func (o OracleLoc) Lookup(addr vnet.Addr) (geo.Point, bool) {
+	return o.Positions.Position(addr)
+}
+
+// StaleLoc models a realistic distributed location service: positions
+// are snapshots refreshed at most once per Period, so a looked-up
+// position can be up to Period old — at highway speeds, hundreds of
+// meters wrong. This is the staleness MoZo's zone knowledge repairs.
+type StaleLoc struct {
+	Inner  LocService
+	Clock  func() sim.Time
+	Period sim.Time
+	cache  map[vnet.Addr]staleEntry
+}
+
+type staleEntry struct {
+	pos geo.Point
+	at  sim.Time
+}
+
+// NewStaleLoc wraps inner with snapshot semantics.
+func NewStaleLoc(inner LocService, clock func() sim.Time, period sim.Time) *StaleLoc {
+	return &StaleLoc{Inner: inner, Clock: clock, Period: period, cache: make(map[vnet.Addr]staleEntry)}
+}
+
+// Lookup implements LocService.
+func (s *StaleLoc) Lookup(addr vnet.Addr) (geo.Point, bool) {
+	now := s.Clock()
+	if e, ok := s.cache[addr]; ok && now-e.at < s.Period {
+		return e.pos, true
+	}
+	pos, ok := s.Inner.Lookup(addr)
+	if !ok {
+		return geo.Point{}, false
+	}
+	s.cache[addr] = staleEntry{pos: pos, at: now}
+	return pos, true
+}
+
+// Router is the per-node protocol endpoint.
+type Router interface {
+	// Name identifies the protocol.
+	Name() string
+	// Send originates a data packet toward dest.
+	Send(dest vnet.Addr, size int, data any) error
+	// Stop detaches the router's timers.
+	Stop()
+}
+
+// DeliverFunc observes packets arriving at their destination node.
+type DeliverFunc func(from vnet.Addr, data any, latency sim.Time, hops int)
+
+// common holds what every protocol shares.
+type common struct {
+	node    *vnet.Node
+	stats   *Stats
+	deliver DeliverFunc
+}
+
+func newCommon(node *vnet.Node, stats *Stats, deliver DeliverFunc) (common, error) {
+	if node == nil {
+		return common{}, fmt.Errorf("routing: node must not be nil")
+	}
+	if stats == nil {
+		return common{}, fmt.Errorf("routing: stats must not be nil")
+	}
+	return common{node: node, stats: stats, deliver: deliver}, nil
+}
+
+// arrived records a final delivery at this node.
+func (c *common) arrived(msg vnet.Message, hops int) {
+	lat := c.node.Kernel().Now() - msg.OriginatedAt
+	c.stats.Delivered.Inc()
+	c.stats.Latency.ObserveDuration(lat)
+	if c.deliver != nil {
+		pkt, _ := msg.Payload.(Packet)
+		c.deliver(msg.Origin, pkt.Data, lat, hops)
+	}
+}

@@ -1,0 +1,425 @@
+package routing_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"vcloud/internal/cluster"
+	"vcloud/internal/geo"
+	"vcloud/internal/mobility"
+	"vcloud/internal/radio"
+	"vcloud/internal/roadnet"
+	"vcloud/internal/routing"
+	"vcloud/internal/scenario"
+	"vcloud/internal/sim"
+	"vcloud/internal/vnet"
+)
+
+// staticChain builds a line of stationary nodes spaced apart, returning
+// the scenario-free primitives needed by focused tests.
+type chainRig struct {
+	k     *sim.Kernel
+	m     *radio.Medium
+	nodes []*vnet.Node
+}
+
+func newChain(t testing.TB, n int, spacing float64) *chainRig {
+	t.Helper()
+	k := sim.NewKernel(1)
+	bounds := geo.NewRect(geo.Point{X: -100, Y: -100}, geo.Point{X: spacing*float64(n) + 100, Y: 100})
+	m, err := radio.NewMedium(k, bounds, radio.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &chainRig{k: k, m: m}
+	for i := 0; i < n; i++ {
+		pos := geo.Point{X: float64(i) * spacing, Y: 0}
+		m.UpdatePosition(vnet.Addr(i), pos)
+		node, err := vnet.NewNode(k, m, vnet.Addr(i), vnet.Config{BeaconPeriod: 200 * time.Millisecond},
+			func() (geo.Point, float64, float64) { return pos, 0, 0 })
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.nodes = append(r.nodes, node)
+		if err := node.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Let beacons populate neighbor tables.
+	if err := k.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func oracle(m *radio.Medium) routing.LocService {
+	return routing.OracleLoc{Positions: m}
+}
+
+func TestGreedyMultiHopDelivery(t *testing.T) {
+	r := newChain(t, 6, 140) // 6 nodes, 140 m apart: 5 hops end to end
+	var stats routing.Stats
+	var gotData any
+	var gotHops int
+	routers := make([]*routing.Greedy, len(r.nodes))
+	for i, n := range r.nodes {
+		var err error
+		routers[i], err = routing.NewGreedy(n, &stats, routing.GeoConfig{Loc: oracle(r.m)}, func(from vnet.Addr, data any, lat sim.Time, hops int) {
+			gotData, gotHops = data, hops
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := routers[0].Send(vnet.Addr(5), 500, "payload"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.k.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if gotData != "payload" {
+		t.Fatalf("payload not delivered, stats: delivered=%d dropped=%d",
+			stats.Delivered.Value(), stats.Dropped.Value())
+	}
+	if gotHops < 3 {
+		t.Errorf("hops = %d, want multi-hop path", gotHops)
+	}
+	if stats.DeliveryRatio() != 1 {
+		t.Errorf("delivery ratio = %v", stats.DeliveryRatio())
+	}
+	if stats.Latency.Count() != 1 {
+		t.Errorf("latency samples = %d", stats.Latency.Count())
+	}
+}
+
+func TestGreedySendValidation(t *testing.T) {
+	r := newChain(t, 2, 100)
+	var stats routing.Stats
+	g, err := routing.NewGreedy(r.nodes[0], &stats, routing.GeoConfig{Loc: oracle(r.m)}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Send(r.nodes[0].Addr(), 100, nil); err == nil {
+		t.Error("send to self should error")
+	}
+	if err := g.Send(vnet.Addr(999), 100, nil); err == nil {
+		t.Error("unknown destination should error")
+	}
+	g.Stop()
+	if err := g.Send(vnet.Addr(1), 100, nil); err == nil {
+		t.Error("send after stop should error")
+	}
+	g.Stop() // double stop safe
+}
+
+func TestGreedyConstructorValidation(t *testing.T) {
+	r := newChain(t, 1, 100)
+	var stats routing.Stats
+	if _, err := routing.NewGreedy(nil, &stats, routing.GeoConfig{Loc: oracle(r.m)}, nil); err == nil {
+		t.Error("nil node should error")
+	}
+	if _, err := routing.NewGreedy(r.nodes[0], nil, routing.GeoConfig{Loc: oracle(r.m)}, nil); err == nil {
+		t.Error("nil stats should error")
+	}
+	if _, err := routing.NewGreedy(r.nodes[0], &stats, routing.GeoConfig{}, nil); err == nil {
+		t.Error("nil loc service should error")
+	}
+	if _, err := routing.NewMoZo(r.nodes[0], &stats, routing.GeoConfig{Loc: oracle(r.m)}, nil, nil); err == nil {
+		t.Error("MoZo without cluster state should error")
+	}
+}
+
+func TestGreedyCarryBufferDropsOnTimeout(t *testing.T) {
+	// Two nodes far apart: no route at all; the packet must wait in the
+	// carry buffer and eventually drop.
+	k := sim.NewKernel(1)
+	bounds := geo.NewRect(geo.Point{X: 0, Y: 0}, geo.Point{X: 5000, Y: 5000})
+	m, err := radio.NewMedium(k, bounds, radio.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	posA := geo.Point{X: 0, Y: 0}
+	m.UpdatePosition(1, posA)
+	m.UpdatePosition(2, geo.Point{X: 4000, Y: 4000})
+	a, err := vnet.NewNode(k, m, 1, vnet.Config{}, func() (geo.Point, float64, float64) { return posA, 0, 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats routing.Stats
+	g, err := routing.NewGreedy(a, &stats, routing.GeoConfig{Loc: oracle(m), CarryTimeout: 2 * time.Second}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Send(2, 100, nil); err != nil {
+		t.Fatal(err)
+	}
+	if g.BufferLen() != 1 {
+		t.Fatalf("buffer len = %d, want 1", g.BufferLen())
+	}
+	if err := k.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if g.BufferLen() != 0 {
+		t.Error("buffer not drained after timeout")
+	}
+	if stats.Dropped.Value() != 1 {
+		t.Errorf("dropped = %d, want 1", stats.Dropped.Value())
+	}
+	if stats.Delivered.Value() != 0 {
+		t.Error("impossible delivery")
+	}
+}
+
+func TestAODVDiscoversAndDelivers(t *testing.T) {
+	// Send from node 0 to node 4 (4 hops): requires RREQ flood + RREP.
+	r2 := newChain(t, 5, 140)
+	var st2 routing.Stats
+	var got any
+	routers := make([]*routing.AODV, 5)
+	for i, n := range r2.nodes {
+		var err error
+		routers[i], err = routing.NewAODV(n, &st2, func(from vnet.Addr, data any, lat sim.Time, hops int) {
+			got = data
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := routers[0].Send(4, 400, "via-aodv"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.k.Run(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got != "via-aodv" {
+		t.Fatalf("AODV did not deliver: delivered=%d dropped=%d control=%d",
+			st2.Delivered.Value(), st2.Dropped.Value(), st2.ControlMsgs.Value())
+	}
+	if st2.ControlMsgs.Value() == 0 {
+		t.Error("AODV delivery without control traffic is impossible")
+	}
+}
+
+func TestEpidemicFloodsAndDeduplicates(t *testing.T) {
+	r := newChain(t, 6, 140)
+	var stats routing.Stats
+	count := 0
+	routers := make([]*routing.Epidemic, 6)
+	for i, n := range r.nodes {
+		var err error
+		routers[i], err = routing.NewEpidemic(n, &stats, func(from vnet.Addr, data any, lat sim.Time, hops int) {
+			count++
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := routers[0].Send(5, 300, "flood"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.k.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if count != 1 {
+		t.Fatalf("deliver callback ran %d times, want exactly 1 (dedup)", count)
+	}
+	// Flooding must cost far more transmissions than the hop count.
+	if stats.Transmissions.Value() < 5 {
+		t.Errorf("transmissions = %d, expected a flood", stats.Transmissions.Value())
+	}
+}
+
+func TestEpidemicStopsOnTTL(t *testing.T) {
+	// A chain longer than the TTL over a lossless radio, so the TTL is
+	// the only thing that can stop the wave: the far end must not
+	// receive and the exhaustion must be recorded.
+	k := sim.NewKernel(1)
+	p := radio.DefaultParams()
+	p.RangeReliable = p.RangeMax
+	p.CollisionFactor = 0
+	bounds := geo.NewRect(geo.Point{X: -100, Y: -100}, geo.Point{X: 250*20 + 100, Y: 100})
+	m, err := radio.NewMedium(k, bounds, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &chainRig{k: k, m: m}
+	for i := 0; i < 20; i++ {
+		pos := geo.Point{X: float64(i) * 250, Y: 0}
+		m.UpdatePosition(vnet.Addr(i), pos)
+		node, err := vnet.NewNode(k, m, vnet.Addr(i), vnet.Config{},
+			func() (geo.Point, float64, float64) { return pos, 0, 0 })
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.nodes = append(r.nodes, node)
+	}
+	var stats routing.Stats
+	reached := false
+	routers := make([]*routing.Epidemic, 20)
+	for i, n := range r.nodes {
+		var err error
+		routers[i], err = routing.NewEpidemic(n, &stats, func(from vnet.Addr, data any, lat sim.Time, hops int) {
+			reached = true
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := routers[0].Send(19, 300, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.k.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if reached {
+		t.Error("packet crossed 19 hops with TTL 16")
+	}
+	if stats.Dropped.Value() == 0 {
+		t.Error("TTL exhaustion not recorded")
+	}
+}
+
+// buildMobile wires N vehicles with a router factory on a highway and
+// fires packet exchanges between random pairs.
+func buildMobile(t testing.TB, seed int64, vehicles int, mk func(n *vnet.Node, st *routing.Stats, s *scenario.Scenario, id mobility.VehicleID) (routing.Router, error)) (*scenario.Scenario, *routing.Stats, []routing.Router) {
+	t.Helper()
+	net, err := roadnet.Highway(roadnet.HighwaySpec{LengthM: 3000, Segments: 3, SpeedLimit: 25, Lanes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := scenario.New(scenario.Spec{Seed: seed, Network: net, NumVehicles: vehicles})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := &routing.Stats{}
+	var routers []routing.Router
+	for _, id := range s.VehicleIDs() {
+		node, _ := s.Node(id)
+		rt, err := mk(node, stats, s, id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		routers = append(routers, rt)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return s, stats, routers
+}
+
+func TestMoZoOutperformsGreedyUnderMobility(t *testing.T) {
+	run := func(useMozo bool) float64 {
+		var total, delivered uint64
+		for seed := int64(1); seed <= 2; seed++ {
+			// Both protocols originate with a stale location service
+			// (20 s snapshots); MoZo heads refresh from fresh zone
+			// knowledge — the [22] design point.
+			var stale *routing.StaleLoc
+			mk := func(n *vnet.Node, st *routing.Stats, s *scenario.Scenario, id mobility.VehicleID) (routing.Router, error) {
+				if stale == nil {
+					stale = routing.NewStaleLoc(oracle(s.Medium), s.Kernel.Now, 20*time.Second)
+				}
+				if !useMozo {
+					return routing.NewGreedy(n, st, routing.GeoConfig{Loc: stale}, nil)
+				}
+				r, err := cluster.NewRunner(n, cluster.MobilitySimilarity{}, time.Second, nil)
+				if err != nil {
+					return nil, err
+				}
+				return routing.NewMoZo(n, st, routing.GeoConfig{Loc: stale, ZoneLoc: oracle(s.Medium)}, r.State, nil)
+			}
+			s, stats, routers := buildMobile(t, seed, 40, mk)
+			// Warm up clustering/beacons, then send 60 packets over a minute.
+			if err := s.RunFor(10 * time.Second); err != nil {
+				t.Fatal(err)
+			}
+			rng := s.Kernel.NewStream("traffic")
+			for i := 0; i < 60; i++ {
+				i := i
+				s.Kernel.After(sim.Time(i)*time.Second/2, func() {
+					src := routers[rng.Intn(len(routers))]
+					ids := s.VehicleIDs()
+					dst := vnet.Addr(ids[rng.Intn(len(ids))])
+					_ = src.Send(dst, 500, fmt.Sprintf("pkt-%d", i))
+				})
+			}
+			if err := s.RunFor(60 * time.Second); err != nil {
+				t.Fatal(err)
+			}
+			total += stats.Originated.Value()
+			delivered += stats.Delivered.Value()
+		}
+		if total == 0 {
+			t.Fatal("no packets originated")
+		}
+		return float64(delivered) / float64(total)
+	}
+	greedy := run(false)
+	mozo := run(true)
+	t.Logf("delivery: greedy=%.2f mozo=%.2f", greedy, mozo)
+	if mozo < 0.3 {
+		t.Errorf("MoZo delivery ratio %v unreasonably low", mozo)
+	}
+	// MoZo should not be materially worse; allow small noise margin.
+	if mozo+0.05 < greedy {
+		t.Errorf("MoZo (%.2f) should at least match greedy (%.2f) under mobility", mozo, greedy)
+	}
+}
+
+func TestEpidemicBestDeliveryWorstOverhead(t *testing.T) {
+	mkEpidemic := func(n *vnet.Node, st *routing.Stats, s *scenario.Scenario, id mobility.VehicleID) (routing.Router, error) {
+		return routing.NewEpidemic(n, st, nil)
+	}
+	mkGreedy := func(n *vnet.Node, st *routing.Stats, s *scenario.Scenario, id mobility.VehicleID) (routing.Router, error) {
+		return routing.NewGreedy(n, st, routing.GeoConfig{Loc: oracle(s.Medium)}, nil)
+	}
+	send := func(s *scenario.Scenario, routers []routing.Router) {
+		rng := s.Kernel.NewStream("traffic")
+		for i := 0; i < 30; i++ {
+			i := i
+			s.Kernel.After(sim.Time(i)*time.Second, func() {
+				src := routers[rng.Intn(len(routers))]
+				ids := s.VehicleIDs()
+				dst := vnet.Addr(ids[rng.Intn(len(ids))])
+				_ = src.Send(dst, 500, i)
+			})
+		}
+	}
+	sE, stE, rE := buildMobile(t, 5, 30, mkEpidemic)
+	send(sE, rE)
+	if err := sE.RunFor(60 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	sG, stG, rG := buildMobile(t, 5, 30, mkGreedy)
+	send(sG, rG)
+	if err := sG.RunFor(60 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if stE.OverheadPerDelivery() <= stG.OverheadPerDelivery() {
+		t.Errorf("epidemic overhead (%.1f tx/delivery) should exceed greedy (%.1f)",
+			stE.OverheadPerDelivery(), stG.OverheadPerDelivery())
+	}
+	if stE.DeliveryRatio() == 0 {
+		t.Error("epidemic delivered nothing")
+	}
+}
+
+func TestStatsHelpers(t *testing.T) {
+	var s routing.Stats
+	if s.DeliveryRatio() != 0 {
+		t.Error("empty ratio should be 0")
+	}
+	s.Transmissions.Add(10)
+	if s.OverheadPerDelivery() != 10 {
+		t.Error("overhead with zero deliveries should equal transmissions")
+	}
+	s.Originated.Add(4)
+	s.Delivered.Add(2)
+	if s.DeliveryRatio() != 0.5 {
+		t.Errorf("ratio = %v", s.DeliveryRatio())
+	}
+	if s.OverheadPerDelivery() != 5 {
+		t.Errorf("overhead = %v", s.OverheadPerDelivery())
+	}
+}

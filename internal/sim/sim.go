@@ -1,0 +1,245 @@
+// Package sim provides the deterministic discrete-event simulation kernel
+// that the whole vehicular-cloud stack runs on. A Kernel owns a virtual
+// clock and a priority queue of scheduled events; entities schedule
+// callbacks at future virtual times and the kernel dispatches them in
+// (time, sequence) order, so a run with a fixed seed is fully reproducible.
+//
+// The kernel is intentionally single-goroutine: all model code executes in
+// the caller's goroutine and no locking is required inside models. This is
+// the standard architecture for network simulators (ns-3, OMNeT++) and
+// keeps the hot path allocation-light.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a virtual timestamp measured from the start of the simulation.
+type Time = time.Duration
+
+// Event is a scheduled callback.
+type event struct {
+	at    Time
+	seq   uint64 // tie-breaker: FIFO among equal timestamps
+	fn    func()
+	index int // heap index, -1 when popped/cancelled
+}
+
+// EventID identifies a scheduled event so it can be cancelled.
+type EventID struct{ ev *event }
+
+// eventQueue implements heap.Interface ordered by (at, seq).
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// ErrStopped is returned by Run when the simulation was stopped explicitly
+// via Stop rather than by exhausting events or reaching the horizon.
+var ErrStopped = errors.New("sim: stopped")
+
+// Kernel is the discrete-event simulation engine.
+type Kernel struct {
+	now     Time
+	seq     uint64
+	queue   eventQueue
+	rng     *rand.Rand
+	seed    int64
+	stopped bool
+	// processed counts dispatched events, exposed for tests and reports.
+	processed uint64
+}
+
+// NewKernel creates a kernel whose random streams derive from seed.
+func NewKernel(seed int64) *Kernel {
+	return &Kernel{
+		rng:  rand.New(rand.NewSource(seed)),
+		seed: seed,
+	}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Seed returns the seed the kernel was created with.
+func (k *Kernel) Seed() int64 { return k.seed }
+
+// Processed returns the number of events dispatched so far.
+func (k *Kernel) Processed() uint64 { return k.processed }
+
+// Pending returns the number of events currently scheduled.
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// RNG returns the kernel's random source. Model code must draw all
+// randomness from here (or from streams derived via NewStream) so runs are
+// reproducible.
+func (k *Kernel) RNG() *rand.Rand { return k.rng }
+
+// NewStream returns an independent random stream labelled by name. Distinct
+// names yield decorrelated streams that are stable across runs with the
+// same kernel seed, which lets one subsystem add random draws without
+// perturbing another subsystem's stream.
+func (k *Kernel) NewStream(name string) *rand.Rand {
+	h := fnv64(name)
+	return rand.New(rand.NewSource(k.seed ^ int64(h)))
+}
+
+func fnv64(s string) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	return h
+}
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// (t < Now) runs the event at the current time instead, preserving event
+// ordering. The returned EventID can be passed to Cancel.
+func (k *Kernel) At(t Time, fn func()) EventID {
+	if fn == nil {
+		return EventID{}
+	}
+	if t < k.now {
+		t = k.now
+	}
+	ev := &event{at: t, seq: k.seq, fn: fn}
+	k.seq++
+	heap.Push(&k.queue, ev)
+	return EventID{ev: ev}
+}
+
+// After schedules fn to run d from now.
+func (k *Kernel) After(d Time, fn func()) EventID {
+	return k.At(k.now+d, fn)
+}
+
+// Every schedules fn to run every period, starting after the first period.
+// It returns a Ticker that can be stopped. period must be positive.
+func (k *Kernel) Every(period Time, fn func()) (*Ticker, error) {
+	if period <= 0 {
+		return nil, fmt.Errorf("sim: ticker period must be positive, got %v", period)
+	}
+	if fn == nil {
+		return nil, errors.New("sim: ticker callback must not be nil")
+	}
+	t := &Ticker{k: k, period: period, fn: fn}
+	t.schedule()
+	return t, nil
+}
+
+// Ticker repeats a callback at a fixed virtual period until stopped.
+type Ticker struct {
+	k       *Kernel
+	period  Time
+	fn      func()
+	pending EventID
+	stopped bool
+}
+
+func (t *Ticker) schedule() {
+	t.pending = t.k.After(t.period, func() {
+		if t.stopped {
+			return
+		}
+		t.fn()
+		if !t.stopped {
+			t.schedule()
+		}
+	})
+}
+
+// Stop halts the ticker. It is safe to call multiple times.
+func (t *Ticker) Stop() {
+	if t.stopped {
+		return
+	}
+	t.stopped = true
+	t.k.Cancel(t.pending)
+}
+
+// Cancel removes a scheduled event. Cancelling an already-fired or
+// already-cancelled event is a no-op. It reports whether the event was
+// actually removed.
+func (k *Kernel) Cancel(id EventID) bool {
+	if id.ev == nil || id.ev.index < 0 {
+		return false
+	}
+	heap.Remove(&k.queue, id.ev.index)
+	id.ev.index = -1
+	return true
+}
+
+// Stop makes Run return ErrStopped after the current event completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run dispatches events until the queue is empty or the horizon is reached.
+// The clock is left at the time of the last dispatched event (or at horizon
+// if the horizon cut the run short). A zero or negative horizon means "run
+// until the queue drains".
+func (k *Kernel) Run(horizon Time) error {
+	k.stopped = false
+	for len(k.queue) > 0 {
+		if k.stopped {
+			return ErrStopped
+		}
+		next := k.queue[0]
+		if horizon > 0 && next.at > horizon {
+			k.now = horizon
+			return nil
+		}
+		heap.Pop(&k.queue)
+		k.now = next.at
+		k.processed++
+		next.fn()
+	}
+	if horizon > 0 && k.now < horizon {
+		k.now = horizon
+	}
+	return nil
+}
+
+// Step dispatches exactly one event if any is pending, and reports whether
+// an event was dispatched.
+func (k *Kernel) Step() bool {
+	if len(k.queue) == 0 {
+		return false
+	}
+	next := heap.Pop(&k.queue).(*event)
+	k.now = next.at
+	k.processed++
+	next.fn()
+	return true
+}

@@ -1,0 +1,345 @@
+package sim
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRunDispatchesInTimeOrder(t *testing.T) {
+	k := NewKernel(1)
+	var order []int
+	k.At(3*time.Second, func() { order = append(order, 3) })
+	k.At(1*time.Second, func() { order = append(order, 1) })
+	k.At(2*time.Second, func() { order = append(order, 2) })
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if k.Now() != 3*time.Second {
+		t.Errorf("Now = %v, want 3s", k.Now())
+	}
+	if k.Processed() != 3 {
+		t.Errorf("Processed = %d, want 3", k.Processed())
+	}
+}
+
+func TestEqualTimestampsAreFIFO(t *testing.T) {
+	k := NewKernel(1)
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(time.Second, func() { order = append(order, i) })
+	}
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	for i := range order {
+		if order[i] != i {
+			t.Fatalf("FIFO violated: %v", order)
+		}
+	}
+}
+
+func TestAfterSchedulesRelative(t *testing.T) {
+	k := NewKernel(1)
+	var at Time
+	k.After(5*time.Second, func() {
+		k.After(2*time.Second, func() { at = k.Now() })
+	})
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if at != 7*time.Second {
+		t.Errorf("nested After fired at %v, want 7s", at)
+	}
+}
+
+func TestSchedulingInPastClampsToNow(t *testing.T) {
+	k := NewKernel(1)
+	var fired Time
+	k.At(10*time.Second, func() {
+		k.At(1*time.Second, func() { fired = k.Now() }) // in the past
+	})
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 10*time.Second {
+		t.Errorf("past event fired at %v, want clamp to 10s", fired)
+	}
+}
+
+func TestHorizonStopsAndAdvancesClock(t *testing.T) {
+	k := NewKernel(1)
+	ran := 0
+	k.At(1*time.Second, func() { ran++ })
+	k.At(100*time.Second, func() { ran++ })
+	if err := k.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 1 {
+		t.Errorf("ran = %d, want 1", ran)
+	}
+	if k.Now() != 10*time.Second {
+		t.Errorf("Now = %v, want horizon 10s", k.Now())
+	}
+	if k.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", k.Pending())
+	}
+	// Resume past the horizon.
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 2 {
+		t.Errorf("after resume ran = %d, want 2", ran)
+	}
+}
+
+func TestHorizonWithEmptyQueueAdvancesClock(t *testing.T) {
+	k := NewKernel(1)
+	if err := k.Run(42 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if k.Now() != 42*time.Second {
+		t.Errorf("Now = %v, want 42s", k.Now())
+	}
+}
+
+func TestCancel(t *testing.T) {
+	k := NewKernel(1)
+	fired := false
+	id := k.At(time.Second, func() { fired = true })
+	if !k.Cancel(id) {
+		t.Error("Cancel should report true for a pending event")
+	}
+	if k.Cancel(id) {
+		t.Error("double Cancel should report false")
+	}
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if k.Cancel(EventID{}) {
+		t.Error("Cancel of zero EventID should be a no-op")
+	}
+}
+
+func TestCancelMiddleOfHeap(t *testing.T) {
+	k := NewKernel(1)
+	var fired []int
+	var ids []EventID
+	for i := 0; i < 20; i++ {
+		i := i
+		ids = append(ids, k.At(Time(i)*time.Second, func() { fired = append(fired, i) }))
+	}
+	for i := 0; i < 20; i += 2 {
+		k.Cancel(ids[i])
+	}
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 10 {
+		t.Fatalf("fired %d events, want 10: %v", len(fired), fired)
+	}
+	if !sort.IntsAreSorted(fired) {
+		t.Errorf("fired out of order: %v", fired)
+	}
+	for _, v := range fired {
+		if v%2 == 0 {
+			t.Errorf("cancelled event %d fired", v)
+		}
+	}
+}
+
+func TestStop(t *testing.T) {
+	k := NewKernel(1)
+	ran := 0
+	k.At(1*time.Second, func() { ran++; k.Stop() })
+	k.At(2*time.Second, func() { ran++ })
+	err := k.Run(0)
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+	if ran != 1 {
+		t.Errorf("ran = %d, want 1", ran)
+	}
+}
+
+func TestStep(t *testing.T) {
+	k := NewKernel(1)
+	ran := 0
+	k.At(time.Second, func() { ran++ })
+	if !k.Step() {
+		t.Fatal("Step should dispatch")
+	}
+	if ran != 1 || k.Now() != time.Second {
+		t.Fatalf("ran=%d now=%v", ran, k.Now())
+	}
+	if k.Step() {
+		t.Error("Step on empty queue should report false")
+	}
+}
+
+func TestTicker(t *testing.T) {
+	k := NewKernel(1)
+	var ticks []Time
+	tk, err := k.Every(time.Second, func() { ticks = append(ticks, k.Now()) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	k.At(3500*time.Millisecond, func() { tk.Stop() })
+	if err := k.Run(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(ticks) != 3 {
+		t.Fatalf("ticks = %v, want 3 ticks", ticks)
+	}
+	for i, at := range ticks {
+		if want := Time(i+1) * time.Second; at != want {
+			t.Errorf("tick %d at %v, want %v", i, at, want)
+		}
+	}
+	tk.Stop() // double stop is safe
+}
+
+func TestTickerValidation(t *testing.T) {
+	k := NewKernel(1)
+	if _, err := k.Every(0, func() {}); err == nil {
+		t.Error("want error for zero period")
+	}
+	if _, err := k.Every(time.Second, nil); err == nil {
+		t.Error("want error for nil callback")
+	}
+}
+
+func TestNilCallbackIgnored(t *testing.T) {
+	k := NewKernel(1)
+	id := k.At(time.Second, nil)
+	if id.ev != nil {
+		t.Error("nil callback should not schedule")
+	}
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	run := func(seed int64) []int64 {
+		k := NewKernel(seed)
+		var draws []int64
+		var step func()
+		step = func() {
+			draws = append(draws, k.RNG().Int63())
+			if len(draws) < 50 {
+				k.After(Time(k.RNG().Intn(1000))*time.Millisecond, step)
+			}
+		}
+		k.After(time.Millisecond, step)
+		if err := k.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		return draws
+	}
+	a, b := run(99), run(99)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs: %d vs %d", i, a[i], b[i])
+		}
+	}
+	c := run(100)
+	same := true
+	for i := range a {
+		if i < len(c) && a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same && len(a) == len(c) {
+		t.Error("different seeds produced identical runs")
+	}
+}
+
+func TestNewStreamStableAndDecorrelated(t *testing.T) {
+	k1 := NewKernel(7)
+	k2 := NewKernel(7)
+	s1 := k1.NewStream("radio")
+	s2 := k2.NewStream("radio")
+	for i := 0; i < 10; i++ {
+		if s1.Int63() != s2.Int63() {
+			t.Fatal("same-name streams differ across kernels with same seed")
+		}
+	}
+	a := NewKernel(7).NewStream("radio")
+	b := NewKernel(7).NewStream("mobility")
+	diff := false
+	for i := 0; i < 10; i++ {
+		if a.Int63() != b.Int63() {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("different-name streams are identical")
+	}
+}
+
+// TestHeapOrderProperty: random batches of events must always fire in
+// nondecreasing time order.
+func TestHeapOrderProperty(t *testing.T) {
+	f := func(seed int64, raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 300 {
+			raw = raw[:300]
+		}
+		k := NewKernel(seed)
+		var fired []Time
+		for _, r := range raw {
+			at := Time(r) * time.Millisecond
+			k.At(at, func() { fired = append(fired, k.Now()) })
+		}
+		if err := k.Run(0); err != nil {
+			return false
+		}
+		if len(fired) != len(raw) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(5))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkKernelScheduleAndRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		k := NewKernel(1)
+		rng := k.NewStream("bench")
+		for j := 0; j < 1000; j++ {
+			k.At(Time(rng.Intn(1_000_000))*time.Microsecond, func() {})
+		}
+		if err := k.Run(0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Package trace provides a lightweight, bounded event recorder for
+// simulation debugging and post-run analysis: subsystems emit structured
+// events into a ring buffer; tools dump them filtered by category or
+// time window. Recording costs one append when enabled and nothing when
+// disabled, so instrumentation can stay in place permanently.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"vcloud/internal/sim"
+)
+
+// Category classifies events for filtering.
+type Category string
+
+// Common categories used across the repository.
+const (
+	CatRadio   Category = "radio"
+	CatCluster Category = "cluster"
+	CatCloud   Category = "cloud"
+	CatAuth    Category = "auth"
+	CatTrust   Category = "trust"
+	CatAttack  Category = "attack"
+)
+
+// Event is one recorded occurrence.
+type Event struct {
+	At       sim.Time
+	Category Category
+	// Node is the acting entity's address (-1 for global events).
+	Node int32
+	// Message is the human-readable description.
+	Message string
+}
+
+// Recorder is a bounded ring of events. The zero value is disabled;
+// create with NewRecorder to enable.
+type Recorder struct {
+	events []Event
+	head   int
+	full   bool
+	// count is the total number of events ever recorded.
+	count uint64
+}
+
+// NewRecorder creates a recorder keeping the most recent capacity events.
+func NewRecorder(capacity int) (*Recorder, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("trace: capacity must be >= 1, got %d", capacity)
+	}
+	return &Recorder{events: make([]Event, capacity)}, nil
+}
+
+// Enabled reports whether the recorder accepts events.
+func (r *Recorder) Enabled() bool { return r != nil && len(r.events) > 0 }
+
+// Emit records an event. Safe to call on a nil recorder (no-op), so
+// instrumented code needs no conditionals.
+func (r *Recorder) Emit(at sim.Time, cat Category, node int32, format string, args ...any) {
+	if !r.Enabled() {
+		return
+	}
+	r.events[r.head] = Event{At: at, Category: cat, Node: node, Message: fmt.Sprintf(format, args...)}
+	r.head = (r.head + 1) % len(r.events)
+	if r.head == 0 {
+		r.full = true
+	}
+	r.count++
+}
+
+// Count returns the total number of events ever emitted.
+func (r *Recorder) Count() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.count
+}
+
+// Events returns the retained events in chronological order, optionally
+// filtered by category (empty = all) and by minimum time.
+func (r *Recorder) Events(cat Category, since sim.Time) []Event {
+	if !r.Enabled() {
+		return nil
+	}
+	n := r.head
+	if r.full {
+		n = len(r.events)
+	}
+	out := make([]Event, 0, n)
+	start := 0
+	if r.full {
+		start = r.head
+	}
+	for i := 0; i < n; i++ {
+		e := r.events[(start+i)%len(r.events)]
+		if cat != "" && e.Category != cat {
+			continue
+		}
+		if e.At < since {
+			continue
+		}
+		out = append(out, e)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Dump writes the retained events to w, one per line.
+func (r *Recorder) Dump(w io.Writer, cat Category, since sim.Time) error {
+	for _, e := range r.Events(cat, since) {
+		if _, err := fmt.Fprintf(w, "%12v %-8s node=%-6d %s\n", e.At, e.Category, e.Node, e.Message); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summary returns per-category retained-event counts as a compact string.
+func (r *Recorder) Summary() string {
+	counts := map[Category]int{}
+	for _, e := range r.Events("", 0) {
+		counts[e.Category]++
+	}
+	cats := make([]string, 0, len(counts))
+	for c := range counts {
+		cats = append(cats, string(c))
+	}
+	sort.Strings(cats)
+	parts := make([]string, 0, len(cats))
+	for _, c := range cats {
+		parts = append(parts, fmt.Sprintf("%s=%d", c, counts[Category(c)]))
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRecorderValidation(t *testing.T) {
+	if _, err := NewRecorder(0); err == nil {
+		t.Error("zero capacity should error")
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Emit(0, CatRadio, 1, "ignored")
+	if r.Count() != 0 || r.Events("", 0) != nil || r.Enabled() {
+		t.Error("nil recorder should be inert")
+	}
+}
+
+func TestEmitAndFilter(t *testing.T) {
+	r, err := NewRecorder(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Emit(1*time.Second, CatRadio, 1, "frame %d", 1)
+	r.Emit(2*time.Second, CatCloud, 2, "task assigned")
+	r.Emit(3*time.Second, CatRadio, 3, "frame %d", 2)
+	if r.Count() != 3 {
+		t.Errorf("Count = %d", r.Count())
+	}
+	all := r.Events("", 0)
+	if len(all) != 3 {
+		t.Fatalf("all events = %d", len(all))
+	}
+	radio := r.Events(CatRadio, 0)
+	if len(radio) != 2 || radio[0].Message != "frame 1" || radio[1].Message != "frame 2" {
+		t.Errorf("radio filter = %+v", radio)
+	}
+	late := r.Events("", 2*time.Second)
+	if len(late) != 2 {
+		t.Errorf("since filter = %d events", len(late))
+	}
+	// Chronological order.
+	for i := 1; i < len(all); i++ {
+		if all[i].At < all[i-1].At {
+			t.Error("events out of order")
+		}
+	}
+}
+
+func TestRingOverwritesOldest(t *testing.T) {
+	r, err := NewRecorder(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		r.Emit(time.Duration(i)*time.Second, CatCloud, int32(i), "e%d", i)
+	}
+	got := r.Events("", 0)
+	if len(got) != 4 {
+		t.Fatalf("retained = %d, want 4", len(got))
+	}
+	if got[0].Message != "e6" || got[3].Message != "e9" {
+		t.Errorf("retained window wrong: %v .. %v", got[0].Message, got[3].Message)
+	}
+	if r.Count() != 10 {
+		t.Errorf("Count = %d", r.Count())
+	}
+}
+
+func TestDumpAndSummary(t *testing.T) {
+	r, err := NewRecorder(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Emit(time.Second, CatAuth, 7, "handshake ok")
+	r.Emit(2*time.Second, CatAuth, 8, "handshake failed")
+	r.Emit(3*time.Second, CatTrust, 9, "decision real")
+	var buf bytes.Buffer
+	if err := r.Dump(&buf, CatAuth, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "handshake ok") || strings.Contains(out, "decision") {
+		t.Errorf("dump = %q", out)
+	}
+	sum := r.Summary()
+	if !strings.Contains(sum, "auth=2") || !strings.Contains(sum, "trust=1") {
+		t.Errorf("summary = %q", sum)
+	}
+}

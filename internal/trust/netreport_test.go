@@ -1,0 +1,319 @@
+package trust_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"vcloud/internal/cryptoprim"
+
+	"vcloud/internal/geo"
+	"vcloud/internal/radio"
+	"vcloud/internal/roadnet"
+	"vcloud/internal/scenario"
+	"vcloud/internal/sim"
+	"vcloud/internal/trust"
+	"vcloud/internal/vnet"
+)
+
+// netRig wires a highway scenario where vehicle 0 evaluates and the
+// rest can report.
+type netRig struct {
+	s         *scenario.Scenario
+	eval      *trust.Evaluator
+	reporters map[int]*trust.Reporter
+	decisions []trust.Decision
+}
+
+func newNetRig(t testing.TB, vehicles int, cfg trust.EvaluatorConfig) *netRig {
+	t.Helper()
+	net, err := roadnet.Highway(roadnet.HighwaySpec{LengthM: 1500, Segments: 2, SpeedLimit: 20, Lanes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := scenario.New(scenario.Spec{Seed: 17, Network: net, NumVehicles: vehicles})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &netRig{s: s, reporters: make(map[int]*trust.Reporter)}
+	ids := s.VehicleIDs()
+	evNode, _ := s.Node(ids[0])
+	if cfg.Validator == nil {
+		cfg.Validator = trust.MajorityVote{}
+	}
+	r.eval, err = trust.NewEvaluator(evNode, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.eval.OnDecision(func(d trust.Decision) { r.decisions = append(r.decisions, d) })
+	for i := 1; i < len(ids); i++ {
+		node, _ := s.Node(ids[i])
+		rep, err := trust.NewReporter(node)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.reporters[i] = rep
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestEvaluatorValidation(t *testing.T) {
+	if _, err := trust.NewEvaluator(nil, trust.EvaluatorConfig{Validator: trust.MajorityVote{}}); err == nil {
+		t.Error("nil node should error")
+	}
+	r := newNetRig(t, 2, trust.EvaluatorConfig{})
+	node, _ := r.s.Node(r.s.VehicleIDs()[1])
+	if _, err := trust.NewEvaluator(node, trust.EvaluatorConfig{}); err == nil {
+		t.Error("missing validator should error")
+	}
+	if _, err := trust.NewReporter(nil); err == nil {
+		t.Error("nil reporter node should error")
+	}
+}
+
+func TestNetworkedDecisionWithinDeadline(t *testing.T) {
+	r := newNetRig(t, 12, trust.EvaluatorConfig{
+		Validator: trust.DistanceWeighted{},
+		Deadline:  2 * time.Second,
+	})
+	if err := r.s.RunFor(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// All reporters near the evaluator announce a real hazard.
+	evState, _ := r.s.Mobility.State(r.s.VehicleIDs()[0])
+	eventPos := evState.Pos
+	eventAt := r.s.Kernel.Now()
+	var token trust.Token
+	for i, rep := range r.reporters {
+		token[0] = byte(i)
+		rep.Report("ice", eventPos, eventAt, true, token)
+	}
+	if err := r.s.RunFor(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.decisions) != 1 {
+		t.Fatalf("decisions = %d, want exactly 1", len(r.decisions))
+	}
+	d := r.decisions[0]
+	if d.Unknown || !d.EventReal {
+		t.Errorf("decision = %+v, want event-real", d)
+	}
+	// How many reporters sit within radio range at the report instant is
+	// mobility-dependent; at least two independent confirmations must
+	// make the deadline.
+	if d.Reports < 2 {
+		t.Errorf("only %d reports arrived before the deadline", d.Reports)
+	}
+	if d.Elapsed > 2100*time.Millisecond {
+		t.Errorf("decision took %v, deadline was 2s", d.Elapsed)
+	}
+}
+
+func TestLateReportsExcluded(t *testing.T) {
+	r := newNetRig(t, 8, trust.EvaluatorConfig{
+		Validator: trust.MajorityVote{},
+		Deadline:  1 * time.Second,
+	})
+	if err := r.s.RunFor(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	evState, _ := r.s.Mobility.State(r.s.VehicleIDs()[0])
+	eventPos := evState.Pos
+	eventAt := r.s.Kernel.Now()
+	// One early true report, then a burst of false reports after the
+	// deadline: the decision must reflect only the early evidence.
+	keys := make([]int, 0, len(r.reporters))
+	for i := range r.reporters {
+		keys = append(keys, i)
+	}
+	first := r.reporters[minInt(keys)]
+	var tok trust.Token
+	tok[0] = 1
+	first.Report("crash", eventPos, eventAt, true, tok)
+	r.s.Kernel.After(3*time.Second, func() {
+		for i, rep := range r.reporters {
+			var tk trust.Token
+			tk[0] = byte(100 + i)
+			rep.Report("crash", eventPos, eventAt, false, tk)
+		}
+	})
+	if err := r.s.RunFor(6 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.decisions) != 1 {
+		t.Fatalf("decisions = %d, want 1", len(r.decisions))
+	}
+	d := r.decisions[0]
+	if !d.EventReal || d.Unknown {
+		t.Errorf("late dissent changed the deadline-bounded decision: %+v", d)
+	}
+}
+
+func TestEvaluatorStop(t *testing.T) {
+	r := newNetRig(t, 5, trust.EvaluatorConfig{Validator: trust.MajorityVote{}})
+	r.eval.Stop()
+	r.eval.Stop() // double stop safe
+	if err := r.s.RunFor(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	evState, _ := r.s.Mobility.State(r.s.VehicleIDs()[0])
+	for i, rep := range r.reporters {
+		var tk trust.Token
+		tk[0] = byte(i)
+		rep.Report("ice", evState.Pos, r.s.Kernel.Now(), true, tk)
+	}
+	if err := r.s.RunFor(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(r.decisions) != 0 {
+		t.Error("stopped evaluator emitted decisions")
+	}
+}
+
+func TestReportsRelayBeyondOneHop(t *testing.T) {
+	// A reporter out of direct range of the evaluator: relays must carry
+	// the report.
+	k := sim.NewKernel(4)
+	bounds := geo.NewRect(geo.Point{X: -100, Y: -100}, geo.Point{X: 1000, Y: 100})
+	m, err := radio.NewMedium(k, bounds, radio.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(addr vnet.Addr, x float64) *vnet.Node {
+		pos := geo.Point{X: x, Y: 0}
+		m.UpdatePosition(addr, pos)
+		n, err := vnet.NewNode(k, m, addr, vnet.Config{}, func() (geo.Point, float64, float64) { return pos, 0, 0 })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	evNode := mk(0, 0)
+	relayNode := mk(1, 140)
+	farNode := mk(2, 280) // out of reliable range of the evaluator
+
+	var decisions []trust.Decision
+	eval, err := trust.NewEvaluator(evNode, trust.EvaluatorConfig{
+		Validator: trust.MajorityVote{}, Deadline: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval.OnDecision(func(d trust.Decision) { decisions = append(decisions, d) })
+	// The relay node also runs an evaluator (any trust-aware vehicle
+	// relays reports).
+	if _, err := trust.NewEvaluator(relayNode, trust.EvaluatorConfig{
+		Validator: trust.MajorityVote{}, Deadline: time.Second,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := trust.NewReporter(farNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tok trust.Token
+	tok[0] = 9
+	rep.Report("ice", geo.Point{X: 280, Y: 0}, k.Now(), true, tok)
+	if err := k.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(decisions) != 1 {
+		t.Fatalf("far report did not reach the evaluator via relay: %d decisions", len(decisions))
+	}
+	if !decisions[0].EventReal {
+		t.Error("relayed report mis-decided")
+	}
+}
+
+func minInt(xs []int) int {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+func TestSignedReportsGateSybil(t *testing.T) {
+	// Evaluator requires group signatures: credentialed reporters pass,
+	// an attacker's unsigned flood is dropped wholesale.
+	k := sim.NewKernel(8)
+	bounds := geo.NewRect(geo.Point{X: 0, Y: 0}, geo.Point{X: 1000, Y: 1000})
+	m, err := radio.NewMedium(k, bounds, radio.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gm, err := cryptoprim.NewGroupManager("g", rand.New(rand.NewSource(8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(addr vnet.Addr, x float64) *vnet.Node {
+		pos := geo.Point{X: x, Y: 0}
+		m.UpdatePosition(addr, pos)
+		n, err := vnet.NewNode(k, m, addr, vnet.Config{}, func() (geo.Point, float64, float64) { return pos, 0, 0 })
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	evNode := mk(0, 0)
+	honestNode := mk(1, 100)
+	sybilNode := mk(2, 120)
+
+	var decisions []trust.Decision
+	eval, err := trust.NewEvaluator(evNode, trust.EvaluatorConfig{
+		Validator: trust.MajorityVote{},
+		Deadline:  time.Second,
+		GroupKey:  gm.PublicKey(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eval.OnDecision(func(d trust.Decision) { decisions = append(decisions, d) })
+
+	honest, err := trust.NewReporter(honestNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cred, err := gm.Enroll("honest", rand.New(rand.NewSource(9)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	honest.SetCredential(&cred)
+
+	sybil, err := trust.NewReporter(sybilNode) // no credential
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pos := geo.Point{X: 60, Y: 0}
+	var tok trust.Token
+	tok[0] = 1
+	honest.Report("ice", pos, k.Now(), true, tok)
+	// Sybil floods 8 unsigned denials under different tokens.
+	for i := 0; i < 8; i++ {
+		var st trust.Token
+		st[0] = byte(100 + i)
+		sybil.Report("ice", pos, k.Now(), false, st)
+	}
+	if err := k.Run(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(decisions) != 1 {
+		t.Fatalf("decisions = %d, want 1", len(decisions))
+	}
+	d := decisions[0]
+	if !d.EventReal || d.Unknown {
+		t.Errorf("unsigned sybil flood flipped the decision: %+v", d)
+	}
+	if d.Reports != 1 {
+		t.Errorf("reports counted = %d, want only the signed one", d.Reports)
+	}
+	if eval.Rejected < 8 {
+		t.Errorf("rejected = %d, want the 8 unsigned reports", eval.Rejected)
+	}
+}

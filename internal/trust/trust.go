@@ -1,0 +1,312 @@
+// Package trust implements the real-time message-content validation the
+// paper designs in §V.D: a message classifier that groups reports into
+// events by space–time proximity, and a set of content validators that
+// score an event's trustworthiness from possibly-conflicting reports
+// under stringent time constraints.
+//
+// Validators follow the survey's taxonomy:
+//
+//   - MajorityVote: Raya et al.'s [32] basic voting over evidence.
+//   - DistanceWeighted: Bayesian combination where a report's weight
+//     grows with the reporter's proximity to the claimed event (a
+//     witness next to the ice patch outweighs one 500 m away).
+//   - PathDiverse: wraps another validator, discounting reports that
+//     arrived over the same routing path — the §V.D "routing path
+//     similarity" signal against single-source amplification.
+//   - Reputation: the sender-reputation baseline the paper argues fails
+//     in VANETs because encounters are ephemeral and identities rotate;
+//     E9 measures exactly that failure.
+package trust
+
+import (
+	"fmt"
+	"math"
+
+	"vcloud/internal/geo"
+	"vcloud/internal/sim"
+)
+
+// Token anonymously identifies a reporter (pseudonym serial, chain ID).
+type Token [32]byte
+
+// Report is one vehicle's claim about an event.
+type Report struct {
+	Reporter Token
+	// Claim is the asserted polarity: true = "the event is real".
+	Claim bool
+	// ReporterPos is where the reporter was when observing.
+	ReporterPos geo.Point
+	// PathID fingerprints the delivery route (hash of relay addresses).
+	PathID uint64
+	// At is when the report was received.
+	At sim.Time
+}
+
+// Event is a claimed real-world occurrence.
+type Event struct {
+	Type string
+	Pos  geo.Point
+	At   sim.Time
+}
+
+// Group is a set of reports classified as referring to the same event.
+type Group struct {
+	Event   Event
+	Reports []Report
+}
+
+// Classifier clusters incoming reports into event groups by type and
+// space–time proximity (§V.D "identify messages belonging to the same
+// event").
+type Classifier struct {
+	radius float64
+	window sim.Time
+	groups []*Group
+}
+
+// NewClassifier creates a classifier. Reports within radius meters and
+// window of an existing group's event join it; otherwise they seed a new
+// group.
+func NewClassifier(radius float64, window sim.Time) (*Classifier, error) {
+	if radius <= 0 {
+		return nil, fmt.Errorf("trust: radius must be positive, got %v", radius)
+	}
+	if window <= 0 {
+		return nil, fmt.Errorf("trust: window must be positive, got %v", window)
+	}
+	return &Classifier{radius: radius, window: window}, nil
+}
+
+// Assign routes a report about (eventType, eventPos, at) into its group,
+// creating one as needed, and returns the group.
+func (c *Classifier) Assign(eventType string, eventPos geo.Point, at sim.Time, r Report) *Group {
+	for _, g := range c.groups {
+		if g.Event.Type != eventType {
+			continue
+		}
+		if g.Event.Pos.Dist(eventPos) > c.radius {
+			continue
+		}
+		dt := at - g.Event.At
+		if dt < 0 {
+			dt = -dt
+		}
+		if dt > c.window {
+			continue
+		}
+		g.Reports = append(g.Reports, r)
+		return g
+	}
+	g := &Group{Event: Event{Type: eventType, Pos: eventPos, At: at}, Reports: []Report{r}}
+	c.groups = append(c.groups, g)
+	return g
+}
+
+// Groups returns all current groups.
+func (c *Classifier) Groups() []*Group { return c.groups }
+
+// Expire drops groups older than the window relative to now, returning
+// how many were removed (kept memory bounded on long runs).
+func (c *Classifier) Expire(now sim.Time) int {
+	keep := c.groups[:0]
+	removed := 0
+	for _, g := range c.groups {
+		if now-g.Event.At > 2*c.window {
+			removed++
+			continue
+		}
+		keep = append(keep, g)
+	}
+	c.groups = keep
+	return removed
+}
+
+// Validator scores an event group's trustworthiness.
+type Validator interface {
+	// Name identifies the validator in experiment output.
+	Name() string
+	// Score returns the estimated probability in [0,1] that the event is
+	// real, given the group's reports.
+	Score(g *Group) float64
+}
+
+// MajorityVote scores by the fraction of positive claims.
+type MajorityVote struct{}
+
+// Name implements Validator.
+func (MajorityVote) Name() string { return "voting" }
+
+// Score implements Validator.
+func (MajorityVote) Score(g *Group) float64 {
+	if len(g.Reports) == 0 {
+		return 0.5
+	}
+	pos := 0
+	for _, r := range g.Reports {
+		if r.Claim {
+			pos++
+		}
+	}
+	return float64(pos) / float64(len(g.Reports))
+}
+
+// DistanceWeighted combines reports in log-odds space with weights that
+// decay with the reporter's distance from the event: a Bayesian update
+// where nearer witnesses carry more evidence (Raya et al.'s framework
+// with an explicit weight function).
+type DistanceWeighted struct {
+	// HalfDist is the distance at which a report's weight halves.
+	// Default 150 m (the reliable radio range).
+	HalfDist float64
+	// PerReportLogOdds is the maximum log-odds contribution of a single
+	// report. Default 1.0.
+	PerReportLogOdds float64
+}
+
+// Name implements Validator.
+func (DistanceWeighted) Name() string { return "bayesian" }
+
+// Score implements Validator.
+func (v DistanceWeighted) Score(g *Group) float64 {
+	half := v.HalfDist
+	if half <= 0 {
+		half = 150
+	}
+	unit := v.PerReportLogOdds
+	if unit <= 0 {
+		unit = 1.0
+	}
+	logOdds := 0.0
+	for _, r := range g.Reports {
+		d := r.ReporterPos.Dist(g.Event.Pos)
+		w := math.Exp2(-d / half)
+		if r.Claim {
+			logOdds += unit * w
+		} else {
+			logOdds -= unit * w
+		}
+	}
+	return 1 / (1 + math.Exp(-logOdds))
+}
+
+// PathDiverse wraps a validator, down-weighting reports that share a
+// delivery path: k reports over one path count as one plus diminishing
+// echoes.
+type PathDiverse struct {
+	Inner Validator
+}
+
+// Name implements Validator.
+func (v PathDiverse) Name() string {
+	if v.Inner == nil {
+		return "path-diverse"
+	}
+	return v.Inner.Name() + "+path"
+}
+
+// Score implements Validator.
+func (v PathDiverse) Score(g *Group) float64 {
+	inner := v.Inner
+	if inner == nil {
+		inner = MajorityVote{}
+	}
+	// Rebuild the group keeping the first report per (path, claim) and
+	// folding duplicates into fractional echoes by subsampling: the n-th
+	// report on a path is kept with weight 1/n — approximated by keeping
+	// ceil(distinct-ish) representatives.
+	seen := map[uint64]int{}
+	filtered := &Group{Event: g.Event}
+	for _, r := range g.Reports {
+		seen[r.PathID]++
+		// Keep the 1st occurrence always; the n-th with diminishing
+		// frequency (2nd: no, 3rd: no, 4th: yes ~ harmonic-ish ≈ log).
+		n := seen[r.PathID]
+		if n == 1 || n == 4 || n == 16 {
+			filtered.Reports = append(filtered.Reports, r)
+		}
+	}
+	return inner.Score(filtered)
+}
+
+// Reputation is the sender-reputation baseline: scores are the mean
+// reputation-weighted claim, and reputations update only when ground
+// truth feedback arrives — which, with rotating anonymous tokens, almost
+// never matches a future sender. That mismatch is the E9 point.
+type Reputation struct {
+	scores map[Token]float64
+}
+
+// NewReputation creates an empty reputation table.
+func NewReputation() *Reputation {
+	return &Reputation{scores: make(map[Token]float64)}
+}
+
+// Name implements Validator.
+func (*Reputation) Name() string { return "reputation" }
+
+// rep returns the reporter's reputation in [0,1], defaulting to 0.5
+// (unknown).
+func (rs *Reputation) rep(t Token) float64 {
+	if v, ok := rs.scores[t]; ok {
+		return v
+	}
+	return 0.5
+}
+
+// Score implements Validator: reputation-weighted vote.
+func (rs *Reputation) Score(g *Group) float64 {
+	if len(g.Reports) == 0 {
+		return 0.5
+	}
+	var num, den float64
+	for _, r := range g.Reports {
+		w := rs.rep(r.Reporter)
+		den += w
+		if r.Claim {
+			num += w
+		}
+	}
+	if den == 0 {
+		return 0.5
+	}
+	return num / den
+}
+
+// Feedback updates a reporter's reputation after ground truth emerges.
+// correct=true nudges toward 1, false toward 0 (EWMA).
+func (rs *Reputation) Feedback(t Token, correct bool) {
+	cur := rs.rep(t)
+	target := 0.0
+	if correct {
+		target = 1.0
+	}
+	rs.scores[t] = cur*0.7 + target*0.3
+}
+
+// Known returns how many reporters have accumulated reputation.
+func (rs *Reputation) Known() int { return len(rs.scores) }
+
+// Decide converts a score into a decision with an indifference band:
+// scores within margin of 0.5 return unknown=true.
+func Decide(score, margin float64) (eventReal, unknown bool) {
+	if score > 0.5+margin {
+		return true, false
+	}
+	if score < 0.5-margin {
+		return false, false
+	}
+	return false, true
+}
+
+// DeadlineEvaluate scores a group using only reports received by the
+// deadline — the paper's stringent-time-constraint evaluation. It
+// returns the score and how many reports made the cut.
+func DeadlineEvaluate(v Validator, g *Group, deadline sim.Time) (float64, int) {
+	cut := &Group{Event: g.Event}
+	for _, r := range g.Reports {
+		if r.At <= deadline {
+			cut.Reports = append(cut.Reports, r)
+		}
+	}
+	return v.Score(cut), len(cut.Reports)
+}

@@ -1,0 +1,108 @@
+package vcloud
+
+import (
+	"fmt"
+	"time"
+
+	"vcloud/internal/radio"
+	"vcloud/internal/sim"
+)
+
+// Backend abstracts "where computation runs" so the Fig. 2 comparison
+// (experiment E1) can drive the identical workload against a
+// conventional cloud, a mobile-cloud stand-in, and the vehicular cloud.
+type Backend interface {
+	// Name identifies the backend in experiment rows.
+	Name() string
+	// Submit runs the task; done fires at most once (lost submissions
+	// during outages may never call back — callers use timeouts, as real
+	// clients do).
+	Submit(task Task, done func(TaskResult)) error
+}
+
+// RemoteCloud models the conventional (or mobile) cloud: tasks cross a
+// cellular uplink to a datacenter with the given aggregate compute.
+// Mobile clouds are the same structure with less compute and a slower
+// link (Fig. 2's middle column).
+type RemoteCloud struct {
+	name   string
+	kernel *sim.Kernel
+	uplink *radio.Uplink
+	// cpu is the datacenter's effective per-task compute rate (ops/s).
+	cpu   float64
+	stats *Stats
+	next  TaskID
+}
+
+// NewRemoteCloud creates a remote backend over the given uplink.
+func NewRemoteCloud(name string, kernel *sim.Kernel, uplink *radio.Uplink, cpu float64, stats *Stats) (*RemoteCloud, error) {
+	if name == "" {
+		return nil, fmt.Errorf("vcloud: backend name must not be empty")
+	}
+	if kernel == nil || uplink == nil || stats == nil {
+		return nil, fmt.Errorf("vcloud: kernel, uplink and stats must not be nil")
+	}
+	if cpu <= 0 {
+		return nil, fmt.Errorf("vcloud: datacenter cpu must be positive, got %v", cpu)
+	}
+	return &RemoteCloud{name: name, kernel: kernel, uplink: uplink, cpu: cpu, stats: stats}, nil
+}
+
+// Name implements Backend.
+func (r *RemoteCloud) Name() string { return r.name }
+
+// Submit implements Backend.
+func (r *RemoteCloud) Submit(task Task, done func(TaskResult)) error {
+	if err := task.Validate(); err != nil {
+		return err
+	}
+	r.next++
+	task.ID = r.next
+	r.stats.Submitted.Inc()
+	start := r.kernel.Now()
+	compute := sim.Time(task.Ops / r.cpu * float64(time.Second))
+	sent := r.uplink.RoundTrip(task.InputBytes, task.OutputBytes, func() {
+		// The round trip models transfer; add datacenter compute.
+		r.kernel.After(compute, func() {
+			lat := r.kernel.Now() - start
+			if task.Deadline > 0 && r.kernel.Now() > task.Deadline {
+				r.stats.Failed.Inc()
+				if done != nil {
+					done(TaskResult{ID: task.ID, OK: false, Latency: lat, Reason: "deadline missed"})
+				}
+				return
+			}
+			r.stats.Completed.Inc()
+			r.stats.Latency.ObserveDuration(lat)
+			if done != nil {
+				done(TaskResult{ID: task.ID, OK: true, Latency: lat})
+			}
+		})
+	})
+	if !sent {
+		r.stats.Failed.Inc()
+		if done != nil {
+			done(TaskResult{ID: task.ID, OK: false, Reason: "uplink down"})
+		}
+	}
+	return nil
+}
+
+// VehicularBackend adapts a Controller to the Backend interface.
+type VehicularBackend struct {
+	C *Controller
+}
+
+// Name implements Backend.
+func (v VehicularBackend) Name() string { return "vehicular" }
+
+// Submit implements Backend.
+func (v VehicularBackend) Submit(task Task, done func(TaskResult)) error {
+	_, err := v.C.Submit(task, done)
+	return err
+}
+
+var (
+	_ Backend = (*RemoteCloud)(nil)
+	_ Backend = VehicularBackend{}
+)

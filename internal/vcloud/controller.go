@@ -1,0 +1,514 @@
+package vcloud
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"vcloud/internal/metrics"
+	"vcloud/internal/sim"
+	"vcloud/internal/trace"
+	"vcloud/internal/vnet"
+)
+
+// Protocol message kinds.
+const (
+	kindAdv      = "vc.adv"
+	kindJoin     = "vc.join"
+	kindLeave    = "vc.leave"
+	kindTask     = "vc.task"
+	kindResult   = "vc.result"
+	kindHandover = "vc.handover"
+)
+
+// advMsg is the controller's periodic advertisement.
+type advMsg struct {
+	Controller vnet.Addr
+	Emergency  bool
+}
+
+// joinMsg announces a member and its resources.
+type joinMsg struct {
+	Resources Resources
+}
+
+// taskMsg assigns (or re-assigns) work.
+type taskMsg struct {
+	Task Task
+	// RemainingOps carries partial progress on handover reassignment
+	// (== Task.Ops on first assignment).
+	RemainingOps float64
+	Attempt      int
+}
+
+// resultMsg returns a finished task.
+type resultMsg struct {
+	ID      TaskID
+	Attempt int
+}
+
+// handoverMsg returns unfinished work for reassignment.
+type handoverMsg struct {
+	ID           TaskID
+	RemainingOps float64
+	Attempt      int
+}
+
+// Stats aggregates cloud outcomes for the experiments.
+type Stats struct {
+	Submitted  metrics.Counter
+	Completed  metrics.Counter
+	Failed     metrics.Counter
+	Retries    metrics.Counter
+	Handovers  metrics.Counter
+	WastedOps  float64 // ops executed and then lost
+	Latency    metrics.Histogram
+	JoinEvents metrics.Counter
+}
+
+// CompletionRate returns completed/submitted.
+func (s *Stats) CompletionRate() float64 {
+	return metrics.Ratio(s.Completed.Value(), s.Submitted.Value())
+}
+
+// DwellEstimator predicts how many seconds a member will remain usable
+// by the cloud (see mobility.EstimateDwell). Infinity means "parked".
+type DwellEstimator func(member vnet.Addr) float64
+
+// ControllerConfig tunes a cloud controller.
+type ControllerConfig struct {
+	// AdvPeriod is the advertisement broadcast interval. Default 1 s.
+	AdvPeriod sim.Time
+	// MemberTTL expires silent members. Default 3×AdvPeriod.
+	MemberTTL sim.Time
+	// Dwell is the scheduler's dwell-time signal; nil means "assume
+	// everyone stays forever" (the naive baseline E7 ablates).
+	Dwell DwellEstimator
+	// DwellMargin multiplies the estimated runtime when testing dwell
+	// sufficiency. Default 1.2.
+	DwellMargin float64
+	// RetryLimit bounds reassignments per task. Default 3.
+	RetryLimit int
+	// Handover enables partial-work transfer; when false, a departing
+	// member's work is simply lost (drop-and-resubmit baseline).
+	Handover bool
+	// AcceptJoin, when non-nil, gates membership: joins from members for
+	// which it returns false are ignored. Secure clouds wire this to the
+	// authenticator's verified-peer set (§V.A).
+	AcceptJoin func(member vnet.Addr) bool
+	// Ledger, when non-nil, enables the incentive mechanism: on task
+	// completion the submitter's account pays the final worker
+	// PricePerKOps credits per 1000 ops.
+	Ledger *Ledger
+	// PricePerKOps is the task price in credits per kOp. Default 1.
+	PricePerKOps int64
+	// Trace, when non-nil, records task lifecycle events for post-run
+	// debugging (nil-safe; see internal/trace).
+	Trace *trace.Recorder
+}
+
+type memberInfo struct {
+	res      Resources
+	lastSeen sim.Time
+	// queuedOps is the controller's view of outstanding work.
+	queuedOps float64
+}
+
+type taskState struct {
+	task         Task
+	client       vnet.Addr
+	remainingOps float64
+	assignee     vnet.Addr
+	attempt      int
+	handovers    int
+	retries      int
+	submitted    sim.Time
+	timeout      sim.EventID
+	done         func(TaskResult)
+}
+
+// Controller coordinates one vehicular cloud: membership, task
+// allocation, result aggregation and the management plane. It runs on
+// whatever node the architecture designates (parked gateway, RSU, or
+// cluster head).
+type Controller struct {
+	node    *vnet.Node
+	cfg     ControllerConfig
+	stats   *Stats
+	members map[vnet.Addr]*memberInfo
+	tasks   map[TaskID]*taskState
+	nextID  TaskID
+	ticker  *sim.Ticker
+
+	emergency bool
+	stopped   bool
+}
+
+// NewController creates and starts a controller on node.
+func NewController(node *vnet.Node, cfg ControllerConfig, stats *Stats) (*Controller, error) {
+	if node == nil || stats == nil {
+		return nil, fmt.Errorf("vcloud: node and stats must not be nil")
+	}
+	if cfg.AdvPeriod <= 0 {
+		cfg.AdvPeriod = time.Second
+	}
+	if cfg.MemberTTL <= 0 {
+		cfg.MemberTTL = 3 * cfg.AdvPeriod
+	}
+	if cfg.DwellMargin <= 0 {
+		cfg.DwellMargin = 1.2
+	}
+	if cfg.RetryLimit <= 0 {
+		cfg.RetryLimit = 3
+	}
+	if cfg.Ledger != nil && cfg.PricePerKOps <= 0 {
+		cfg.PricePerKOps = 1
+	}
+	c := &Controller{
+		node:    node,
+		cfg:     cfg,
+		stats:   stats,
+		members: make(map[vnet.Addr]*memberInfo),
+		tasks:   make(map[TaskID]*taskState),
+	}
+	node.Handle(kindJoin, c.onJoin)
+	node.Handle(kindLeave, c.onLeave)
+	node.Handle(kindResult, c.onResult)
+	node.Handle(kindHandover, c.onHandover)
+	t, err := node.Kernel().Every(cfg.AdvPeriod, c.tick)
+	if err != nil {
+		return nil, err
+	}
+	c.ticker = t
+	return c, nil
+}
+
+// Stop halts the controller. Pending tasks fail.
+func (c *Controller) Stop() {
+	if c.stopped {
+		return
+	}
+	c.stopped = true
+	c.ticker.Stop()
+	c.node.Handle(kindJoin, nil)
+	c.node.Handle(kindLeave, nil)
+	c.node.Handle(kindResult, nil)
+	c.node.Handle(kindHandover, nil)
+	ids := make([]TaskID, 0, len(c.tasks))
+	for id := range c.tasks {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		ts := c.tasks[id]
+		c.node.Kernel().Cancel(ts.timeout)
+		c.finish(id, ts, false, "controller stopped")
+	}
+}
+
+// Addr returns the controller's network address.
+func (c *Controller) Addr() vnet.Addr { return c.node.Addr() }
+
+// NumMembers returns the live member count.
+func (c *Controller) NumMembers() int { return len(c.members) }
+
+// Members returns the live member addresses, sorted.
+func (c *Controller) Members() []vnet.Addr {
+	out := make([]vnet.Addr, 0, len(c.members))
+	for a := range c.members {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SetEmergency flips emergency mode; the flag propagates to members in
+// advertisements (§V.A: the authority switches an area into emergency
+// mode).
+func (c *Controller) SetEmergency(on bool) { c.emergency = on }
+
+// Emergency reports the management-plane emergency flag.
+func (c *Controller) Emergency() bool { return c.emergency }
+
+// Snapshot returns the controller's current membership view — the §V.A
+// "recover the snapshot of the topology" management operation.
+func (c *Controller) Snapshot() map[vnet.Addr]Resources {
+	out := make(map[vnet.Addr]Resources, len(c.members))
+	for a, m := range c.members {
+		out[a] = m.res
+	}
+	return out
+}
+
+func (c *Controller) tick() {
+	if c.stopped {
+		return
+	}
+	// Advertise.
+	adv := c.node.NewMessage(vnet.BroadcastAddr, kindAdv, 64, 1, advMsg{Controller: c.node.Addr(), Emergency: c.emergency})
+	c.node.BroadcastLocal(adv)
+	// Expire silent members.
+	now := c.node.Kernel().Now()
+	for a, m := range c.members {
+		if now-m.lastSeen > c.cfg.MemberTTL {
+			delete(c.members, a)
+		}
+	}
+}
+
+func (c *Controller) onJoin(msg vnet.Message, _ vnet.Addr) {
+	if c.stopped {
+		return
+	}
+	jm, ok := msg.Payload.(joinMsg)
+	if !ok {
+		return
+	}
+	if c.cfg.AcceptJoin != nil && !c.cfg.AcceptJoin(msg.Origin) {
+		return
+	}
+	m, exists := c.members[msg.Origin]
+	if !exists {
+		m = &memberInfo{}
+		c.members[msg.Origin] = m
+		c.stats.JoinEvents.Inc()
+	}
+	m.res = jm.Resources
+	m.lastSeen = c.node.Kernel().Now()
+}
+
+func (c *Controller) onLeave(msg vnet.Message, _ vnet.Addr) {
+	if c.stopped {
+		return
+	}
+	delete(c.members, msg.Origin)
+}
+
+// Submit enters a task into the cloud on the controller's own account.
+// done fires exactly once.
+func (c *Controller) Submit(task Task, done func(TaskResult)) (TaskID, error) {
+	return c.SubmitFor(c.node.Addr(), task, done)
+}
+
+// SubmitFor enters a task charged to the given client account (the
+// incentive mechanism's payer when a ledger is configured).
+func (c *Controller) SubmitFor(client vnet.Addr, task Task, done func(TaskResult)) (TaskID, error) {
+	if c.stopped {
+		return 0, fmt.Errorf("vcloud: controller stopped")
+	}
+	if err := task.Validate(); err != nil {
+		return 0, err
+	}
+	c.nextID++
+	task.ID = c.nextID
+	ts := &taskState{
+		task:         task,
+		client:       client,
+		remainingOps: task.Ops,
+		submitted:    c.node.Kernel().Now(),
+		done:         done,
+	}
+	c.tasks[task.ID] = ts
+	c.stats.Submitted.Inc()
+	c.assign(ts)
+	return task.ID, nil
+}
+
+// pickMember chooses a worker for ts: among fresh members with the
+// needed sensor, prefer those whose estimated dwell covers the estimated
+// completion time (runtime + queue) with margin; break ties by earliest
+// completion. Returns false when no member exists at all.
+func (c *Controller) pickMember(ts *taskState) (vnet.Addr, bool) {
+	now := c.node.Kernel().Now()
+	type cand struct {
+		addr     vnet.Addr
+		finish   float64 // seconds until it would finish this task
+		hasDwell bool
+	}
+	var ok, short []cand
+	for a, m := range c.members {
+		if now-m.lastSeen > c.cfg.MemberTTL {
+			continue
+		}
+		if m.res.CPU <= 0 || !m.res.HasSensor(ts.task.NeedsSensor) {
+			continue
+		}
+		if a == ts.assignee && ts.attempt > 0 {
+			// Don't immediately re-pick the worker that just failed or
+			// handed the task back.
+			continue
+		}
+		runtime := (m.queuedOps + ts.remainingOps) / m.res.CPU
+		cd := cand{addr: a, finish: runtime}
+		if c.cfg.Dwell != nil {
+			d := c.cfg.Dwell(a)
+			cd.hasDwell = d >= runtime*c.cfg.DwellMargin
+		} else {
+			cd.hasDwell = true
+		}
+		if cd.hasDwell {
+			ok = append(ok, cd)
+		} else {
+			short = append(short, cd)
+		}
+	}
+	pool := ok
+	if len(pool) == 0 {
+		pool = short // nobody qualifies on dwell: best effort
+	}
+	if len(pool) == 0 {
+		return 0, false
+	}
+	best := pool[0]
+	for _, cd := range pool[1:] {
+		if cd.finish < best.finish || (cd.finish == best.finish && cd.addr < best.addr) {
+			best = cd
+		}
+	}
+	return best.addr, true
+}
+
+func (c *Controller) assign(ts *taskState) {
+	addr, found := c.pickMember(ts)
+	if !found {
+		// No members: retry shortly rather than failing outright (the
+		// cloud may still be forming).
+		if ts.retries >= c.cfg.RetryLimit {
+			c.finish(ts.task.ID, ts, false, "no members")
+			return
+		}
+		ts.retries++
+		c.stats.Retries.Inc()
+		c.node.Kernel().After(time.Second, func() {
+			if _, live := c.tasks[ts.task.ID]; live && !c.stopped {
+				c.assign(ts)
+			}
+		})
+		return
+	}
+	ts.assignee = addr
+	ts.attempt++
+	c.cfg.Trace.Emit(c.node.Kernel().Now(), trace.CatCloud, int32(c.node.Addr()),
+		"task %d assign -> %d (attempt %d, %.0f ops left)", ts.task.ID, addr, ts.attempt, ts.remainingOps)
+	m := c.members[addr]
+	m.queuedOps += ts.remainingOps
+	msg := c.node.NewMessage(addr, kindTask, 64+ts.task.InputBytes, 1, taskMsg{
+		Task:         ts.task,
+		RemainingOps: ts.remainingOps,
+		Attempt:      ts.attempt,
+	})
+	c.node.SendTo(addr, msg)
+
+	// Timeout: generous multiple of the expected completion time.
+	expect := (m.queuedOps)/m.res.CPU + 2.0
+	deadline := sim.Time(expect*3*float64(time.Second)) + 2*time.Second
+	attempt := ts.attempt
+	ts.timeout = c.node.Kernel().After(deadline, func() {
+		cur, live := c.tasks[ts.task.ID]
+		if !live || cur != ts || ts.attempt != attempt || c.stopped {
+			return
+		}
+		// The assignment died silently (member left range, frames lost):
+		// all remaining work must be redone — this is the waste the
+		// paper's §III.A argument quantifies.
+		c.stats.WastedOps += ts.remainingOps
+		c.releaseQueue(ts)
+		if ts.retries >= c.cfg.RetryLimit {
+			c.finish(ts.task.ID, ts, false, "retries exhausted")
+			return
+		}
+		ts.retries++
+		c.stats.Retries.Inc()
+		c.assign(ts)
+	})
+}
+
+// releaseQueue removes the task's load from its assignee's book-keeping.
+func (c *Controller) releaseQueue(ts *taskState) {
+	if m, ok := c.members[ts.assignee]; ok {
+		m.queuedOps -= ts.remainingOps
+		if m.queuedOps < 0 {
+			m.queuedOps = 0
+		}
+	}
+}
+
+func (c *Controller) onResult(msg vnet.Message, _ vnet.Addr) {
+	if c.stopped {
+		return
+	}
+	rm, ok := msg.Payload.(resultMsg)
+	if !ok {
+		return
+	}
+	ts, live := c.tasks[rm.ID]
+	if !live || rm.Attempt != ts.attempt || msg.Origin != ts.assignee {
+		return // stale result from a superseded attempt
+	}
+	c.node.Kernel().Cancel(ts.timeout)
+	c.releaseQueue(ts)
+	if ts.task.Deadline > 0 && c.node.Kernel().Now() > ts.task.Deadline {
+		c.finish(rm.ID, ts, false, "deadline missed")
+		return
+	}
+	c.finish(rm.ID, ts, true, "")
+}
+
+func (c *Controller) onHandover(msg vnet.Message, _ vnet.Addr) {
+	if c.stopped {
+		return
+	}
+	hm, ok := msg.Payload.(handoverMsg)
+	if !ok {
+		return
+	}
+	ts, live := c.tasks[hm.ID]
+	if !live || hm.Attempt != ts.attempt || msg.Origin != ts.assignee {
+		return
+	}
+	c.node.Kernel().Cancel(ts.timeout)
+	c.releaseQueue(ts)
+	ts.remainingOps = hm.RemainingOps
+	ts.handovers++
+	c.stats.Handovers.Inc()
+	c.cfg.Trace.Emit(c.node.Kernel().Now(), trace.CatCloud, int32(c.node.Addr()),
+		"task %d handover from %d (%.0f ops left)", hm.ID, msg.Origin, hm.RemainingOps)
+	c.assign(ts)
+}
+
+func (c *Controller) finish(id TaskID, ts *taskState, ok bool, reason string) {
+	delete(c.tasks, id)
+	lat := c.node.Kernel().Now() - ts.submitted
+	c.cfg.Trace.Emit(c.node.Kernel().Now(), trace.CatCloud, int32(c.node.Addr()),
+		"task %d finish ok=%v reason=%q latency=%v", id, ok, reason, lat)
+	if ok {
+		c.stats.Completed.Inc()
+		c.stats.Latency.ObserveDuration(lat)
+		// Incentive settlement: the client pays the final worker. (On
+		// handover chains the last worker collects the full price; a
+		// production split would apportion by executed ops, which the
+		// controller cannot observe directly.)
+		if c.cfg.Ledger != nil && ts.assignee != ts.client {
+			price := int64(ts.task.Ops/1000) * c.cfg.PricePerKOps
+			if price < 1 {
+				price = 1
+			}
+			_ = c.cfg.Ledger.Transfer(c.node.Kernel().Now(), id, ts.client, ts.assignee, price)
+		}
+	} else {
+		c.stats.Failed.Inc()
+	}
+	if ts.done != nil {
+		ts.done(TaskResult{
+			ID:        id,
+			OK:        ok,
+			Latency:   lat,
+			Handovers: ts.handovers,
+			Retries:   ts.retries,
+			Reason:    reason,
+		})
+	}
+}
+
+// PendingTasks returns how many tasks are in flight.
+func (c *Controller) PendingTasks() int { return len(c.tasks) }

@@ -1,0 +1,94 @@
+package vcloud
+
+import (
+	"fmt"
+
+	"vcloud/internal/cryptoprim"
+	"vcloud/internal/sim"
+	"vcloud/internal/vnet"
+)
+
+// Ledger is the resource-lending incentive of the Kong et al. [17][18]
+// frameworks (§IV.B): submitters pay credits for the ops their tasks
+// consume, workers earn them for the ops they execute. Entries form a
+// hash chain so the coordinator (or an auditor) can detect tampering —
+// accountability without exposing identities beyond network addresses.
+type Ledger struct {
+	balances map[vnet.Addr]int64
+	log      []CreditEntry
+}
+
+// CreditEntry records one transfer.
+type CreditEntry struct {
+	At     sim.Time
+	Task   TaskID
+	From   vnet.Addr // payer (task submitter's account)
+	To     vnet.Addr // payee (worker)
+	Amount int64
+	Hash   [32]byte
+}
+
+// NewLedger returns an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{balances: make(map[vnet.Addr]int64)}
+}
+
+// Transfer moves amount credits from payer to payee (negative balances
+// are allowed — settlement is out of band, e.g. at the TA).
+func (l *Ledger) Transfer(at sim.Time, task TaskID, from, to vnet.Addr, amount int64) error {
+	if amount <= 0 {
+		return fmt.Errorf("vcloud: transfer amount must be positive, got %d", amount)
+	}
+	if from == to {
+		return fmt.Errorf("vcloud: self-transfer")
+	}
+	l.balances[from] -= amount
+	l.balances[to] += amount
+	var prev [32]byte
+	if n := len(l.log); n > 0 {
+		prev = l.log[n-1].Hash
+	}
+	e := CreditEntry{At: at, Task: task, From: from, To: to, Amount: amount}
+	e.Hash = creditHash(prev, e)
+	l.log = append(l.log, e)
+	return nil
+}
+
+func creditHash(prev [32]byte, e CreditEntry) [32]byte {
+	return cryptoprim.Digest(
+		prev[:],
+		[]byte(fmt.Sprintf("%d|%d|%d|%d|%d", e.At, e.Task, e.From, e.To, e.Amount)),
+	)
+}
+
+// Balance returns an account's current credit balance.
+func (l *Ledger) Balance(a vnet.Addr) int64 { return l.balances[a] }
+
+// Entries returns a copy of the transfer log.
+func (l *Ledger) Entries() []CreditEntry {
+	out := make([]CreditEntry, len(l.log))
+	copy(out, l.log)
+	return out
+}
+
+// Verify checks the hash chain, returning the index of the first
+// tampered entry or -1 when intact.
+func (l *Ledger) Verify() int {
+	var prev [32]byte
+	for i, e := range l.log {
+		if creditHash(prev, e) != e.Hash {
+			return i
+		}
+		prev = e.Hash
+	}
+	return -1
+}
+
+// TotalVolume returns the sum of all transfers.
+func (l *Ledger) TotalVolume() int64 {
+	var total int64
+	for _, e := range l.log {
+		total += e.Amount
+	}
+	return total
+}

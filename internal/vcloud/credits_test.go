@@ -1,0 +1,107 @@
+package vcloud_test
+
+import (
+	"testing"
+	"time"
+
+	"vcloud/internal/vcloud"
+	"vcloud/internal/vnet"
+)
+
+func TestLedgerTransfersAndChain(t *testing.T) {
+	l := vcloud.NewLedger()
+	if err := l.Transfer(0, 1, 10, 20, 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Transfer(1e9, 2, 20, 30, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Balance(10); got != -5 {
+		t.Errorf("balance(10) = %d, want -5", got)
+	}
+	if got := l.Balance(20); got != 2 {
+		t.Errorf("balance(20) = %d, want 2", got)
+	}
+	if got := l.Balance(30); got != 3 {
+		t.Errorf("balance(30) = %d, want 3", got)
+	}
+	if got := l.TotalVolume(); got != 8 {
+		t.Errorf("volume = %d", got)
+	}
+	if idx := l.Verify(); idx != -1 {
+		t.Errorf("intact chain reported tampered at %d", idx)
+	}
+	// Tampering detection.
+	entries := l.Entries()
+	if len(entries) != 2 {
+		t.Fatalf("entries = %d", len(entries))
+	}
+	// Entries() returns a copy; mutate through it must not affect chain.
+	entries[0].Amount = 999
+	if idx := l.Verify(); idx != -1 {
+		t.Error("copy mutation affected the ledger")
+	}
+}
+
+func TestLedgerValidation(t *testing.T) {
+	l := vcloud.NewLedger()
+	if err := l.Transfer(0, 1, 5, 5, 1); err == nil {
+		t.Error("self-transfer should error")
+	}
+	if err := l.Transfer(0, 1, 5, 6, 0); err == nil {
+		t.Error("zero amount should error")
+	}
+	if err := l.Transfer(0, 1, 5, 6, -2); err == nil {
+		t.Error("negative amount should error")
+	}
+}
+
+func TestIncentiveSettlementOnCompletion(t *testing.T) {
+	s := parkingScenario(t, 8)
+	stats := &vcloud.Stats{}
+	ledger := vcloud.NewLedger()
+	d, err := vcloud.Deploy(s, vcloud.Stationary, vcloud.DeployConfig{
+		Controller: vcloud.ControllerConfig{Ledger: ledger},
+	}, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunFor(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	gate := d.Controllers[0]
+	client := vnet.Addr(7777) // an account, not necessarily a radio node
+	const tasks = 6
+	for i := 0; i < tasks; i++ {
+		if _, err := gate.SubmitFor(client, vcloud.Task{Ops: 4000, InputBytes: 200, OutputBytes: 100}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.RunFor(60 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Completed.Value() != tasks {
+		t.Fatalf("completed %d/%d", stats.Completed.Value(), tasks)
+	}
+	// Client paid 4 credits per task (4000 ops @ 1 credit/kOp).
+	if got := ledger.Balance(client); got != -4*tasks {
+		t.Errorf("client balance = %d, want %d", got, -4*tasks)
+	}
+	// Workers collectively earned what the client paid.
+	var earned int64
+	for _, m := range gate.Members() {
+		earned += ledger.Balance(m)
+	}
+	if earned != 4*tasks {
+		t.Errorf("workers earned %d, want %d", earned, 4*tasks)
+	}
+	if ledger.Verify() != -1 {
+		t.Error("ledger chain broken")
+	}
+	if int(ledger.TotalVolume()) != 4*tasks {
+		t.Errorf("volume = %d", ledger.TotalVolume())
+	}
+}

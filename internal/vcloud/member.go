@@ -1,0 +1,309 @@
+package vcloud
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"vcloud/internal/sim"
+	"vcloud/internal/vnet"
+)
+
+// MemberConfig tunes a member agent.
+type MemberConfig struct {
+	// Resources contributed to the pool.
+	Resources Resources
+	// Handover, when true, lets the member hand unfinished work back
+	// before losing contact instead of silently dropping it.
+	Handover bool
+	// DepartureWarning predicts how many seconds of controller contact
+	// remain; the member hands work over when this drops below the time
+	// needed to finish. Nil disables proactive handover (the member then
+	// only reacts to total controller loss).
+	DepartureWarning func() float64
+	// CheckPeriod is the departure-check interval. Default 1 s.
+	CheckPeriod sim.Time
+	// Authorize, when non-nil, gates joining a new controller: the
+	// member calls it once per controller and only sends its join after
+	// done(true) — secure v-cloud initialization (§V.A), typically a
+	// mutual authentication handshake.
+	Authorize func(controller vnet.Addr, done func(ok bool))
+	// BatteryOps bounds the total ops a parked-and-off vehicle can
+	// execute before its battery budget is spent (Hou et al. [9]:
+	// "to save the battery run time, the computing power and the time
+	// length of providing services must be limited"). Zero means
+	// unlimited (engine running / plugged in). When the budget is
+	// exhausted the member leaves the cloud and stops accepting work.
+	BatteryOps float64
+}
+
+// runningTask is a task being executed locally.
+type runningTask struct {
+	task       Task
+	attempt    int
+	controller vnet.Addr
+	startedAt  sim.Time
+	ops        float64 // ops this attempt started with
+	doneEv     sim.EventID
+}
+
+// Member is the worker-side agent of a vehicular cloud: it joins
+// controllers it hears, executes assigned tasks at its CPU rate, returns
+// results, and — when configured — hands unfinished work back before
+// departing (the §III.A mechanism E7 evaluates).
+type Member struct {
+	node    *vnet.Node
+	cfg     MemberConfig
+	stats   *Stats
+	current map[TaskID]*runningTask
+	// controller is the most recently heard coordinator.
+	controller    vnet.Addr
+	controllerAt  sim.Time
+	emergencyMode bool
+	ticker        *sim.Ticker
+	stopped       bool
+	// authz tracks per-controller authorization: absent = not attempted,
+	// false = pending or denied, true = authorized.
+	authz map[vnet.Addr]bool
+	// spentOps accumulates executed work against the battery budget.
+	spentOps float64
+	depleted bool
+}
+
+// NewMember creates and starts a member agent on node.
+func NewMember(node *vnet.Node, cfg MemberConfig, stats *Stats) (*Member, error) {
+	if node == nil || stats == nil {
+		return nil, fmt.Errorf("vcloud: node and stats must not be nil")
+	}
+	if cfg.Resources.CPU <= 0 {
+		return nil, fmt.Errorf("vcloud: member CPU must be positive, got %v", cfg.Resources.CPU)
+	}
+	if cfg.CheckPeriod <= 0 {
+		cfg.CheckPeriod = time.Second
+	}
+	m := &Member{
+		node:       node,
+		cfg:        cfg,
+		stats:      stats,
+		current:    make(map[TaskID]*runningTask),
+		controller: -1,
+		authz:      make(map[vnet.Addr]bool),
+	}
+	node.Handle(kindAdv, m.onAdv)
+	node.Handle(kindTask, m.onTask)
+	t, err := node.Kernel().Every(cfg.CheckPeriod, m.tick)
+	if err != nil {
+		return nil, err
+	}
+	m.ticker = t
+	return m, nil
+}
+
+// Stop halts the member; running work is abandoned (counted as waste).
+func (m *Member) Stop() {
+	if m.stopped {
+		return
+	}
+	m.stopped = true
+	m.ticker.Stop()
+	m.node.Handle(kindAdv, nil)
+	m.node.Handle(kindTask, nil)
+	for _, rt := range m.current {
+		m.node.Kernel().Cancel(rt.doneEv)
+		m.stats.WastedOps += m.executedOps(rt)
+	}
+	m.current = make(map[TaskID]*runningTask)
+}
+
+// Controller returns the currently followed controller address (-1 when
+// none).
+func (m *Member) Controller() vnet.Addr { return m.controller }
+
+// Emergency reports whether the last advertisement carried the emergency
+// flag.
+func (m *Member) Emergency() bool { return m.emergencyMode }
+
+// Running returns the number of tasks executing locally.
+func (m *Member) Running() int { return len(m.current) }
+
+func (m *Member) onAdv(msg vnet.Message, _ vnet.Addr) {
+	if m.stopped || m.depleted {
+		return
+	}
+	adv, ok := msg.Payload.(advMsg)
+	if !ok {
+		return
+	}
+	m.emergencyMode = adv.Emergency
+	now := m.node.Kernel().Now()
+	// Follow the first controller heard; switch only after silence.
+	if m.controller < 0 || m.controller == adv.Controller || now-m.controllerAt > 5*time.Second {
+		first := m.controller != adv.Controller
+		m.controller = adv.Controller
+		m.controllerAt = now
+		if first {
+			m.join()
+		} else {
+			// Periodic re-join keeps the membership entry fresh.
+			m.join()
+		}
+	}
+}
+
+func (m *Member) join() {
+	ctl := m.controller
+	if m.cfg.Authorize != nil {
+		authorized, attempted := m.authz[ctl]
+		if !attempted {
+			m.authz[ctl] = false // pending
+			m.cfg.Authorize(ctl, func(ok bool) {
+				if m.stopped {
+					return
+				}
+				if !ok {
+					delete(m.authz, ctl) // allow retry on next adv
+					return
+				}
+				m.authz[ctl] = true
+				m.sendJoin(ctl)
+			})
+			return
+		}
+		if !authorized {
+			return // handshake pending or denied
+		}
+	}
+	m.sendJoin(ctl)
+}
+
+func (m *Member) sendJoin(ctl vnet.Addr) {
+	msg := m.node.NewMessage(ctl, kindJoin, 128, 1, joinMsg{Resources: m.cfg.Resources})
+	m.node.SendTo(ctl, msg)
+}
+
+// Leave tells the controller this member is gone (graceful departure).
+func (m *Member) Leave() {
+	if m.controller < 0 {
+		return
+	}
+	msg := m.node.NewMessage(m.controller, kindLeave, 32, 1, nil)
+	m.node.SendTo(m.controller, msg)
+}
+
+func (m *Member) executedOps(rt *runningTask) float64 {
+	elapsed := (m.node.Kernel().Now() - rt.startedAt).Seconds()
+	done := elapsed * m.cfg.Resources.CPU
+	if done > rt.ops {
+		done = rt.ops
+	}
+	if done < 0 {
+		done = 0
+	}
+	return done
+}
+
+func (m *Member) onTask(msg vnet.Message, _ vnet.Addr) {
+	if m.stopped || m.depleted {
+		return
+	}
+	tm, ok := msg.Payload.(taskMsg)
+	if !ok {
+		return
+	}
+	if m.cfg.BatteryOps > 0 {
+		committed := m.spentOps
+		for _, rt := range m.current {
+			committed += rt.ops
+		}
+		if committed+tm.RemainingOps > m.cfg.BatteryOps {
+			// Not enough battery to finish: decline silently; the
+			// controller times out and reassigns elsewhere.
+			return
+		}
+	}
+	// Queue behind current work: start when all current tasks finish.
+	// The controller's load view approximates the same queue.
+	var queued float64
+	for _, rt := range m.current {
+		queued += rt.ops - m.executedOps(rt)
+	}
+	rt := &runningTask{
+		task:       tm.Task,
+		attempt:    tm.Attempt,
+		controller: msg.Origin,
+		startedAt:  m.node.Kernel().Now() + sim.Time(queued/m.cfg.Resources.CPU*float64(time.Second)),
+		ops:        tm.RemainingOps,
+	}
+	m.current[tm.Task.ID] = rt
+	runFor := sim.Time((queued + tm.RemainingOps) / m.cfg.Resources.CPU * float64(time.Second))
+	rt.doneEv = m.node.Kernel().After(runFor, func() { m.complete(rt) })
+}
+
+func (m *Member) complete(rt *runningTask) {
+	if m.stopped {
+		return
+	}
+	if _, live := m.current[rt.task.ID]; !live {
+		return
+	}
+	delete(m.current, rt.task.ID)
+	m.spentOps += rt.ops
+	msg := m.node.NewMessage(rt.controller, kindResult, 64+rt.task.OutputBytes, 1, resultMsg{
+		ID:      rt.task.ID,
+		Attempt: rt.attempt,
+	})
+	m.node.SendTo(rt.controller, msg)
+	if m.cfg.BatteryOps > 0 && m.spentOps >= m.cfg.BatteryOps {
+		m.deplete()
+	}
+}
+
+// deplete powers the member down for cloud purposes: it leaves the
+// controller and ignores further work, preserving battery for the
+// owner's return.
+func (m *Member) deplete() {
+	if m.depleted {
+		return
+	}
+	m.depleted = true
+	m.Leave()
+}
+
+// Depleted reports whether the battery budget is spent.
+func (m *Member) Depleted() bool { return m.depleted }
+
+// SpentOps returns the executed work counted against the battery.
+func (m *Member) SpentOps() float64 { return m.spentOps }
+
+// tick checks for imminent departure and hands work over when the
+// remaining contact window cannot cover the remaining compute.
+func (m *Member) tick() {
+	if m.stopped || !m.cfg.Handover || m.cfg.DepartureWarning == nil || len(m.current) == 0 {
+		return
+	}
+	window := m.cfg.DepartureWarning()
+	// Iterate in task-ID order: handover message order must not depend
+	// on map iteration, or runs stop reproducing.
+	ids := make([]TaskID, 0, len(m.current))
+	for id := range m.current {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		rt := m.current[id]
+		remaining := rt.ops - m.executedOps(rt)
+		needed := remaining / m.cfg.Resources.CPU
+		if window > needed+1.0 {
+			continue // still time to finish
+		}
+		// Hand the remainder back to the controller.
+		m.node.Kernel().Cancel(rt.doneEv)
+		delete(m.current, id)
+		msg := m.node.NewMessage(rt.controller, kindHandover, 128, 1, handoverMsg{
+			ID:           id,
+			RemainingOps: remaining,
+			Attempt:      rt.attempt,
+		})
+		m.node.SendTo(rt.controller, msg)
+	}
+}

@@ -1,0 +1,185 @@
+package vcloud
+
+import (
+	"fmt"
+	"sort"
+
+	"vcloud/internal/metrics"
+	"vcloud/internal/vnet"
+)
+
+// FileID identifies a replicated file.
+type FileID string
+
+// ReplicaStats aggregates replication outcomes (experiment E8).
+type ReplicaStats struct {
+	Reads       metrics.Counter
+	ReadsServed metrics.Counter
+	ReReplicas  metrics.Counter
+	BytesMoved  metrics.Counter
+}
+
+// Availability returns served/attempted reads.
+func (s *ReplicaStats) Availability() float64 {
+	return metrics.Ratio(s.ReadsServed.Value(), s.Reads.Value())
+}
+
+// ReplicaManager keeps each file on K members, re-replicating as members
+// depart — the §III.A file-availability problem. It runs at the
+// controller and tracks placements; actual byte movement is charged as
+// counters (the radio cost of re-replication is exercised by the
+// experiments through task traffic; duplicating it here would
+// double-count).
+type ReplicaManager struct {
+	k      int
+	stats  *ReplicaStats
+	files  map[FileID]*fileState
+	onLine func(vnet.Addr) bool
+	// retainOffline models battery-saving sleep ([9]) instead of
+	// permanent departure: an offline holder keeps its replica and
+	// serves again when it returns. Repair still tops live replicas up
+	// to k, trimming surplus holders when sleepers return.
+	retainOffline bool
+}
+
+type fileState struct {
+	size     int
+	replicas map[vnet.Addr]struct{}
+}
+
+// NewReplicaManager creates a manager with replication factor k. onLine
+// reports whether a member currently holds its replicas reachable (in
+// range, powered); the controller wires this to its membership view.
+func NewReplicaManager(k int, onLine func(vnet.Addr) bool, stats *ReplicaStats) (*ReplicaManager, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("vcloud: replication factor must be >= 1, got %d", k)
+	}
+	if onLine == nil {
+		return nil, fmt.Errorf("vcloud: onLine predicate must not be nil")
+	}
+	if stats == nil {
+		return nil, fmt.Errorf("vcloud: stats must not be nil")
+	}
+	return &ReplicaManager{
+		k:      k,
+		stats:  stats,
+		files:  make(map[FileID]*fileState),
+		onLine: onLine,
+	}, nil
+}
+
+// SetRetainOffline switches the churn model: when true, offline members
+// are asleep (battery saving) and keep their replicas; when false (the
+// default), offline means departed and the replica is lost.
+func (r *ReplicaManager) SetRetainOffline(retain bool) { r.retainOffline = retain }
+
+// Store places a file on up to k of the given candidate members
+// (deterministically: lowest addresses first). It returns how many
+// replicas were placed.
+func (r *ReplicaManager) Store(id FileID, size int, candidates []vnet.Addr) int {
+	fs := &fileState{size: size, replicas: make(map[vnet.Addr]struct{})}
+	r.files[id] = fs
+	sorted := append([]vnet.Addr(nil), candidates...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, a := range sorted {
+		if len(fs.replicas) >= r.k {
+			break
+		}
+		if !r.onLine(a) {
+			continue
+		}
+		fs.replicas[a] = struct{}{}
+		r.stats.BytesMoved.Add(size)
+	}
+	return len(fs.replicas)
+}
+
+// Read attempts to fetch the file: it succeeds when at least one replica
+// holder is online.
+func (r *ReplicaManager) Read(id FileID) bool {
+	r.stats.Reads.Inc()
+	fs, ok := r.files[id]
+	if !ok {
+		return false
+	}
+	for a := range fs.replicas {
+		if r.onLine(a) {
+			r.stats.ReadsServed.Inc()
+			return true
+		}
+	}
+	return false
+}
+
+// Repair drops offline holders and re-replicates onto online candidates
+// until each file has k live replicas again. It returns the number of
+// new replicas created. Call it periodically (the controller's tick) —
+// repair only helps while at least one live replica remains to copy
+// from.
+func (r *ReplicaManager) Repair(candidates []vnet.Addr) int {
+	sorted := append([]vnet.Addr(nil), candidates...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	created := 0
+	for _, fs := range r.files {
+		live := 0
+		for a := range fs.replicas {
+			if r.onLine(a) {
+				live++
+			} else if !r.retainOffline {
+				delete(fs.replicas, a)
+			}
+		}
+		if live == 0 {
+			continue // nothing reachable to copy from
+		}
+		for _, a := range sorted {
+			if live >= r.k {
+				break
+			}
+			if _, has := fs.replicas[a]; has || !r.onLine(a) {
+				continue
+			}
+			fs.replicas[a] = struct{}{}
+			live++
+			created++
+			r.stats.ReReplicas.Inc()
+			r.stats.BytesMoved.Add(fs.size)
+		}
+		// Returned sleepers can leave the file over-replicated: trim
+		// surplus, dropping offline holders first (deterministically).
+		if r.retainOffline && len(fs.replicas) > r.k {
+			holders := make([]vnet.Addr, 0, len(fs.replicas))
+			for a := range fs.replicas {
+				holders = append(holders, a)
+			}
+			sort.Slice(holders, func(i, j int) bool {
+				oi, oj := r.onLine(holders[i]), r.onLine(holders[j])
+				if oi != oj {
+					return !oi // offline first
+				}
+				return holders[i] > holders[j]
+			})
+			for _, a := range holders {
+				if len(fs.replicas) <= r.k {
+					break
+				}
+				if live > r.k || !r.onLine(a) {
+					if r.onLine(a) {
+						live--
+					}
+					delete(fs.replicas, a)
+				}
+			}
+		}
+	}
+	return created
+}
+
+// Replicas returns the current holder count of a file.
+func (r *ReplicaManager) Replicas(id FileID) int {
+	fs, ok := r.files[id]
+	if !ok {
+		return 0
+	}
+	return len(fs.replicas)
+}

@@ -1,0 +1,119 @@
+package vcloud_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"vcloud/internal/auth"
+	"vcloud/internal/pki"
+	"vcloud/internal/vcloud"
+	"vcloud/internal/vnet"
+)
+
+func newSecureRig(t *testing.T, scheme auth.Scheme) (*vcloud.SecureDeployment, *pki.TA, *vcloud.Stats, *auth.Metrics, func(d time.Duration)) {
+	t.Helper()
+	s := parkingScenario(t, 10)
+	ta, err := pki.New("TA", rand.New(rand.NewSource(31)), pki.Config{PoolSize: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := &vcloud.Stats{}
+	met := &auth.Metrics{}
+	sd, err := vcloud.DeploySecure(s, vcloud.Stationary, vcloud.DeployConfig{},
+		vcloud.Security{TA: ta, Scheme: scheme, Metrics: met}, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return sd, ta, stats, met, func(d time.Duration) {
+		if err := s.RunFor(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSecureCloudMembersAuthenticateBeforeJoining(t *testing.T) {
+	for _, scheme := range []auth.Scheme{auth.Pseudonym, auth.Group, auth.Hybrid} {
+		t.Run(scheme.String(), func(t *testing.T) {
+			sd, _, stats, met, run := newSecureRig(t, scheme)
+			run(15 * time.Second)
+			gate := sd.Controllers[0]
+			if gate.NumMembers() < 8 {
+				t.Fatalf("members = %d, want most of 10 authenticated in", gate.NumMembers())
+			}
+			if met.Successes.Value() < uint64(gate.NumMembers()) {
+				t.Errorf("members joined (%d) without enough successful handshakes (%d)",
+					gate.NumMembers(), met.Successes.Value())
+			}
+			// The secured cloud still computes.
+			done := 0
+			for i := 0; i < 5; i++ {
+				if err := sd.SubmitAnywhere(vcloud.Task{Ops: 500}, func(r vcloud.TaskResult) {
+					if r.OK {
+						done++
+					}
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			run(30 * time.Second)
+			if done != 5 {
+				t.Errorf("secure cloud completed %d/5 tasks (failed=%d)", done, stats.Failed.Value())
+			}
+		})
+	}
+}
+
+func TestSecureCloudExcludesRevokedVehicle(t *testing.T) {
+	s := parkingScenario(t, 8)
+	ta, err := pki.New("TA", rand.New(rand.NewSource(32)), pki.Config{PoolSize: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := &vcloud.Stats{}
+	met := &auth.Metrics{}
+	sd, err := vcloud.DeploySecure(s, vcloud.Stationary, vcloud.DeployConfig{},
+		vcloud.Security{TA: ta, Scheme: auth.Hybrid, Metrics: met}, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Revoke vehicle 0 before the cloud forms.
+	if err := ta.RevokeVehicle("veh-0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunFor(20 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	gate := sd.Controllers[0]
+	for _, m := range gate.Members() {
+		if m == vnet.Addr(0) {
+			t.Fatal("revoked vehicle 0 joined the secure cloud")
+		}
+	}
+	if gate.NumMembers() < 5 {
+		t.Errorf("members = %d; honest vehicles should still join", gate.NumMembers())
+	}
+	if met.Failures.Value() == 0 {
+		t.Error("the revoked vehicle's handshakes should have been rejected")
+	}
+}
+
+func TestDeploySecureValidation(t *testing.T) {
+	s := parkingScenario(t, 2)
+	stats := &vcloud.Stats{}
+	if _, err := vcloud.DeploySecure(s, vcloud.Stationary, vcloud.DeployConfig{},
+		vcloud.Security{}, stats); err == nil {
+		t.Error("missing TA should error")
+	}
+	ta, _ := pki.New("TA", rand.New(rand.NewSource(1)), pki.Config{})
+	if _, err := vcloud.DeploySecure(s, vcloud.Stationary, vcloud.DeployConfig{},
+		vcloud.Security{TA: ta}, stats); err == nil {
+		t.Error("missing metrics should error")
+	}
+}

@@ -1,0 +1,96 @@
+package vnet
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"vcloud/internal/geo"
+	"vcloud/internal/radio"
+	"vcloud/internal/sim"
+)
+
+// TestSeenDedupProperty: over any message stream, Seen returns true for
+// a message iff the same (origin, seq) was recorded within the dedup
+// window capacity; the table never exceeds its capacity.
+func TestSeenDedupProperty(t *testing.T) {
+	k := sim.NewKernel(1)
+	bounds := geo.NewRect(geo.Point{X: 0, Y: 0}, geo.Point{X: 100, Y: 100})
+	m, err := radio.NewMedium(k, bounds, radio.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(6))
+	f := func(raw []uint16, cap8 uint8) bool {
+		capacity := int(cap8%32) + 4
+		n, err := NewNode(k, m, Addr(rng.Int31()), Config{DedupCapacity: capacity},
+			func() (geo.Point, float64, float64) { return geo.Point{}, 0, 0 })
+		if err != nil {
+			return false
+		}
+		// Reference model: an ordered list of recorded keys bounded by
+		// capacity (FIFO eviction).
+		type key struct {
+			o Addr
+			s uint32
+		}
+		var order []key
+		inModel := func(x key) bool {
+			for _, e := range order {
+				if e == x {
+					return true
+				}
+			}
+			return false
+		}
+		for _, r := range raw {
+			x := key{Addr(r % 5), uint32(r%11) + 1}
+			msg := Message{Origin: x.o, Seq: x.s}
+			got := n.Seen(msg)
+			want := inModel(x)
+			if got != want {
+				return false
+			}
+			if !want {
+				order = append(order, x)
+				if len(order) > capacity {
+					order = order[1:]
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestNeighborTableNeverReturnsExpiredProperty: rows older than the TTL
+// are never visible through Neighbors or Neighbor.
+func TestNeighborTableNeverReturnsExpiredProperty(t *testing.T) {
+	k := sim.NewKernel(2)
+	bounds := geo.NewRect(geo.Point{X: 0, Y: 0}, geo.Point{X: 100, Y: 100})
+	m, err := radio.NewMedium(k, bounds, radio.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := NewNode(k, m, 1, Config{NeighborTTL: 2 * time.Second},
+		func() (geo.Point, float64, float64) { return geo.Point{}, 0, 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inject beacons directly through the receive path at varied times.
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		from := Addr(rng.Intn(20) + 100)
+		n.receive(radio.Frame{From: radio.NodeID(from), Payload: Beacon{From: from}})
+		k.After(sim.Time(rng.Intn(500))*time.Millisecond, func() {})
+		k.Run(k.Now() + sim.Time(rng.Intn(500))*time.Millisecond)
+		for _, nb := range n.Neighbors(nil) {
+			if k.Now()-nb.LastSeen > 2*time.Second {
+				t.Fatalf("expired neighbor %d visible (age %v)", nb.Addr, k.Now()-nb.LastSeen)
+			}
+		}
+	}
+}

@@ -1,0 +1,362 @@
+// Package vnet is the VANET message layer between the raw radio medium
+// and the protocol stacks (routing, clustering, auth, vcloud). It gives
+// each node:
+//
+//   - periodic beaconing ("hello" messages carrying position, speed,
+//     heading and a protocol-defined extension),
+//   - a neighbor table built from received beacons with expiry,
+//   - typed message dispatch (handlers keyed by message kind), and
+//   - duplicate suppression for multi-hop dissemination.
+//
+// Every multi-hop protocol in this repository forwards hop-by-hop through
+// real radio sends, so loss, delay and contention all apply at each hop —
+// the property the paper's "frequently interrupted links" challenge is
+// about.
+package vnet
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"vcloud/internal/geo"
+	"vcloud/internal/radio"
+	"vcloud/internal/sim"
+)
+
+// Addr is a network address (same space as radio.NodeID).
+type Addr = radio.NodeID
+
+// BroadcastAddr addresses all nodes in radio range.
+const BroadcastAddr = radio.Broadcast
+
+// Beacon is the periodic hello payload.
+type Beacon struct {
+	From    Addr
+	Pos     geo.Point
+	Speed   float64
+	Heading float64
+	// Ext carries protocol state piggybacked on beacons (e.g. cluster
+	// membership, zone ids). Nil when the protocol attaches nothing.
+	Ext any
+}
+
+// BeaconSize is the on-air size in bytes of a beacon (BSM-like).
+const BeaconSize = 300
+
+// Neighbor is a row in the neighbor table.
+type Neighbor struct {
+	Addr     Addr
+	Pos      geo.Point
+	Speed    float64
+	Heading  float64
+	Ext      any
+	LastSeen sim.Time
+}
+
+// Message is a typed protocol message, possibly relayed over multiple
+// hops. The (Origin, Seq) pair uniquely identifies it for duplicate
+// suppression.
+type Message struct {
+	Origin  Addr
+	Seq     uint32
+	Dest    Addr // final destination; BroadcastAddr for dissemination
+	Kind    string
+	TTL     int // hops remaining; decremented by Forward
+	Size    int
+	Payload any
+	// OriginatedAt is stamped by the sender for latency measurement.
+	OriginatedAt sim.Time
+}
+
+// Handler processes a received message. relayer is the one-hop sender the
+// frame physically arrived from (== Origin on the first hop).
+type Handler func(msg Message, relayer Addr)
+
+// BeaconFunc observes a received beacon.
+type BeaconFunc func(b Beacon)
+
+// Config configures a node.
+type Config struct {
+	// BeaconPeriod is the hello interval; 0 disables beaconing.
+	BeaconPeriod sim.Time
+	// NeighborTTL is how long a neighbor entry survives without a fresh
+	// beacon. Defaults to 3 beacon periods.
+	NeighborTTL sim.Time
+	// DedupCapacity bounds the duplicate-suppression table. Defaults to
+	// 4096 entries.
+	DedupCapacity int
+}
+
+// Node is one protocol endpoint (vehicle OBU or RSU).
+type Node struct {
+	addr   Addr
+	kernel *sim.Kernel
+	medium *radio.Medium
+	cfg    Config
+
+	neighbors map[Addr]Neighbor
+	handlers  map[string]Handler
+	onBeacon  []BeaconFunc
+	// beaconExt is called to fill Beacon.Ext on each transmission.
+	beaconExt func() any
+	// stateFn supplies this node's own kinematics for beacons.
+	stateFn func() (pos geo.Point, speed, heading float64)
+
+	seq      uint32
+	seen     map[dedupKey]struct{}
+	seenRing []dedupKey
+	seenHead int
+
+	ticker  *sim.Ticker
+	stopped bool
+}
+
+type dedupKey struct {
+	origin Addr
+	seq    uint32
+}
+
+// NewNode creates a node on the medium. stateFn supplies the node's
+// kinematics when beaconing (for a static RSU, return a constant).
+func NewNode(kernel *sim.Kernel, medium *radio.Medium, addr Addr, cfg Config, stateFn func() (geo.Point, float64, float64)) (*Node, error) {
+	if kernel == nil || medium == nil {
+		return nil, fmt.Errorf("vnet: kernel and medium must not be nil")
+	}
+	if stateFn == nil {
+		return nil, fmt.Errorf("vnet: stateFn must not be nil")
+	}
+	if cfg.NeighborTTL <= 0 {
+		if cfg.BeaconPeriod > 0 {
+			cfg.NeighborTTL = 3 * cfg.BeaconPeriod
+		} else {
+			cfg.NeighborTTL = 3 * time.Second
+		}
+	}
+	if cfg.DedupCapacity <= 0 {
+		cfg.DedupCapacity = 4096
+	}
+	n := &Node{
+		addr:      addr,
+		kernel:    kernel,
+		medium:    medium,
+		cfg:       cfg,
+		neighbors: make(map[Addr]Neighbor),
+		handlers:  make(map[string]Handler),
+		stateFn:   stateFn,
+		seen:      make(map[dedupKey]struct{}, cfg.DedupCapacity),
+		seenRing:  make([]dedupKey, cfg.DedupCapacity),
+	}
+	medium.Register(addr, n.receive)
+	return n, nil
+}
+
+// Addr returns the node's address.
+func (n *Node) Addr() Addr { return n.addr }
+
+// Start begins beaconing (if configured). Safe to call once.
+func (n *Node) Start() error {
+	if n.cfg.BeaconPeriod <= 0 {
+		return nil
+	}
+	if n.ticker != nil {
+		return fmt.Errorf("vnet: node %d already started", n.addr)
+	}
+	t, err := n.kernel.Every(n.cfg.BeaconPeriod, n.sendBeacon)
+	if err != nil {
+		return err
+	}
+	n.ticker = t
+	return nil
+}
+
+// Stop halts beaconing and detaches from the medium.
+func (n *Node) Stop() {
+	if n.stopped {
+		return
+	}
+	n.stopped = true
+	if n.ticker != nil {
+		n.ticker.Stop()
+	}
+	n.medium.Unregister(n.addr)
+}
+
+// SetBeaconExt installs a function that supplies Beacon.Ext.
+func (n *Node) SetBeaconExt(fn func() any) { n.beaconExt = fn }
+
+// OnBeacon registers an observer for received beacons.
+func (n *Node) OnBeacon(fn BeaconFunc) {
+	if fn != nil {
+		n.onBeacon = append(n.onBeacon, fn)
+	}
+}
+
+// Handle registers the handler for a message kind, replacing any previous
+// one. A nil handler unregisters.
+func (n *Node) Handle(kind string, h Handler) {
+	if h == nil {
+		delete(n.handlers, kind)
+		return
+	}
+	n.handlers[kind] = h
+}
+
+func (n *Node) sendBeacon() {
+	if n.stopped {
+		return
+	}
+	pos, speed, heading := n.stateFn()
+	b := Beacon{From: n.addr, Pos: pos, Speed: speed, Heading: heading}
+	if n.beaconExt != nil {
+		b.Ext = n.beaconExt()
+	}
+	n.medium.Send(n.addr, radio.Broadcast, BeaconSize, b)
+}
+
+// NewMessage builds a fresh message originated here.
+func (n *Node) NewMessage(dest Addr, kind string, size, ttl int, payload any) Message {
+	n.seq++
+	if size < 1 {
+		size = 1
+	}
+	if ttl < 1 {
+		ttl = 1
+	}
+	return Message{
+		Origin:       n.addr,
+		Seq:          n.seq,
+		Dest:         dest,
+		Kind:         kind,
+		TTL:          ttl,
+		Size:         size,
+		Payload:      payload,
+		OriginatedAt: n.kernel.Now(),
+	}
+}
+
+// SendTo transmits msg one hop to the given next-hop address.
+func (n *Node) SendTo(next Addr, msg Message) {
+	n.medium.Send(n.addr, next, msg.Size, msg)
+}
+
+// BroadcastLocal transmits msg one hop to all nodes in range.
+func (n *Node) BroadcastLocal(msg Message) {
+	n.medium.Send(n.addr, radio.Broadcast, msg.Size, msg)
+}
+
+// Forward relays a received message one more hop after decrementing TTL.
+// It reports false when the TTL is exhausted (message not sent).
+func (n *Node) Forward(next Addr, msg Message) bool {
+	msg.TTL--
+	if msg.TTL <= 0 {
+		return false
+	}
+	n.medium.Send(n.addr, next, msg.Size, msg)
+	return true
+}
+
+// Seen reports whether the message was already received here, recording
+// it as seen if not. Protocols call this before processing disseminated
+// messages.
+func (n *Node) Seen(msg Message) bool {
+	k := dedupKey{msg.Origin, msg.Seq}
+	if _, ok := n.seen[k]; ok {
+		return true
+	}
+	// Evict the slot this write will occupy (ring overwrite).
+	old := n.seenRing[n.seenHead]
+	if old != (dedupKey{}) {
+		delete(n.seen, old)
+	}
+	n.seenRing[n.seenHead] = k
+	n.seenHead = (n.seenHead + 1) % len(n.seenRing)
+	n.seen[k] = struct{}{}
+	return false
+}
+
+func (n *Node) receive(f radio.Frame) {
+	if n.stopped {
+		return
+	}
+	switch p := f.Payload.(type) {
+	case Beacon:
+		n.neighbors[p.From] = Neighbor{
+			Addr:     p.From,
+			Pos:      p.Pos,
+			Speed:    p.Speed,
+			Heading:  p.Heading,
+			Ext:      p.Ext,
+			LastSeen: n.kernel.Now(),
+		}
+		for _, fn := range n.onBeacon {
+			fn(p)
+		}
+	case Message:
+		if h, ok := n.handlers[p.Kind]; ok {
+			h(p, f.From)
+		}
+	}
+}
+
+// Neighbors appends live (non-expired) neighbor rows to dst in ascending
+// address order and returns it. The ordering is load-bearing: protocol
+// code iterates this slice to pick next hops and cluster heads, and
+// tie-breaks must not depend on map iteration for runs to reproduce.
+// Rows are copies; mutation is safe.
+func (n *Node) Neighbors(dst []Neighbor) []Neighbor {
+	now := n.kernel.Now()
+	start := len(dst)
+	for addr, nb := range n.neighbors {
+		if now-nb.LastSeen > n.cfg.NeighborTTL {
+			delete(n.neighbors, addr)
+			continue
+		}
+		dst = append(dst, nb)
+	}
+	added := dst[start:]
+	sort.Slice(added, func(i, j int) bool { return added[i].Addr < added[j].Addr })
+	return dst
+}
+
+// Neighbor returns the live entry for addr.
+func (n *Node) Neighbor(addr Addr) (Neighbor, bool) {
+	nb, ok := n.neighbors[addr]
+	if !ok {
+		return Neighbor{}, false
+	}
+	if n.kernel.Now()-nb.LastSeen > n.cfg.NeighborTTL {
+		delete(n.neighbors, addr)
+		return Neighbor{}, false
+	}
+	return nb, true
+}
+
+// NumNeighbors returns the live neighbor count.
+func (n *Node) NumNeighbors() int {
+	return len(n.Neighbors(nil))
+}
+
+// Kernel returns the simulation kernel (for protocol timers).
+func (n *Node) Kernel() *sim.Kernel { return n.kernel }
+
+// Medium returns the underlying radio medium.
+func (n *Node) Medium() *radio.Medium { return n.medium }
+
+// Position returns the node's current position per its state function.
+func (n *Node) Position() geo.Point {
+	p, _, _ := n.stateFn()
+	return p
+}
+
+// Speed returns the node's current speed per its state function.
+func (n *Node) Speed() float64 {
+	_, s, _ := n.stateFn()
+	return s
+}
+
+// Heading returns the node's current heading per its state function.
+func (n *Node) Heading() float64 {
+	_, _, h := n.stateFn()
+	return h
+}

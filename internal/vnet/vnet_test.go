@@ -1,0 +1,349 @@
+package vnet
+
+import (
+	"testing"
+	"time"
+
+	"vcloud/internal/geo"
+	"vcloud/internal/radio"
+	"vcloud/internal/sim"
+)
+
+type rig struct {
+	k *sim.Kernel
+	m *radio.Medium
+}
+
+func newRig(t testing.TB, seed int64) *rig {
+	t.Helper()
+	k := sim.NewKernel(seed)
+	bounds := geo.NewRect(geo.Point{X: 0, Y: 0}, geo.Point{X: 5000, Y: 5000})
+	m, err := radio.NewMedium(k, bounds, radio.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &rig{k: k, m: m}
+}
+
+// staticNode creates a node at a fixed position.
+func (r *rig) staticNode(t testing.TB, addr Addr, pos geo.Point, cfg Config) *Node {
+	t.Helper()
+	r.m.UpdatePosition(addr, pos)
+	n, err := NewNode(r.k, r.m, addr, cfg, func() (geo.Point, float64, float64) {
+		return pos, 0, 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestNewNodeValidation(t *testing.T) {
+	r := newRig(t, 1)
+	if _, err := NewNode(nil, r.m, 1, Config{}, func() (geo.Point, float64, float64) { return geo.Point{}, 0, 0 }); err == nil {
+		t.Error("nil kernel should error")
+	}
+	if _, err := NewNode(r.k, nil, 1, Config{}, func() (geo.Point, float64, float64) { return geo.Point{}, 0, 0 }); err == nil {
+		t.Error("nil medium should error")
+	}
+	if _, err := NewNode(r.k, r.m, 1, Config{}, nil); err == nil {
+		t.Error("nil stateFn should error")
+	}
+}
+
+func TestBeaconingBuildsNeighborTables(t *testing.T) {
+	r := newRig(t, 1)
+	cfg := Config{BeaconPeriod: 100 * time.Millisecond}
+	a := r.staticNode(t, 1, geo.Point{X: 1000, Y: 1000}, cfg)
+	b := r.staticNode(t, 2, geo.Point{X: 1100, Y: 1000}, cfg)
+	c := r.staticNode(t, 3, geo.Point{X: 4000, Y: 4000}, cfg) // far away
+	for _, n := range []*Node{a, b, c} {
+		if err := n.Start(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.k.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.NumNeighbors(); got != 1 {
+		t.Errorf("a neighbors = %d, want 1", got)
+	}
+	nb, ok := a.Neighbor(2)
+	if !ok {
+		t.Fatal("a should know b")
+	}
+	if nb.Pos != (geo.Point{X: 1100, Y: 1000}) {
+		t.Errorf("neighbor pos = %v", nb.Pos)
+	}
+	if _, ok := a.Neighbor(3); ok {
+		t.Error("a should not know far-away c")
+	}
+	if got := c.NumNeighbors(); got != 0 {
+		t.Errorf("c neighbors = %d, want 0", got)
+	}
+}
+
+func TestNeighborExpiry(t *testing.T) {
+	r := newRig(t, 1)
+	cfg := Config{BeaconPeriod: 100 * time.Millisecond}
+	a := r.staticNode(t, 1, geo.Point{X: 1000, Y: 1000}, cfg)
+	b := r.staticNode(t, 2, geo.Point{X: 1100, Y: 1000}, cfg)
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.k.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := a.Neighbor(2); !ok {
+		t.Fatal("a should know b")
+	}
+	// b goes silent; after 3 beacon periods the entry must expire.
+	b.Stop()
+	if err := r.k.Run(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := a.Neighbor(2); ok {
+		t.Error("stale neighbor should expire")
+	}
+	if a.NumNeighbors() != 0 {
+		t.Error("neighbor table should be empty")
+	}
+}
+
+func TestBeaconExtPropagates(t *testing.T) {
+	r := newRig(t, 1)
+	cfg := Config{BeaconPeriod: 100 * time.Millisecond}
+	a := r.staticNode(t, 1, geo.Point{X: 1000, Y: 1000}, cfg)
+	b := r.staticNode(t, 2, geo.Point{X: 1100, Y: 1000}, cfg)
+	a.SetBeaconExt(func() any { return "cluster-7" })
+	var observed any
+	b.OnBeacon(func(bc Beacon) { observed = bc.Ext })
+	b.OnBeacon(nil) // ignored
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.k.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if observed != "cluster-7" {
+		t.Errorf("beacon ext = %v", observed)
+	}
+	nb, ok := b.Neighbor(1)
+	if !ok || nb.Ext != "cluster-7" {
+		t.Errorf("neighbor ext = %v, ok=%v", nb.Ext, ok)
+	}
+}
+
+func TestTypedMessageDispatch(t *testing.T) {
+	r := newRig(t, 1)
+	a := r.staticNode(t, 1, geo.Point{X: 1000, Y: 1000}, Config{})
+	b := r.staticNode(t, 2, geo.Point{X: 1100, Y: 1000}, Config{})
+	var got []string
+	b.Handle("ping", func(m Message, relayer Addr) {
+		got = append(got, m.Payload.(string))
+		if relayer != 1 {
+			t.Errorf("relayer = %d, want 1", relayer)
+		}
+	})
+	a.SendTo(2, a.NewMessage(2, "ping", 100, 4, "one"))
+	a.SendTo(2, a.NewMessage(2, "other-kind", 100, 4, "two")) // no handler
+	if err := r.k.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != "one" {
+		t.Errorf("got = %v", got)
+	}
+	// Unregister.
+	b.Handle("ping", nil)
+	a.SendTo(2, a.NewMessage(2, "ping", 100, 4, "three"))
+	if err := r.k.Run(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Error("handler ran after unregister")
+	}
+}
+
+func TestMessageDefaultsAndSeq(t *testing.T) {
+	r := newRig(t, 1)
+	a := r.staticNode(t, 1, geo.Point{X: 1000, Y: 1000}, Config{})
+	m1 := a.NewMessage(2, "k", 0, 0, nil)
+	m2 := a.NewMessage(2, "k", 0, 0, nil)
+	if m1.Size != 1 || m1.TTL != 1 {
+		t.Errorf("defaults: %+v", m1)
+	}
+	if m2.Seq == m1.Seq {
+		t.Error("sequence numbers must increase")
+	}
+	if m1.Origin != 1 {
+		t.Errorf("origin = %d", m1.Origin)
+	}
+}
+
+func TestForwardDecrementsTTL(t *testing.T) {
+	r := newRig(t, 1)
+	a := r.staticNode(t, 1, geo.Point{X: 1000, Y: 1000}, Config{})
+	b := r.staticNode(t, 2, geo.Point{X: 1100, Y: 1000}, Config{})
+	c := r.staticNode(t, 3, geo.Point{X: 1200, Y: 1000}, Config{})
+	var reachedC bool
+	b.Handle("relay", func(m Message, _ Addr) {
+		if !b.Forward(3, m) {
+			t.Error("forward with TTL 2 should succeed")
+		}
+	})
+	c.Handle("relay", func(m Message, relayer Addr) {
+		reachedC = true
+		if m.TTL != 1 {
+			t.Errorf("TTL at c = %d, want 1", m.TTL)
+		}
+		if relayer != 2 {
+			t.Errorf("relayer = %d, want 2", relayer)
+		}
+		if m.Origin != 1 {
+			t.Errorf("origin = %d, want 1", m.Origin)
+		}
+		// TTL exhausted: further forwarding must fail.
+		if c.Forward(1, m) {
+			t.Error("forward with TTL 1 should fail")
+		}
+	})
+	a.SendTo(2, a.NewMessage(3, "relay", 100, 2, nil))
+	if err := r.k.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !reachedC {
+		t.Fatal("message did not reach c")
+	}
+}
+
+func TestSeenDeduplicates(t *testing.T) {
+	r := newRig(t, 1)
+	a := r.staticNode(t, 1, geo.Point{X: 1000, Y: 1000}, Config{})
+	m := a.NewMessage(BroadcastAddr, "flood", 100, 8, nil)
+	if a.Seen(m) {
+		t.Error("first Seen should be false")
+	}
+	if !a.Seen(m) {
+		t.Error("second Seen should be true")
+	}
+	m2 := a.NewMessage(BroadcastAddr, "flood", 100, 8, nil)
+	if a.Seen(m2) {
+		t.Error("different seq should not be seen")
+	}
+}
+
+func TestSeenEvictionBounded(t *testing.T) {
+	r := newRig(t, 1)
+	a := r.staticNode(t, 1, geo.Point{X: 1000, Y: 1000}, Config{DedupCapacity: 8})
+	msgs := make([]Message, 20)
+	for i := range msgs {
+		msgs[i] = a.NewMessage(BroadcastAddr, "flood", 100, 8, nil)
+		a.Seen(msgs[i])
+	}
+	// The oldest entries must have been evicted (capacity 8), so they are
+	// no longer "seen".
+	if a.Seen(msgs[0]) {
+		t.Error("oldest entry should have been evicted")
+	}
+	// Recent ones are still tracked... msgs[19] was just re-added above?
+	// No: Seen(msgs[0]) re-recorded msgs[0]. Check msgs[19] which is
+	// within the last 8 inserts.
+	if !a.Seen(msgs[19]) {
+		t.Error("recent entry should still be seen")
+	}
+	if len(a.seen) > 8 {
+		t.Errorf("dedup table grew to %d, cap 8", len(a.seen))
+	}
+}
+
+func TestStopDetaches(t *testing.T) {
+	r := newRig(t, 1)
+	cfg := Config{BeaconPeriod: 100 * time.Millisecond}
+	a := r.staticNode(t, 1, geo.Point{X: 1000, Y: 1000}, cfg)
+	b := r.staticNode(t, 2, geo.Point{X: 1100, Y: 1000}, cfg)
+	got := 0
+	b.Handle("x", func(Message, Addr) { got++ })
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	b.Stop()
+	b.Stop() // double stop safe
+	a.SendTo(2, a.NewMessage(2, "x", 100, 1, nil))
+	if err := r.k.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Error("stopped node processed a message")
+	}
+}
+
+func TestDoubleStartErrors(t *testing.T) {
+	r := newRig(t, 1)
+	a := r.staticNode(t, 1, geo.Point{X: 1000, Y: 1000}, Config{BeaconPeriod: time.Second})
+	if err := a.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start(); err == nil {
+		t.Error("double Start should error")
+	}
+	// Zero beacon period: Start is a no-op and repeatable.
+	b := r.staticNode(t, 2, geo.Point{X: 1200, Y: 1000}, Config{})
+	if err := b.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Start(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	r := newRig(t, 1)
+	pos := geo.Point{X: 1000, Y: 1000}
+	n, err := NewNode(r.k, r.m, 7, Config{}, func() (geo.Point, float64, float64) {
+		return pos, 12.5, 1.25
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Addr() != 7 || n.Position() != pos || n.Speed() != 12.5 || n.Heading() != 1.25 {
+		t.Error("accessors wrong")
+	}
+	if n.Kernel() != r.k || n.Medium() != r.m {
+		t.Error("kernel/medium accessors wrong")
+	}
+}
+
+func TestMultiHopLatencyAccounted(t *testing.T) {
+	// A 3-hop relay chain: total delivery latency must exceed 3 tx delays.
+	r := newRig(t, 2)
+	nodes := make([]*Node, 4)
+	for i := range nodes {
+		nodes[i] = r.staticNode(t, Addr(i+1), geo.Point{X: 1000 + float64(i)*140, Y: 1000}, Config{})
+	}
+	var arrival sim.Time
+	for i := 1; i < 4; i++ {
+		i := i
+		nodes[i].Handle("chain", func(m Message, _ Addr) {
+			if i == 3 {
+				arrival = r.k.Now() - m.OriginatedAt
+				return
+			}
+			nodes[i].Forward(Addr(i+2), m)
+		})
+	}
+	msg := nodes[0].NewMessage(4, "chain", 1500, 8, nil)
+	nodes[0].SendTo(2, msg)
+	if err := r.k.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if arrival == 0 {
+		t.Fatal("message did not arrive")
+	}
+	// Each 1500 B hop at 6 Mbps = 2 ms; 3 hops ≥ 6 ms.
+	if arrival < 6*time.Millisecond {
+		t.Errorf("3-hop latency = %v, want >= 6ms", arrival)
+	}
+}

@@ -1,0 +1,266 @@
+// Package vcloud is a vehicular-cloud simulation and orchestration
+// library: a from-scratch Go reproduction of the system envisioned in
+//
+//	Kang, Lin, Bertino, Tonguz. "From Autonomous Vehicles to Vehicular
+//	Clouds: Challenges of Management, Security and Dependability."
+//	IEEE ICDCS 2019.
+//
+// It provides, on top of a deterministic discrete-event kernel:
+//
+//   - road networks, IDM vehicle mobility and a lossy DSRC-like radio;
+//   - VANET clustering (lowest-ID, mobility-similarity, multi-hop
+//     passive) and routing (MoZo, greedy-geographic, AODV, epidemic);
+//   - the three vehicular-cloud architectures of the paper's Fig. 4
+//     (stationary, infrastructure-based, dynamic) with dwell-aware task
+//     scheduling, task handover and file replication;
+//   - privacy-preserving security: pseudonym/group/hybrid
+//     authentication over a TA-rooted PKI, attribute-based access
+//     control with sticky data–policy packages, and real-time message
+//     trustworthiness validation;
+//   - the adversary models of the paper's §III threat list, and the
+//     E1–E10 experiment suite that operationalizes every figure and
+//     claim (see DESIGN.md and EXPERIMENTS.md).
+//
+// This root package is the public facade: it re-exports the library's
+// main types under one import and offers high-level constructors for
+// the common scenarios. The examples/ directory shows complete
+// programs; internal packages remain importable inside this module for
+// advanced composition.
+package vcloud
+
+import (
+	"fmt"
+	mrand "math/rand"
+	"time"
+
+	"vcloud/internal/auth"
+	"vcloud/internal/cluster"
+	"vcloud/internal/experiments"
+	"vcloud/internal/geo"
+	"vcloud/internal/mobility"
+	"vcloud/internal/pki"
+	"vcloud/internal/roadnet"
+	"vcloud/internal/scenario"
+	"vcloud/internal/sim"
+	"vcloud/internal/vcloud"
+)
+
+// Core simulation types.
+type (
+	// Scenario is a wired simulation: kernel, radio, mobility and one
+	// network node per vehicle.
+	Scenario = scenario.Scenario
+	// ScenarioSpec configures scenario construction.
+	ScenarioSpec = scenario.Spec
+	// Point is a 2-D position in meters.
+	Point = geo.Point
+	// Duration is virtual simulation time.
+	Duration = sim.Time
+	// VehicleID identifies a vehicle.
+	VehicleID = mobility.VehicleID
+	// Profile describes a vehicle's driving and equipment profile.
+	Profile = mobility.Profile
+)
+
+// Vehicular-cloud types.
+type (
+	// Cloud is a deployed vehicular cloud (controllers + members).
+	Cloud = vcloud.Deployment
+	// CloudConfig tunes a deployment.
+	CloudConfig = vcloud.DeployConfig
+	// CloudStats aggregates task outcomes.
+	CloudStats = vcloud.Stats
+	// Task is a unit of offloadable computation.
+	Task = vcloud.Task
+	// TaskResult reports a finished task.
+	TaskResult = vcloud.TaskResult
+	// Architecture selects stationary / infrastructure / dynamic.
+	Architecture = vcloud.Architecture
+)
+
+// The three Fig. 4 architectures.
+const (
+	Stationary     = vcloud.Stationary
+	Infrastructure = vcloud.Infrastructure
+	Dynamic        = vcloud.Dynamic
+)
+
+// Security types (the §V.A secure v-cloud architecture).
+type (
+	// Security configures authenticated cloud formation.
+	Security = vcloud.Security
+	// SecureCloud is a deployment whose membership is authentication-gated.
+	SecureCloud = vcloud.SecureDeployment
+	// AuthMetrics aggregates handshake telemetry.
+	AuthMetrics = auth.Metrics
+	// TrustedAuthority is the PKI root all vehicles enroll with.
+	TrustedAuthority = pki.TA
+	// Ledger is the incentive credit ledger.
+	Ledger = vcloud.Ledger
+)
+
+// Experiment types.
+type (
+	// ExperimentConfig tunes an experiment run.
+	ExperimentConfig = experiments.Config
+	// ExperimentResult is one experiment's table and named values.
+	ExperimentResult = experiments.Result
+)
+
+// HighwayOptions configures NewHighwayScenario.
+type HighwayOptions struct {
+	// Seed drives all randomness (default 1).
+	Seed int64
+	// LengthM is the corridor length (default 3000 m).
+	LengthM float64
+	// SpeedLimit in m/s (default 27 ≈ 100 km/h).
+	SpeedLimit float64
+	// Vehicles is the population (default 40).
+	Vehicles int
+}
+
+// NewHighwayScenario builds the standard two-direction highway corridor
+// used by most experiments.
+func NewHighwayScenario(opts HighwayOptions) (*Scenario, error) {
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.LengthM <= 0 {
+		opts.LengthM = 3000
+	}
+	if opts.SpeedLimit <= 0 {
+		opts.SpeedLimit = 27
+	}
+	if opts.Vehicles <= 0 {
+		opts.Vehicles = 40
+	}
+	net, err := roadnet.Highway(roadnet.HighwaySpec{
+		LengthM:    opts.LengthM,
+		Segments:   3,
+		SpeedLimit: opts.SpeedLimit,
+		Lanes:      2,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return scenario.New(scenario.Spec{Seed: opts.Seed, Network: net, NumVehicles: opts.Vehicles})
+}
+
+// CityOptions configures NewCityScenario.
+type CityOptions struct {
+	Seed     int64
+	Blocks   int     // grid is Blocks×Blocks intersections (default 5)
+	BlockM   float64 // intersection spacing (default 200 m)
+	Vehicles int     // default 50
+}
+
+// NewCityScenario builds a Manhattan-grid urban scenario.
+func NewCityScenario(opts CityOptions) (*Scenario, error) {
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.Blocks < 2 {
+		opts.Blocks = 5
+	}
+	if opts.BlockM <= 0 {
+		opts.BlockM = 200
+	}
+	if opts.Vehicles <= 0 {
+		opts.Vehicles = 50
+	}
+	net, err := roadnet.Grid(roadnet.GridSpec{
+		Rows: opts.Blocks, Cols: opts.Blocks, Spacing: opts.BlockM, SpeedLimit: 13.9, Lanes: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return scenario.New(scenario.Spec{Seed: opts.Seed, Network: net, NumVehicles: opts.Vehicles})
+}
+
+// ParkingLotOptions configures NewParkingLotScenario.
+type ParkingLotOptions struct {
+	Seed     int64
+	Aisles   int // default 4
+	Vehicles int // parked vehicles, default 30
+}
+
+// NewParkingLotScenario builds the stationary-cloud scenario: parked
+// vehicles plus a gate RSU acting as the coordinator ([4]'s airport
+// datacenter).
+func NewParkingLotScenario(opts ParkingLotOptions) (*Scenario, error) {
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.Aisles < 1 {
+		opts.Aisles = 4
+	}
+	if opts.Vehicles <= 0 {
+		opts.Vehicles = 30
+	}
+	net, err := roadnet.ParkingLot(roadnet.ParkingLotSpec{Aisles: opts.Aisles, AisleLenM: 200, AisleGapM: 40})
+	if err != nil {
+		return nil, err
+	}
+	s, err := scenario.New(scenario.Spec{Seed: opts.Seed, Network: net, NumVehicles: opts.Vehicles, Parked: true})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := s.AddRSU(geo.Point{X: 0, Y: 0}); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// DeployCloud assembles a vehicular cloud of the given architecture over
+// the scenario with sensible defaults: mobility clustering for dynamic
+// clouds, route-aware dwell estimation and handover enabled.
+func DeployCloud(s *Scenario, arch Architecture, stats *CloudStats) (*Cloud, error) {
+	if stats == nil {
+		return nil, fmt.Errorf("vcloud: stats must not be nil")
+	}
+	return vcloud.Deploy(s, arch, vcloud.DeployConfig{
+		Handover:    true,
+		DwellMode:   mobility.DwellRouteAware,
+		ClusterAlgo: cluster.MobilitySimilarity{},
+	}, stats)
+}
+
+// NewTrustedAuthority creates a PKI trusted authority with a
+// deterministic key derived from seed.
+func NewTrustedAuthority(name string, seed int64) (*TrustedAuthority, error) {
+	return pki.New(name, mrand.New(mrand.NewSource(seed)), pki.Config{})
+}
+
+// DeploySecureCloud assembles an authentication-gated vehicular cloud
+// (§V.A): vehicles enroll with the TA, mutually authenticate with
+// controllers before joining, and revoked vehicles are excluded.
+func DeploySecureCloud(s *Scenario, arch Architecture, ta *TrustedAuthority, met *AuthMetrics, stats *CloudStats) (*SecureCloud, error) {
+	return vcloud.DeploySecure(s, arch, vcloud.DeployConfig{
+		Handover:    true,
+		DwellMode:   mobility.DwellRouteAware,
+		ClusterAlgo: cluster.MobilitySimilarity{},
+	}, vcloud.Security{TA: ta, Metrics: met}, stats)
+}
+
+// RunExperiment executes one of the paper-reproduction experiments
+// (E1–E10) and returns its table and named values.
+func RunExperiment(id string, cfg ExperimentConfig) (*ExperimentResult, error) {
+	for _, r := range experiments.All() {
+		if r.ID == id {
+			return r.Run(cfg)
+		}
+	}
+	return nil, fmt.Errorf("vcloud: unknown experiment %q (valid: E1..E10)", id)
+}
+
+// Experiments lists the available experiment IDs with their titles.
+func Experiments() map[string]string {
+	out := make(map[string]string)
+	for _, r := range experiments.All() {
+		out[r.ID] = r.Name
+	}
+	return out
+}
+
+// Seconds converts a float seconds count to virtual time.
+func Seconds(s float64) Duration { return Duration(s * float64(time.Second)) }
