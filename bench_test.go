@@ -1,5 +1,5 @@
 // Benchmarks regenerating every experiment of the paper reproduction
-// (one per DESIGN.md experiment row, E1–E10). Each iteration executes a
+// (one per DESIGN.md experiment row, E1–E11). Each iteration executes a
 // full quick-size experiment run on the deterministic kernel and
 // reports the headline values via b.ReportMetric, so
 //
@@ -122,6 +122,17 @@ func BenchmarkE10Attacks(b *testing.B) {
 	runExperiment(b, experiments.E10Attacks, map[string]string{
 		"dos-flooded": "dos/flooded",
 		"dos-clean":   "dos/clean",
+	})
+}
+
+// BenchmarkE11Failover regenerates the controller-crash drill: task
+// completion rate and recovery latency with checkpoint failover on vs
+// off, under the same scripted kill-controller fault plan.
+func BenchmarkE11Failover(b *testing.B) {
+	runExperiment(b, experiments.E11Failover, map[string]string{
+		"failover-completion": "failover/completion",
+		"baseline-completion": "baseline/completion",
+		"recovery-s":          "failover/recovery_s",
 	})
 }
 

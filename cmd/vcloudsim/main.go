@@ -6,6 +6,14 @@
 //	vcloudsim -scenario highway -arch dynamic -vehicles 40 -tasks 30 -duration 120
 //	vcloudsim -scenario parkinglot -arch stationary
 //	vcloudsim -scenario city -arch dynamic -seed 7
+//
+// A scripted fault plan (see internal/faults) injects deterministic
+// failures at absolute virtual times — the run starts at 0s, warm-up
+// lasts 10s:
+//
+//	vcloudsim -scenario highway -arch infrastructure \
+//	  -faults '30s rsu-down 0; 45s partition 1500,0 400 20s; 60s loss 0.3 10s; 80s rsu-up 0'
+//	vcloudsim -scenario parkinglot -arch stationary -faults '40s kill-controller 0'
 package main
 
 import (
@@ -32,16 +40,17 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		secure   = flag.Bool("secure", false, "gate cloud membership behind mutual authentication (§V.A)")
 		traceN   = flag.Int("trace", 0, "dump the last N task-lifecycle trace events")
+		faultStr = flag.String("faults", "", "fault plan, e.g. '30s rsu-down 0; 45s partition 1500,0 400 20s' (times are absolute virtual times)")
 	)
 	flag.Parse()
 
-	if err := run(*scen, *arch, *vehicles, *tasks, *duration, *seed, *secure, *traceN); err != nil {
+	if err := run(*scen, *arch, *vehicles, *tasks, *duration, *seed, *secure, *traceN, *faultStr); err != nil {
 		fmt.Fprintln(os.Stderr, "vcloudsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scen, archName string, vehicles, tasks int, duration float64, seed int64, secure bool, traceN int) error {
+func run(scen, archName string, vehicles, tasks int, duration float64, seed int64, secure bool, traceN int, faultStr string) error {
 	var s *root.Scenario
 	var err error
 	switch scen {
@@ -106,6 +115,29 @@ func run(scen, archName string, vehicles, tasks int, duration float64, seed int6
 			return err
 		}
 	}
+	// Scripted fault injection: schedule the plan before the clock moves
+	// so every event lands at its absolute virtual time.
+	var inj *root.FaultInjector
+	if faultStr != "" {
+		plan, err := root.ParseFaultPlan(faultStr)
+		if err != nil {
+			return err
+		}
+		if inj, err = root.NewFaultInjector(s); err != nil {
+			return err
+		}
+		c := cloud
+		inj.OnControllerKill(func(idx int) {
+			ctls := c.ActiveControllers()
+			if idx >= 0 && idx < len(ctls) {
+				ctls[idx].Crash()
+			}
+		})
+		if err := inj.Schedule(plan); err != nil {
+			return err
+		}
+	}
+
 	if err := s.Start(); err != nil {
 		return err
 	}
@@ -144,6 +176,13 @@ func run(scen, archName string, vehicles, tasks int, duration float64, seed int6
 	rs := s.Medium.Stats()
 	fmt.Printf("radio: sent=%d delivered=%d lost(range)=%d lost(load)=%d, %.1f MB on air\n",
 		rs.Sent, rs.Delivered, rs.LostRange, rs.LostLoad, float64(rs.BytesOnAir)/(1<<20))
+	if inj != nil {
+		fs := inj.Stats()
+		fmt.Printf("faults: %d event(s) applied, %d frame(s) suppressed\n", fs.Applied, fs.DroppedFrames)
+		for _, line := range inj.Log() {
+			fmt.Printf("  %s\n", line)
+		}
+	}
 	if rec != nil {
 		fmt.Printf("trace: %d events recorded (%s); tail follows\n", rec.Count(), rec.Summary())
 		if err := rec.Dump(os.Stdout, "", 0); err != nil {

@@ -1,8 +1,10 @@
 // Emergency response: the paper's motivating disaster scenario (§II.C,
 // §V.A). An infrastructure-based vehicular cloud serves traffic
-// normally; mid-run an earthquake knocks out every RSU and the cellular
-// uplink. The authority flips the region into emergency mode, a dynamic
-// (pure V2V) cloud self-organizes, and the workload keeps flowing.
+// normally; mid-run a scripted earthquake — a fault plan injected
+// through the deterministic fault engine — knocks out every RSU radio
+// and crashes the controller processes with the hardware. The authority
+// flips the region into emergency mode, a dynamic (pure V2V) cloud
+// self-organizes, and the workload keeps flowing.
 //
 //	go run ./examples/emergency
 package main
@@ -38,6 +40,32 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// The earthquake, scripted before the clock starts: at t=75s every
+	// RSU radio goes dark and the controller processes die with the
+	// hardware. Descending kill indices: each kill removes one live
+	// controller, so the remaining ones shift down.
+	inj, err := vcloud.NewFaultInjector(s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	inj.OnControllerKill(func(idx int) {
+		ctls := infra.ActiveControllers()
+		if idx >= 0 && idx < len(ctls) {
+			ctls[idx].Crash()
+		}
+	})
+	quake, err := vcloud.ParseFaultPlan(`
+		75s rsu-down 0; 75s rsu-down 1; 75s rsu-down 2
+		75s kill-controller 2; 75s kill-controller 1; 75s kill-controller 0
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := inj.Schedule(quake); err != nil {
+		log.Fatal(err)
+	}
+
 	if err := s.Start(); err != nil {
 		log.Fatal(err)
 	}
@@ -57,14 +85,16 @@ func main() {
 	fmt.Printf("phase 1 (infrastructure healthy): %d/%d tasks completed\n",
 		infraStats.Completed.Value(), infraStats.Submitted.Value())
 
-	// --- The earthquake. Every RSU dies; the infra cloud's controllers
-	// go silent.
-	fmt.Println("\n*** disaster: all RSUs destroyed ***")
-	for _, rsu := range s.RSUs {
-		rsu.Stop()
+	// --- The scripted earthquake strikes at t=75s while the clock runs.
+	if err := s.RunFor(10 * time.Second); err != nil {
+		log.Fatal(err)
 	}
-	for _, c := range infra.ActiveControllers() {
-		c.Stop()
+	fmt.Println("\n*** disaster: all RSUs destroyed ***")
+	for _, line := range inj.Log() {
+		fmt.Println("  fault:", line)
+	}
+	if live := len(infra.ActiveControllers()); live != 0 {
+		log.Fatalf("expected every infrastructure controller dead, %d still live", live)
 	}
 
 	// Phase 2: the authority declares emergency mode and vehicles

@@ -1,5 +1,5 @@
 // Package experiments contains the runnable reproductions of every
-// figure and load-bearing claim of the paper, indexed E1–E10 (see
+// figure and load-bearing claim of the paper, indexed E1–E11 (see
 // DESIGN.md for the mapping). Each experiment builds its scenario from
 // the substrate packages, runs it on the deterministic kernel, and
 // returns both a printable table (the paper-style rows) and a map of
@@ -59,6 +59,7 @@ func All() []Runner {
 		{"E8", "replication vs availability", E8Replication},
 		{"E9", "trust validators vs attackers", E9Trust},
 		{"E10", "attack/defense drill", E10Attacks},
+		{"E11", "controller failover under crash", E11Failover},
 	}
 }
 

@@ -24,8 +24,8 @@ func quick(t *testing.T, run func(Config) (*Result, error)) *Result {
 
 func TestAllRegistered(t *testing.T) {
 	runners := All()
-	if len(runners) != 10 {
-		t.Fatalf("runners = %d, want 10", len(runners))
+	if len(runners) != 11 {
+		t.Fatalf("runners = %d, want 11", len(runners))
 	}
 	seen := map[string]bool{}
 	for _, r := range runners {
@@ -232,5 +232,35 @@ func TestE10Shape(t *testing.T) {
 	}
 	if v["tracking/fast"] < 0 || v["tracking/slow"] < 0 {
 		t.Error("tracking arm failed to run")
+	}
+}
+
+func TestE11Shape(t *testing.T) {
+	r := quick(t, E11Failover)
+	v := r.Values
+	// The issue's acceptance criterion: under the same seeded
+	// controller-crash schedule, failover completes at least twice the
+	// tasks of the no-failover baseline.
+	if v["failover/completion"] < 2*v["baseline/completion"] {
+		t.Errorf("failover completion %.2f below 2× baseline %.2f",
+			v["failover/completion"], v["baseline/completion"])
+	}
+	if v["failover/failovers"] != 1 {
+		t.Errorf("failover arm promoted %v standbys, want exactly 1", v["failover/failovers"])
+	}
+	if v["failover/resumed"] == 0 {
+		t.Error("promoted controller resumed no checkpointed tasks")
+	}
+	if v["baseline/failovers"] != 0 {
+		t.Errorf("baseline arm must not fail over, got %v", v["baseline/failovers"])
+	}
+	// The promoted controller must come back well before the baseline's
+	// effective "never" (the horizon).
+	if v["failover/recovery_s"] >= v["baseline/recovery_s"] {
+		t.Errorf("failover recovery %.1fs not faster than baseline %.1fs",
+			v["failover/recovery_s"], v["baseline/recovery_s"])
+	}
+	if v["failover/recovery_s"] > 15 {
+		t.Errorf("failover recovery %.1fs too slow (want seconds, not tens)", v["failover/recovery_s"])
 	}
 }

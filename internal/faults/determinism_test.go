@@ -1,0 +1,89 @@
+package faults
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"vcloud/internal/geo"
+	"vcloud/internal/roadnet"
+	"vcloud/internal/scenario"
+	"vcloud/internal/sim"
+	"vcloud/internal/vcloud"
+)
+
+// runDrill runs one seeded RSU-outage + partition + loss drill against an
+// infrastructure cloud and returns a byte-exact fingerprint of everything
+// observable: cloud stats, injector stats and log, and radio counters.
+func runDrill(t *testing.T, seed int64) string {
+	t.Helper()
+	net, err := roadnet.ParkingLot(roadnet.ParkingLotSpec{Aisles: 3, AisleLenM: 120, AisleGapM: 30})
+	if err != nil {
+		t.Fatalf("parking lot: %v", err)
+	}
+	s, err := scenario.New(scenario.Spec{Seed: seed, Network: net, NumVehicles: 10, Parked: true})
+	if err != nil {
+		t.Fatalf("scenario: %v", err)
+	}
+	for _, p := range []geo.Point{{X: 0, Y: 0}, {X: 80, Y: 0}} {
+		if _, err := s.AddRSU(p); err != nil {
+			t.Fatalf("rsu: %v", err)
+		}
+	}
+	stats := &vcloud.Stats{}
+	dep, err := vcloud.Deploy(s, vcloud.Infrastructure, vcloud.DeployConfig{}, stats)
+	if err != nil {
+		t.Fatalf("deploy: %v", err)
+	}
+	in, err := NewInjector(s)
+	if err != nil {
+		t.Fatalf("injector: %v", err)
+	}
+	plan, err := Parse(`
+		8s  rsu-down 0
+		10s partition 0,0 60 8s
+		12s loss 0.25 6s
+		24s rsu-up 0
+	`)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if err := in.Schedule(plan); err != nil {
+		t.Fatalf("schedule: %v", err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	if err := s.RunFor(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		i := i
+		s.Kernel.After(sim.Time(i)*1500*time.Millisecond, func() {
+			_ = dep.SubmitAnywhere(vcloud.Task{Ops: 1500, InputBytes: 1000, OutputBytes: 500}, nil)
+		})
+	}
+	if err := s.Run(60 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return fmt.Sprintf("cloud=%+v injector=%+v log=%q radio=%+v",
+		*stats, in.Stats(), in.Log(), s.Medium.Stats())
+}
+
+// TestDrillDeterminism is the repo's determinism guard for the fault
+// subsystem: the same seeded fault-plan scenario must reproduce
+// byte-identical statistics run over run.
+func TestDrillDeterminism(t *testing.T) {
+	a := runDrill(t, 42)
+	b := runDrill(t, 42)
+	if a != b {
+		t.Errorf("same seed diverged:\nrun1: %s\nrun2: %s", a, b)
+	}
+	// And the seed actually matters: a different seed must not be forced
+	// to the same trajectory (guards against a fingerprint that ignores
+	// the interesting state).
+	c := runDrill(t, 43)
+	if a == c {
+		t.Error("different seeds produced identical fingerprints; fingerprint too weak")
+	}
+}

@@ -1,0 +1,278 @@
+package faults
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"vcloud/internal/geo"
+	"vcloud/internal/roadnet"
+	"vcloud/internal/scenario"
+	"vcloud/internal/vnet"
+)
+
+func testScenario(t testing.TB, seed int64, vehicles int) *scenario.Scenario {
+	t.Helper()
+	net, err := roadnet.ParkingLot(roadnet.ParkingLotSpec{Aisles: 2, AisleLenM: 100, AisleGapM: 30})
+	if err != nil {
+		t.Fatalf("parking lot: %v", err)
+	}
+	s, err := scenario.New(scenario.Spec{Seed: seed, Network: net, NumVehicles: vehicles, Parked: true})
+	if err != nil {
+		t.Fatalf("scenario: %v", err)
+	}
+	if _, err := s.AddRSU(geo.Point{X: 0, Y: 0}); err != nil {
+		t.Fatalf("rsu: %v", err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	return s
+}
+
+// pingCount sends n spaced unicasts from a to b and reports how many
+// arrive within the run window.
+func pingCount(t *testing.T, s *scenario.Scenario, a, b *vnet.Node, n int) int {
+	t.Helper()
+	got := 0
+	b.Handle("faults.ping", func(msg vnet.Message, _ vnet.Addr) { got++ })
+	defer b.Handle("faults.ping", nil)
+	for i := 0; i < n; i++ {
+		i := i
+		s.Kernel.After(time.Duration(i)*100*time.Millisecond, func() {
+			m := a.NewMessage(b.Addr(), "faults.ping", 64, 1, i)
+			a.SendTo(b.Addr(), m)
+		})
+	}
+	if err := s.RunFor(time.Duration(n)*100*time.Millisecond + 2*time.Second); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return got
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	text := `
+		30s crash 5
+		50s recover 5          # back up
+		30s rsu-down 0; 60s rsu-up 0
+		40s partition 1500,-20 400 20s
+		55s loss 0.3 10s
+		56s loss 0.1
+		70s kill-controller 0
+	`
+	plan, err := Parse(text)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(plan) != 8 {
+		t.Fatalf("parsed %d events, want 8", len(plan))
+	}
+	want := Event{At: 40 * time.Second, Kind: Partition, Center: geo.Point{X: 1500, Y: -20}, Radius: 400, Dur: 20 * time.Second}
+	if !reflect.DeepEqual(plan[4], want) {
+		t.Errorf("partition event = %+v, want %+v", plan[4], want)
+	}
+	if plan[6].Dur != 0 {
+		t.Errorf("open-ended loss got Dur %v", plan[6].Dur)
+	}
+	// The plan language round-trips: String() re-parses to the same plan.
+	again, err := Parse(plan.String())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", plan.String(), err)
+	}
+	if !reflect.DeepEqual(plan, again) {
+		t.Errorf("round trip mismatch:\n%+v\n%+v", plan, again)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{
+		"banana crash 5",      // unparseable time
+		"10s melt 3",          // unknown kind
+		"10s crash",           // missing target
+		"10s crash 1 2",       // too many args
+		"10s crash -4",        // negative target
+		"10s loss 1.5",        // probability out of range
+		"10s partition 3 4",   // malformed point
+		"10s partition 0,0 0", // zero radius
+		"10s loss 0.2 -5s",    // negative duration
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted, want error", bad)
+		}
+	}
+}
+
+func TestScheduleRequiresKillHook(t *testing.T) {
+	s := testScenario(t, 1, 4)
+	in, err := NewInjector(s)
+	if err != nil {
+		t.Fatalf("injector: %v", err)
+	}
+	plan := Plan{{At: time.Second, Kind: KillController, Target: 0}}
+	if err := in.Schedule(plan); err == nil {
+		t.Fatal("Schedule accepted kill-controller without a hook")
+	}
+	fired := -1
+	in.OnControllerKill(func(idx int) { fired = idx })
+	if err := in.Schedule(plan); err != nil {
+		t.Fatalf("Schedule with hook: %v", err)
+	}
+	if err := s.RunFor(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 0 {
+		t.Errorf("kill hook fired with %d, want 0", fired)
+	}
+	if in.Stats().Applied != 1 {
+		t.Errorf("Applied = %d, want 1", in.Stats().Applied)
+	}
+}
+
+func TestCrashRecover(t *testing.T) {
+	s := testScenario(t, 2, 4)
+	in, err := NewInjector(s)
+	if err != nil {
+		t.Fatalf("injector: %v", err)
+	}
+	ids := s.VehicleIDs()
+	a, _ := s.Node(ids[0])
+	b, _ := s.Node(ids[1])
+
+	if got := pingCount(t, s, a, b, 5); got == 0 {
+		t.Fatal("no delivery even before any fault")
+	}
+	in.CrashNode(b.Addr())
+	if !in.Crashed(b.Addr()) {
+		t.Error("Crashed() false after CrashNode")
+	}
+	if got := pingCount(t, s, a, b, 5); got != 0 {
+		t.Errorf("crashed node received %d frames, want 0", got)
+	}
+	in.RecoverNode(b.Addr())
+	if got := pingCount(t, s, a, b, 5); got == 0 {
+		t.Error("no delivery after recover")
+	}
+	if in.Stats().DroppedFrames == 0 {
+		t.Error("crash dropped no frames")
+	}
+}
+
+func TestRSUDownViaPlan(t *testing.T) {
+	s := testScenario(t, 3, 4)
+	in, err := NewInjector(s)
+	if err != nil {
+		t.Fatalf("injector: %v", err)
+	}
+	plan, err := Parse("1s rsu-down 0; 4s rsu-up 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Schedule(plan); err != nil {
+		t.Fatal(err)
+	}
+	rsu := s.RSUs[0]
+	if err := s.RunFor(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !in.Crashed(rsu.Addr()) {
+		t.Error("RSU not silenced after rsu-down fired")
+	}
+	if err := s.RunFor(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if in.Crashed(rsu.Addr()) {
+		t.Error("RSU still silenced after rsu-up fired")
+	}
+	if got := in.Stats().Applied; got != 2 {
+		t.Errorf("Applied = %d, want 2", got)
+	}
+	if lg := in.Log(); len(lg) != 2 || !strings.Contains(lg[0], "rsu-down") {
+		t.Errorf("log = %q, want two entries starting with rsu-down", lg)
+	}
+}
+
+func TestPartitionCutsBoundaryOnly(t *testing.T) {
+	s := testScenario(t, 4, 6)
+	in, err := NewInjector(s)
+	if err != nil {
+		t.Fatalf("injector: %v", err)
+	}
+	ids := s.VehicleIDs()
+	a, _ := s.Node(ids[0])
+	b, _ := s.Node(ids[1])
+	c, _ := s.Node(ids[2])
+
+	// Isolate a tight region around a: only a is inside, so a↔b crosses
+	// the boundary while b↔c is wholly outside.
+	heal := in.StartPartition(a.Position(), 1)
+	if got := pingCount(t, s, a, b, 5); got != 0 {
+		t.Errorf("boundary-crossing traffic delivered %d, want 0", got)
+	}
+	if got := pingCount(t, s, b, c, 5); got == 0 {
+		t.Error("wholly-outside traffic blocked by partition")
+	}
+	heal()
+	if got := pingCount(t, s, a, b, 5); got == 0 {
+		t.Error("no delivery after partition healed")
+	}
+}
+
+func TestLossBurstHeals(t *testing.T) {
+	s := testScenario(t, 5, 4)
+	in, err := NewInjector(s)
+	if err != nil {
+		t.Fatalf("injector: %v", err)
+	}
+	plan, err := Parse("0s loss 1.0 3s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Schedule(plan); err != nil {
+		t.Fatal(err)
+	}
+	ids := s.VehicleIDs()
+	a, _ := s.Node(ids[0])
+	b, _ := s.Node(ids[1])
+	// Total loss: nothing arrives during the burst (pings sent over the
+	// first 500ms, ARQ gives up well before the 3s heal).
+	got := 0
+	b.Handle("faults.ping", func(msg vnet.Message, _ vnet.Addr) { got++ })
+	for i := 0; i < 5; i++ {
+		i := i
+		s.Kernel.After(time.Duration(i)*100*time.Millisecond, func() {
+			m := a.NewMessage(b.Addr(), "faults.ping", 64, 1, i)
+			a.SendTo(b.Addr(), m)
+		})
+	}
+	if err := s.RunFor(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Errorf("p=1.0 loss delivered %d frames, want 0", got)
+	}
+	b.Handle("faults.ping", nil)
+	// After the burst ends delivery resumes.
+	if err := s.RunFor(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := pingCount(t, s, a, b, 5); got == 0 {
+		t.Error("no delivery after loss burst ended")
+	}
+}
+
+func TestCloseDisarms(t *testing.T) {
+	s := testScenario(t, 6, 4)
+	in, err := NewInjector(s)
+	if err != nil {
+		t.Fatalf("injector: %v", err)
+	}
+	ids := s.VehicleIDs()
+	a, _ := s.Node(ids[0])
+	b, _ := s.Node(ids[1])
+	in.CrashNode(b.Addr())
+	in.Close()
+	if got := pingCount(t, s, a, b, 5); got == 0 {
+		t.Error("closed injector still blocks frames")
+	}
+}

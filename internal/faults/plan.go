@@ -1,0 +1,134 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"vcloud/internal/geo"
+	"vcloud/internal/sim"
+)
+
+// Parse reads a plan in the textual plan language: one event per entry,
+// entries separated by newlines or semicolons, '#' starts a comment.
+//
+// Each entry is "<time> <kind> <args...>", with times and durations in
+// Go duration syntax:
+//
+//	30s  crash 5              # vehicle 5 radio-dead
+//	50s  recover 5
+//	30s  rsu-down 0           # RSU by creation index
+//	60s  rsu-up 0
+//	40s  partition 1500,0 400 20s   # isolate r=400m around (1500,0) for 20s
+//	55s  loss 0.3 10s               # drop 30% of frames for 10s
+//	70s  kill-controller 0          # via the injector's kill hook
+//
+// The trailing duration on partition and loss is optional (omitted =
+// until the end of the run). Plan order is preserved: same-time events
+// apply in the order written.
+func Parse(text string) (Plan, error) {
+	var plan Plan
+	entries := strings.FieldsFunc(text, func(r rune) bool { return r == '\n' || r == ';' })
+	for _, entry := range entries {
+		if i := strings.IndexByte(entry, '#'); i >= 0 {
+			entry = entry[:i]
+		}
+		fields := strings.Fields(entry)
+		if len(fields) == 0 {
+			continue
+		}
+		e, err := parseEvent(fields)
+		if err != nil {
+			return nil, fmt.Errorf("faults: %q: %w", strings.TrimSpace(entry), err)
+		}
+		plan = append(plan, e)
+	}
+	if err := plan.Validate(); err != nil {
+		return nil, err
+	}
+	return plan, nil
+}
+
+func parseEvent(fields []string) (Event, error) {
+	if len(fields) < 2 {
+		return Event{}, fmt.Errorf("want \"<time> <kind> <args...>\"")
+	}
+	at, err := time.ParseDuration(fields[0])
+	if err != nil {
+		return Event{}, fmt.Errorf("bad time %q: %w", fields[0], err)
+	}
+	e := Event{At: at, Kind: Kind(fields[1])}
+	args := fields[2:]
+	switch e.Kind {
+	case Crash, Recover, RSUDown, RSUUp, KillController:
+		if len(args) != 1 {
+			return Event{}, fmt.Errorf("%s wants one target argument", e.Kind)
+		}
+		t, err := strconv.Atoi(args[0])
+		if err != nil {
+			return Event{}, fmt.Errorf("bad target %q: %w", args[0], err)
+		}
+		e.Target = t
+	case Partition:
+		if len(args) != 2 && len(args) != 3 {
+			return Event{}, fmt.Errorf("partition wants \"<x>,<y> <radius> [dur]\"")
+		}
+		c, err := parsePoint(args[0])
+		if err != nil {
+			return Event{}, err
+		}
+		e.Center = c
+		r, err := strconv.ParseFloat(args[1], 64)
+		if err != nil {
+			return Event{}, fmt.Errorf("bad radius %q: %w", args[1], err)
+		}
+		e.Radius = r
+		if len(args) == 3 {
+			if e.Dur, err = parseDur(args[2]); err != nil {
+				return Event{}, err
+			}
+		}
+	case Loss:
+		if len(args) != 1 && len(args) != 2 {
+			return Event{}, fmt.Errorf("loss wants \"<prob> [dur]\"")
+		}
+		p, err := strconv.ParseFloat(args[0], 64)
+		if err != nil {
+			return Event{}, fmt.Errorf("bad probability %q: %w", args[0], err)
+		}
+		e.Prob = p
+		if len(args) == 2 {
+			if e.Dur, err = parseDur(args[1]); err != nil {
+				return Event{}, err
+			}
+		}
+	default:
+		return Event{}, fmt.Errorf("unknown kind %q", fields[1])
+	}
+	return e, nil
+}
+
+func parsePoint(s string) (geo.Point, error) {
+	xy := strings.SplitN(s, ",", 2)
+	if len(xy) != 2 {
+		return geo.Point{}, fmt.Errorf("bad point %q: want \"<x>,<y>\"", s)
+	}
+	x, err := strconv.ParseFloat(xy[0], 64)
+	if err != nil {
+		return geo.Point{}, fmt.Errorf("bad point %q: %w", s, err)
+	}
+	y, err := strconv.ParseFloat(xy[1], 64)
+	if err != nil {
+		return geo.Point{}, fmt.Errorf("bad point %q: %w", s, err)
+	}
+	return geo.Point{X: x, Y: y}, nil
+}
+
+func parseDur(s string) (sim.Time, error) {
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("bad duration %q: %w", s, err)
+	}
+	return d, nil
+}

@@ -116,6 +116,11 @@ type Medium struct {
 	// partition optionally drops frames between groups (used to model
 	// obstacles or jamming zones in attack experiments).
 	blocked func(from, to NodeID) bool
+	// blockers are additional, stackable frame filters (fault injection
+	// composes outages, partitions and loss bursts without disturbing a
+	// SetBlocked filter an experiment already installed).
+	blockers    map[int]func(from, to NodeID) bool
+	nextBlocker int
 	// promiscuous nodes overhear every frame transmitted in their range,
 	// regardless of addressing — the §III eavesdropping threat model.
 	promiscuous map[NodeID]Handler
@@ -186,6 +191,41 @@ func (m *Medium) Position(id NodeID) (geo.Point, bool) {
 // silently dropped. Pass nil to clear. Attack experiments use this for
 // jamming / partition injection.
 func (m *Medium) SetBlocked(fn func(from, to NodeID) bool) { m.blocked = fn }
+
+// AddBlocker installs an additional frame filter alongside SetBlocked and
+// any other blockers; a frame is dropped when any filter returns true.
+// It returns a removal function (safe to call more than once). The fault
+// injector stacks outages, partitions and loss bursts through this.
+func (m *Medium) AddBlocker(fn func(from, to NodeID) bool) (remove func()) {
+	if fn == nil {
+		return func() {}
+	}
+	if m.blockers == nil {
+		m.blockers = make(map[int]func(from, to NodeID) bool)
+	}
+	id := m.nextBlocker
+	m.nextBlocker++
+	m.blockers[id] = fn
+	return func() { delete(m.blockers, id) }
+}
+
+// frameBlocked reports whether any installed filter drops the frame.
+func (m *Medium) frameBlocked(from, to NodeID) bool {
+	if m.blocked != nil && m.blocked(from, to) {
+		return true
+	}
+	if len(m.blockers) == 0 {
+		return false
+	}
+	// Evaluate in insertion order so any blocker-side randomness draws in
+	// a reproducible sequence.
+	for id := 0; id < m.nextBlocker; id++ {
+		if fn, ok := m.blockers[id]; ok && fn(from, to) {
+			return true
+		}
+	}
+	return false
+}
 
 // Stats returns a copy of the medium counters.
 func (m *Medium) Stats() Stats { return m.stats }
@@ -269,7 +309,7 @@ func (m *Medium) Send(from, to NodeID, size int, payload any) {
 	}
 
 	deliver := func(dst NodeID, dstPos geo.Point, retries int) {
-		if m.blocked != nil && m.blocked(from, dst) {
+		if m.frameBlocked(from, dst) {
 			return
 		}
 		h, ok := m.handlers[dst]

@@ -32,6 +32,10 @@ type event struct {
 // EventID identifies a scheduled event so it can be cancelled.
 type EventID struct{ ev *event }
 
+// Pending reports whether the event is still scheduled (not yet fired
+// and not cancelled).
+func (id EventID) Pending() bool { return id.ev != nil && id.ev.index >= 0 }
+
 // eventQueue implements heap.Interface ordered by (at, seq).
 type eventQueue []*event
 

@@ -70,6 +70,10 @@ type DeployConfig struct {
 	// BatteryOps bounds each member's total executed ops (parked-vehicle
 	// battery budget, [9]); zero = unlimited.
 	BatteryOps float64
+	// Failover enables controller checkpoint replication and standby
+	// self-promotion on every controller, and tracks promoted successors
+	// in Controllers so SubmitAnywhere finds them.
+	Failover bool
 
 	// Unexported wiring installed by DeploySecure.
 	memberAuthorize func(id mobility.VehicleID) func(vnet.Addr, func(bool))
@@ -137,6 +141,7 @@ func (d *Deployment) dwellFor(ctlNode *vnet.Node) DwellEstimator {
 func (d *Deployment) newController(node *vnet.Node) (*Controller, error) {
 	cc := d.cfg.Controller
 	cc.Handover = d.cfg.Handover
+	cc.Failover = cc.Failover || d.cfg.Failover
 	if cc.Dwell == nil {
 		cc.Dwell = d.dwellFor(node)
 	}
@@ -156,6 +161,16 @@ func (d *Deployment) attachMember(id mobility.VehicleID) error {
 		Resources:  d.cfg.MemberResources(profile),
 		Handover:   d.cfg.Handover,
 		BatteryOps: d.cfg.BatteryOps,
+	}
+	vid := id
+	mc.OnPromote = func(c *Controller) {
+		// The promoted node stopped being a worker; track its controller
+		// so SubmitAnywhere and ActiveControllers see the successor.
+		delete(d.Members, vid)
+		if d.emergency {
+			c.SetEmergency(true)
+		}
+		d.Controllers = append(d.Controllers, c)
 	}
 	if d.cfg.attachAuth != nil {
 		if err := d.cfg.attachAuth(node, fmt.Sprintf("veh-%d", id)); err != nil {
@@ -301,18 +316,26 @@ func (d *Deployment) onRoleChange(id mobility.VehicleID, old, new cluster.State)
 	}
 }
 
-// ActiveControllers returns the currently live controllers.
+// ActiveControllers returns the currently live controllers (stopped and
+// crashed ones are skipped).
 func (d *Deployment) ActiveControllers() []*Controller {
 	out := make([]*Controller, 0, len(d.Controllers))
-	out = append(out, d.Controllers...)
+	for _, c := range d.Controllers {
+		if !c.Stopped() {
+			out = append(out, c)
+		}
+	}
 	return out
 }
 
-// SubmitAnywhere submits a task to the controller with the most members
-// (a client-side broker). It fails when no controller exists.
+// SubmitAnywhere submits a task to the live controller with the most
+// members (a client-side broker). It fails when no controller exists.
 func (d *Deployment) SubmitAnywhere(task Task, done func(TaskResult)) error {
 	var best *Controller
 	for _, c := range d.Controllers {
+		if c.Stopped() {
+			continue
+		}
 		if best == nil || c.NumMembers() > best.NumMembers() {
 			best = c
 		}

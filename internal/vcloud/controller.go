@@ -19,12 +19,16 @@ const (
 	kindTask     = "vc.task"
 	kindResult   = "vc.result"
 	kindHandover = "vc.handover"
+	kindCkpt     = "vc.ckpt"
 )
 
 // advMsg is the controller's periodic advertisement.
 type advMsg struct {
 	Controller vnet.Addr
 	Emergency  bool
+	// Standby is the designated failover successor (-1 when none); it is
+	// broadcast so a deposed standby knows to discard its checkpoint.
+	Standby vnet.Addr
 }
 
 // joinMsg announces a member and its resources.
@@ -64,6 +68,10 @@ type Stats struct {
 	WastedOps  float64 // ops executed and then lost
 	Latency    metrics.Histogram
 	JoinEvents metrics.Counter
+	// Failovers counts standby self-promotions; Resumed counts in-flight
+	// tasks a promoted controller restored from a checkpoint.
+	Failovers metrics.Counter
+	Resumed   metrics.Counter
 }
 
 // CompletionRate returns completed/submitted.
@@ -105,6 +113,15 @@ type ControllerConfig struct {
 	// Trace, when non-nil, records task lifecycle events for post-run
 	// debugging (nil-safe; see internal/trace).
 	Trace *trace.Recorder
+	// Failover enables checkpoint replication to a standby member and the
+	// standby's self-promotion when this controller goes silent — the
+	// dependability mechanism E11 measures. Off by default.
+	Failover bool
+	// CheckpointPeriod is the replication interval. Default 2×AdvPeriod.
+	CheckpointPeriod sim.Time
+	// FailoverTTL is how long the standby tolerates advertisement silence
+	// before promoting itself. Default 4×AdvPeriod.
+	FailoverTTL sim.Time
 }
 
 type memberInfo struct {
@@ -140,6 +157,11 @@ type Controller struct {
 	nextID  TaskID
 	ticker  *sim.Ticker
 
+	// standby is the designated failover successor (-1 when none).
+	standby  vnet.Addr
+	ckptSeq  uint64
+	lastCkpt sim.Time
+
 	emergency bool
 	stopped   bool
 }
@@ -164,12 +186,19 @@ func NewController(node *vnet.Node, cfg ControllerConfig, stats *Stats) (*Contro
 	if cfg.Ledger != nil && cfg.PricePerKOps <= 0 {
 		cfg.PricePerKOps = 1
 	}
+	if cfg.CheckpointPeriod <= 0 {
+		cfg.CheckpointPeriod = 2 * cfg.AdvPeriod
+	}
+	if cfg.FailoverTTL <= 0 {
+		cfg.FailoverTTL = 4 * cfg.AdvPeriod
+	}
 	c := &Controller{
 		node:    node,
 		cfg:     cfg,
 		stats:   stats,
 		members: make(map[vnet.Addr]*memberInfo),
 		tasks:   make(map[TaskID]*taskState),
+		standby: -1,
 	}
 	node.Handle(kindJoin, c.onJoin)
 	node.Handle(kindLeave, c.onLeave)
@@ -183,17 +212,13 @@ func NewController(node *vnet.Node, cfg ControllerConfig, stats *Stats) (*Contro
 	return c, nil
 }
 
-// Stop halts the controller. Pending tasks fail.
+// Stop halts the controller gracefully. Pending tasks fail (their done
+// callbacks fire with OK=false).
 func (c *Controller) Stop() {
 	if c.stopped {
 		return
 	}
-	c.stopped = true
-	c.ticker.Stop()
-	c.node.Handle(kindJoin, nil)
-	c.node.Handle(kindLeave, nil)
-	c.node.Handle(kindResult, nil)
-	c.node.Handle(kindHandover, nil)
+	c.halt()
 	ids := make([]TaskID, 0, len(c.tasks))
 	for id := range c.tasks {
 		ids = append(ids, id)
@@ -206,8 +231,36 @@ func (c *Controller) Stop() {
 	}
 }
 
+// Crash halts the controller abruptly, as a process failure would: no
+// pending task is failed, no callback fires — from the outside the
+// controller simply goes silent. Without failover the in-flight task
+// table dies with it; a replicated standby resumes it (the contrast E11
+// measures).
+func (c *Controller) Crash() {
+	if c.stopped {
+		return
+	}
+	c.halt()
+	for _, ts := range c.tasks {
+		c.node.Kernel().Cancel(ts.timeout)
+	}
+}
+
+// halt flips the stopped flag, stops the ticker and detaches handlers.
+func (c *Controller) halt() {
+	c.stopped = true
+	c.ticker.Stop()
+	c.node.Handle(kindJoin, nil)
+	c.node.Handle(kindLeave, nil)
+	c.node.Handle(kindResult, nil)
+	c.node.Handle(kindHandover, nil)
+}
+
 // Addr returns the controller's network address.
 func (c *Controller) Addr() vnet.Addr { return c.node.Addr() }
+
+// Stopped reports whether the controller has been stopped or crashed.
+func (c *Controller) Stopped() bool { return c.stopped }
 
 // NumMembers returns the live member count.
 func (c *Controller) NumMembers() int { return len(c.members) }
@@ -244,15 +297,69 @@ func (c *Controller) tick() {
 	if c.stopped {
 		return
 	}
-	// Advertise.
-	adv := c.node.NewMessage(vnet.BroadcastAddr, kindAdv, 64, 1, advMsg{Controller: c.node.Addr(), Emergency: c.emergency})
-	c.node.BroadcastLocal(adv)
-	// Expire silent members.
+	// Expire silent members and immediately reassign their outstanding
+	// work — waiting out the generous per-task timeout would leave tasks
+	// parked on a vanished vehicle for tens of seconds (§III.A waste).
 	now := c.node.Kernel().Now()
+	var expired []vnet.Addr
 	for a, m := range c.members {
 		if now-m.lastSeen > c.cfg.MemberTTL {
-			delete(c.members, a)
+			expired = append(expired, a)
 		}
+	}
+	sort.Slice(expired, func(i, j int) bool { return expired[i] < expired[j] })
+	for _, a := range expired {
+		delete(c.members, a)
+	}
+	for _, a := range expired {
+		c.reassignOrphans(a)
+	}
+	// (Re)designate the standby before advertising so the advertisement
+	// carries the current designation.
+	if c.cfg.Failover {
+		c.refreshStandby(now)
+	}
+	c.advertise()
+	if c.cfg.Failover && c.standby >= 0 && now-c.lastCkpt >= c.cfg.CheckpointPeriod {
+		c.sendCheckpoint(now)
+	}
+}
+
+// advertise broadcasts the controller's presence.
+func (c *Controller) advertise() {
+	adv := c.node.NewMessage(vnet.BroadcastAddr, kindAdv, 64, 1, advMsg{
+		Controller: c.node.Addr(),
+		Emergency:  c.emergency,
+		Standby:    c.standby,
+	})
+	c.node.BroadcastLocal(adv)
+}
+
+// reassignOrphans moves every task actively assigned to the vanished
+// member back into scheduling. Tasks waiting in the no-member retry loop
+// are skipped (their pending After callback re-runs assign itself).
+func (c *Controller) reassignOrphans(gone vnet.Addr) {
+	var ids []TaskID
+	for id, ts := range c.tasks {
+		if ts.assignee == gone && ts.timeout.Pending() {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		ts := c.tasks[id]
+		c.node.Kernel().Cancel(ts.timeout)
+		// The member vanished silently: its partial work is lost.
+		c.stats.WastedOps += ts.remainingOps
+		c.cfg.Trace.Emit(c.node.Kernel().Now(), trace.CatCloud, int32(c.node.Addr()),
+			"task %d orphaned by expired member %d, reassigning", id, gone)
+		if ts.retries >= c.cfg.RetryLimit {
+			c.finish(id, ts, false, "retries exhausted")
+			continue
+		}
+		ts.retries++
+		c.stats.Retries.Inc()
+		c.assign(ts)
 	}
 }
 

@@ -1,0 +1,190 @@
+// Controller failover: the dependability mechanism that lets a vehicular
+// cloud survive the loss of its coordinator (§V.A — the management plane
+// must outlive any single node). The running controller periodically
+// replicates a checkpoint — its membership snapshot plus the in-flight
+// task table — to a designated standby member; when the controller's
+// advertisements go silent past FailoverTTL, the standby promotes itself
+// to controller, re-advertises, and resumes every checkpointed task from
+// its last known RemainingOps instead of losing it.
+//
+// Closures cannot cross the (simulated) wire, so a restored task loses
+// its submitter callback and the config's function hooks (dwell
+// estimator, join gate, ledger, trace); completions still count in the
+// shared Stats, which is what the E11 experiment measures. Work executed
+// by the old assignee after the last checkpoint is re-executed — the
+// cost of checkpoint staleness, bounded by CheckpointPeriod.
+package vcloud
+
+import (
+	"fmt"
+	"sort"
+
+	"vcloud/internal/sim"
+	"vcloud/internal/trace"
+	"vcloud/internal/vnet"
+)
+
+// MemberSnapshot is one membership row inside a checkpoint.
+type MemberSnapshot struct {
+	Addr vnet.Addr
+	Res  Resources
+}
+
+// TaskCheckpoint is one in-flight task inside a checkpoint: everything
+// the standby needs to resume the task from its last known progress.
+type TaskCheckpoint struct {
+	Task         Task
+	Client       vnet.Addr
+	RemainingOps float64
+	Retries      int
+	Handovers    int
+	Submitted    sim.Time
+}
+
+// Checkpoint is the replicated controller state — the Snapshot()
+// membership view extended with the in-flight task table and the
+// counters a successor needs (§V.A "recover the snapshot of the
+// topology", made crash-proof).
+type Checkpoint struct {
+	// Controller is the checkpointing controller's address.
+	Controller vnet.Addr
+	// Standby is the member this checkpoint designates.
+	Standby vnet.Addr
+	// Seq increases with every checkpoint sent.
+	Seq uint64
+	// NextID continues the task-ID sequence without collisions.
+	NextID TaskID
+	// Emergency carries the management-plane flag across failover.
+	Emergency bool
+	// FailoverTTL is how long the standby tolerates advertisement silence
+	// before promoting itself.
+	FailoverTTL sim.Time
+	// Cfg is the controller configuration with function hooks stripped
+	// (closures do not survive replication).
+	Cfg ControllerConfig
+	// Members is the membership snapshot in ascending address order.
+	Members []MemberSnapshot
+	// Tasks is the in-flight task table in ascending task-ID order.
+	Tasks []TaskCheckpoint
+}
+
+// ckptMsg replicates a checkpoint to the standby.
+type ckptMsg struct {
+	Ckpt Checkpoint
+}
+
+// Checkpoint builds the controller's current replicable state.
+func (c *Controller) Checkpoint() Checkpoint {
+	cfg := c.cfg
+	// Function hooks and local pointers cannot cross the wire; the
+	// successor runs without them.
+	cfg.Dwell = nil
+	cfg.AcceptJoin = nil
+	cfg.Ledger = nil
+	cfg.Trace = nil
+	ck := Checkpoint{
+		Controller:  c.node.Addr(),
+		Standby:     c.standby,
+		Seq:         c.ckptSeq,
+		NextID:      c.nextID,
+		Emergency:   c.emergency,
+		FailoverTTL: c.cfg.FailoverTTL,
+		Cfg:         cfg,
+	}
+	for _, a := range c.Members() {
+		ck.Members = append(ck.Members, MemberSnapshot{Addr: a, Res: c.members[a].res})
+	}
+	ids := make([]TaskID, 0, len(c.tasks))
+	for id := range c.tasks {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		ts := c.tasks[id]
+		ck.Tasks = append(ck.Tasks, TaskCheckpoint{
+			Task:         ts.task,
+			Client:       ts.client,
+			RemainingOps: ts.remainingOps,
+			Retries:      ts.retries,
+			Handovers:    ts.handovers,
+			Submitted:    ts.submitted,
+		})
+	}
+	return ck
+}
+
+// ckptSize approximates the checkpoint's on-air size in bytes.
+func ckptSize(ck Checkpoint) int {
+	return 128 + 24*len(ck.Members) + 72*len(ck.Tasks)
+}
+
+// refreshStandby (re)designates the checkpoint target: the lowest-address
+// fresh member, chosen deterministically so equal seeds replay equal
+// failovers. Returns true when a standby exists.
+func (c *Controller) refreshStandby(now sim.Time) bool {
+	best := vnet.Addr(-1)
+	for a, m := range c.members {
+		if now-m.lastSeen > c.cfg.MemberTTL {
+			continue
+		}
+		if best < 0 || a < best {
+			best = a
+		}
+	}
+	c.standby = best
+	return best >= 0
+}
+
+// sendCheckpoint replicates current state to the standby.
+func (c *Controller) sendCheckpoint(now sim.Time) {
+	c.ckptSeq++
+	c.lastCkpt = now
+	ck := c.Checkpoint()
+	msg := c.node.NewMessage(c.standby, kindCkpt, ckptSize(ck), 1, ckptMsg{Ckpt: ck})
+	c.node.SendTo(c.standby, msg)
+}
+
+// RestoreController promotes node into a controller seeded from the
+// checkpoint: membership is restored as-if freshly heard, the task-ID
+// sequence continues, and every checkpointed task is reassigned from its
+// last known RemainingOps. The new controller advertises immediately so
+// members reattach without waiting out an advertisement period.
+func RestoreController(node *vnet.Node, ckpt Checkpoint, stats *Stats) (*Controller, error) {
+	if node == nil {
+		return nil, fmt.Errorf("vcloud: node must not be nil")
+	}
+	cfg := ckpt.Cfg
+	cfg.Failover = true // the successor keeps replicating to its own standby
+	c, err := NewController(node, cfg, stats)
+	if err != nil {
+		return nil, err
+	}
+	now := node.Kernel().Now()
+	self := node.Addr()
+	for _, ms := range ckpt.Members {
+		if ms.Addr == self || ms.Addr == ckpt.Controller {
+			continue // the promoted node and the dead coordinator are not workers
+		}
+		c.members[ms.Addr] = &memberInfo{res: ms.Res, lastSeen: now}
+	}
+	c.nextID = ckpt.NextID
+	c.emergency = ckpt.Emergency
+	c.cfg.Trace.Emit(now, trace.CatCloud, int32(self),
+		"promoted to controller (ckpt seq %d from %d: %d members, %d tasks)",
+		ckpt.Seq, ckpt.Controller, len(ckpt.Members), len(ckpt.Tasks))
+	for _, tc := range ckpt.Tasks {
+		ts := &taskState{
+			task:         tc.Task,
+			client:       tc.Client,
+			remainingOps: tc.RemainingOps,
+			retries:      tc.Retries,
+			handovers:    tc.Handovers,
+			submitted:    tc.Submitted,
+		}
+		c.tasks[tc.Task.ID] = ts
+		stats.Resumed.Inc()
+		c.assign(ts)
+	}
+	c.advertise()
+	return c, nil
+}

@@ -35,6 +35,10 @@ type MemberConfig struct {
 	// unlimited (engine running / plugged in). When the budget is
 	// exhausted the member leaves the cloud and stops accepting work.
 	BatteryOps float64
+	// OnPromote, when non-nil, is called after this member promotes
+	// itself to controller from a replicated checkpoint (failover). The
+	// deployment wires this to track the successor controller.
+	OnPromote func(c *Controller)
 }
 
 // runningTask is a task being executed locally.
@@ -68,6 +72,11 @@ type Member struct {
 	// spentOps accumulates executed work against the battery budget.
 	spentOps float64
 	depleted bool
+	// standbyCkpt is the latest replicated checkpoint when this member is
+	// the designated failover standby; standbyFrom is the controller that
+	// sent it (-1 when not a standby).
+	standbyCkpt *Checkpoint
+	standbyFrom vnet.Addr
 }
 
 // NewMember creates and starts a member agent on node.
@@ -82,15 +91,17 @@ func NewMember(node *vnet.Node, cfg MemberConfig, stats *Stats) (*Member, error)
 		cfg.CheckPeriod = time.Second
 	}
 	m := &Member{
-		node:       node,
-		cfg:        cfg,
-		stats:      stats,
-		current:    make(map[TaskID]*runningTask),
-		controller: -1,
-		authz:      make(map[vnet.Addr]bool),
+		node:        node,
+		cfg:         cfg,
+		stats:       stats,
+		current:     make(map[TaskID]*runningTask),
+		controller:  -1,
+		authz:       make(map[vnet.Addr]bool),
+		standbyFrom: -1,
 	}
 	node.Handle(kindAdv, m.onAdv)
 	node.Handle(kindTask, m.onTask)
+	node.Handle(kindCkpt, m.onCkpt)
 	t, err := node.Kernel().Every(cfg.CheckPeriod, m.tick)
 	if err != nil {
 		return nil, err
@@ -108,6 +119,7 @@ func (m *Member) Stop() {
 	m.ticker.Stop()
 	m.node.Handle(kindAdv, nil)
 	m.node.Handle(kindTask, nil)
+	m.node.Handle(kindCkpt, nil)
 	for _, rt := range m.current {
 		m.node.Kernel().Cancel(rt.doneEv)
 		m.stats.WastedOps += m.executedOps(rt)
@@ -133,6 +145,11 @@ func (m *Member) onAdv(msg vnet.Message, _ vnet.Addr) {
 	adv, ok := msg.Payload.(advMsg)
 	if !ok {
 		return
+	}
+	// Deposed as standby: a fresher advertisement names someone else.
+	if m.standbyFrom == adv.Controller && adv.Standby != m.node.Addr() {
+		m.standbyCkpt = nil
+		m.standbyFrom = -1
 	}
 	m.emergencyMode = adv.Emergency
 	now := m.node.Kernel().Now()
@@ -258,6 +275,64 @@ func (m *Member) complete(rt *runningTask) {
 	}
 }
 
+// onCkpt stores a replicated checkpoint: receiving one designates this
+// member as the controller's failover standby. A checkpoint also proves
+// the controller is alive, refreshing the silence clock.
+func (m *Member) onCkpt(msg vnet.Message, _ vnet.Addr) {
+	if m.stopped || m.depleted {
+		return
+	}
+	cm, ok := msg.Payload.(ckptMsg)
+	if !ok {
+		return
+	}
+	ck := cm.Ckpt
+	m.standbyCkpt = &ck
+	m.standbyFrom = msg.Origin
+	if m.controller == msg.Origin {
+		m.controllerAt = m.node.Kernel().Now()
+	}
+}
+
+// Standby reports whether this member currently holds a checkpoint as
+// the designated failover successor.
+func (m *Member) Standby() bool { return m.standbyCkpt != nil }
+
+// maybePromote checks the failover condition — we hold a checkpoint and
+// the controller that sent it has been silent past its FailoverTTL —
+// and promotes this member to controller when it holds. Reports whether
+// a promotion happened (the member is stopped afterwards).
+func (m *Member) maybePromote() bool {
+	if m.standbyCkpt == nil || m.depleted || m.controller != m.standbyFrom {
+		return false
+	}
+	if m.node.Kernel().Now()-m.controllerAt <= m.standbyCkpt.FailoverTTL {
+		return false
+	}
+	m.promote()
+	return true
+}
+
+// promote turns this member into the cloud's controller: the member
+// agent stops (abandoning local work as waste, like any departure) and a
+// controller seeded from the replicated checkpoint starts on the same
+// node, resuming the in-flight task table.
+func (m *Member) promote() {
+	ckpt := *m.standbyCkpt
+	m.standbyCkpt = nil
+	m.standbyFrom = -1
+	node, stats, onPromote := m.node, m.stats, m.cfg.OnPromote
+	m.Stop()
+	c, err := RestoreController(node, ckpt, stats)
+	if err != nil {
+		return
+	}
+	stats.Failovers.Inc()
+	if onPromote != nil {
+		onPromote(c)
+	}
+}
+
 // deplete powers the member down for cloud purposes: it leaves the
 // controller and ignores further work, preserving battery for the
 // owner's return.
@@ -275,10 +350,17 @@ func (m *Member) Depleted() bool { return m.depleted }
 // SpentOps returns the executed work counted against the battery.
 func (m *Member) SpentOps() float64 { return m.spentOps }
 
-// tick checks for imminent departure and hands work over when the
-// remaining contact window cannot cover the remaining compute.
+// tick checks the failover condition first, then for imminent departure,
+// handing work over when the remaining contact window cannot cover the
+// remaining compute.
 func (m *Member) tick() {
-	if m.stopped || !m.cfg.Handover || m.cfg.DepartureWarning == nil || len(m.current) == 0 {
+	if m.stopped {
+		return
+	}
+	if m.maybePromote() {
+		return
+	}
+	if !m.cfg.Handover || m.cfg.DepartureWarning == nil || len(m.current) == 0 {
 		return
 	}
 	window := m.cfg.DepartureWarning()

@@ -18,7 +18,7 @@
 //     control with sticky data–policy packages, and real-time message
 //     trustworthiness validation;
 //   - the adversary models of the paper's §III threat list, and the
-//     E1–E10 experiment suite that operationalizes every figure and
+//     E1–E11 experiment suite that operationalizes every figure and
 //     claim (see DESIGN.md and EXPERIMENTS.md).
 //
 // This root package is the public facade: it re-exports the library's
@@ -36,6 +36,7 @@ import (
 	"vcloud/internal/auth"
 	"vcloud/internal/cluster"
 	"vcloud/internal/experiments"
+	"vcloud/internal/faults"
 	"vcloud/internal/geo"
 	"vcloud/internal/mobility"
 	"vcloud/internal/pki"
@@ -98,6 +99,25 @@ type (
 	// Ledger is the incentive credit ledger.
 	Ledger = vcloud.Ledger
 )
+
+// Fault-injection types (the dependability drill subsystem; see
+// internal/faults for the plan language).
+type (
+	// FaultPlan is an ordered, deterministic fault schedule.
+	FaultPlan = faults.Plan
+	// FaultEvent is one scheduled fault.
+	FaultEvent = faults.Event
+	// FaultInjector binds fault plans to a scenario.
+	FaultInjector = faults.Injector
+)
+
+// ParseFaultPlan reads a fault plan in the textual plan language, e.g.
+// "30s rsu-down 0; 45s partition 1500,0 400 20s; 60s loss 0.3 10s".
+func ParseFaultPlan(text string) (FaultPlan, error) { return faults.Parse(text) }
+
+// NewFaultInjector creates a fault injector over the scenario; schedule
+// plans on it before or during the run.
+func NewFaultInjector(s *Scenario) (*FaultInjector, error) { return faults.NewInjector(s) }
 
 // Experiment types.
 type (
@@ -243,14 +263,14 @@ func DeploySecureCloud(s *Scenario, arch Architecture, ta *TrustedAuthority, met
 }
 
 // RunExperiment executes one of the paper-reproduction experiments
-// (E1–E10) and returns its table and named values.
+// (E1–E11) and returns its table and named values.
 func RunExperiment(id string, cfg ExperimentConfig) (*ExperimentResult, error) {
 	for _, r := range experiments.All() {
 		if r.ID == id {
 			return r.Run(cfg)
 		}
 	}
-	return nil, fmt.Errorf("vcloud: unknown experiment %q (valid: E1..E10)", id)
+	return nil, fmt.Errorf("vcloud: unknown experiment %q (valid: E1..E11)", id)
 }
 
 // Experiments lists the available experiment IDs with their titles.
