@@ -136,6 +136,17 @@ func BenchmarkE11Failover(b *testing.B) {
 	})
 }
 
+// BenchmarkE12Dependability regenerates the Byzantine-worker drill:
+// correct-completion rate for the single-replica baseline vs the
+// trust-gated voting policy at the highest Byzantine fraction.
+func BenchmarkE12Dependability(b *testing.B) {
+	runExperiment(b, experiments.E12Dependability, map[string]string{
+		"baseline-correct":   "baseline/byz0.6/correct",
+		"trustgated-correct": "trustgated/byz0.6/correct",
+		"trustgated-wrong":   "trustgated/byz0.6/wrong",
+	})
+}
+
 // BenchmarkBatchVerification regenerates the DESIGN.md batch-verification
 // ablation ([21]/[44]): amortized batch checks vs individual signature
 // verification, in real CPU time and saved virtual time.

@@ -14,6 +14,19 @@
 //	vcloudsim -scenario highway -arch infrastructure \
 //	  -faults '30s rsu-down 0; 45s partition 1500,0 400 20s; 60s loss 0.3 10s; 80s rsu-up 0'
 //	vcloudsim -scenario parkinglot -arch stationary -faults '40s kill-controller 0'
+//
+// -replicas enables the dependable-execution policy (redundant copies,
+// majority voting, backoff retries) and prints a per-task table of
+// retry and replica counts:
+//
+//	vcloudsim -scenario parkinglot -arch stationary -replicas 3 -retries 3
+//
+// -soak runs the chaos soak harness instead of a plain scenario: a
+// seeded randomized storm of crashes, partitions, loss bursts,
+// controller kills and Byzantine flips, with dependability invariants
+// asserted continuously. The exit code reports violations:
+//
+//	vcloudsim -soak -duration 600 -vehicles 20 -byz 0.25 -seed 7
 package main
 
 import (
@@ -25,6 +38,7 @@ import (
 	root "vcloud"
 	"vcloud/internal/cluster"
 	"vcloud/internal/geo"
+	"vcloud/internal/metrics"
 	"vcloud/internal/mobility"
 	"vcloud/internal/trace"
 	ivc "vcloud/internal/vcloud"
@@ -41,16 +55,63 @@ func main() {
 		secure   = flag.Bool("secure", false, "gate cloud membership behind mutual authentication (§V.A)")
 		traceN   = flag.Int("trace", 0, "dump the last N task-lifecycle trace events")
 		faultStr = flag.String("faults", "", "fault plan, e.g. '30s rsu-down 0; 45s partition 1500,0 400 20s' (times are absolute virtual times)")
+		replicas = flag.Int("replicas", 0, "redundant copies per task with majority voting (0 disables the dependability policy)")
+		retries  = flag.Int("retries", 0, "max backoff retry rounds per task (with -replicas)")
+		soak     = flag.Bool("soak", false, "run the chaos soak harness (uses -seed, -vehicles, -duration, -byz)")
+		byz      = flag.Float64("byz", 0, "fraction of workers returning wrong results (soak mode)")
 	)
 	flag.Parse()
 
-	if err := run(*scen, *arch, *vehicles, *tasks, *duration, *seed, *secure, *traceN, *faultStr); err != nil {
+	if *soak {
+		if err := runSoak(*seed, *vehicles, *duration, *byz); err != nil {
+			fmt.Fprintln(os.Stderr, "vcloudsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*scen, *arch, *vehicles, *tasks, *duration, *seed, *secure, *traceN, *faultStr, *replicas, *retries); err != nil {
 		fmt.Fprintln(os.Stderr, "vcloudsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(scen, archName string, vehicles, tasks int, duration float64, seed int64, secure bool, traceN int, faultStr string) error {
+// runSoak executes the chaos soak harness and prints its report. A
+// non-empty violation list is a process failure: the soak is the
+// executable form of the dependability invariants.
+func runSoak(seed int64, vehicles int, duration float64, byz float64) error {
+	rep, err := root.RunSoak(root.SoakConfig{
+		Seed:        seed,
+		Vehicles:    vehicles,
+		Duration:    root.Seconds(duration),
+		ByzFraction: byz,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("soak: seed=%d vehicles=%d duration=%.0fs byz=%.2f\n", seed, vehicles, duration, byz)
+	fmt.Printf("tasks: submitted=%d completed=%d failed=%d refused=%d correct=%d wrong=%d unchecked=%d\n",
+		rep.Submitted, rep.Completed, rep.Failed, rep.Refused, rep.Correct, rep.Wrong, rep.Unchecked)
+	fmt.Printf("storm: %d fault(s) injected, %d failover(s), %d invariant sweep(s)\n",
+		rep.FaultsInjected, rep.Failovers, rep.Checks)
+	for _, f := range rep.FaultLog {
+		fmt.Printf("  %s\n", f)
+	}
+	fmt.Printf("checksum: %016x (same seed reproduces bit-for-bit)\n", rep.Checksum)
+	if len(rep.Violations) > 0 {
+		for _, v := range rep.Violations {
+			fmt.Printf("VIOLATION: %s\n", v)
+		}
+		return fmt.Errorf("%d invariant violation(s)", len(rep.Violations))
+	}
+	fmt.Println("invariants: all held")
+	return nil
+}
+
+func run(scen, archName string, vehicles, tasks int, duration float64, seed int64, secure bool, traceN int, faultStr string, replicas, retries int) error {
+	var policy *root.DependabilityPolicy
+	if replicas > 0 {
+		policy = &root.DependabilityPolicy{Replicas: replicas, MaxRetries: retries}
+	}
 	var s *root.Scenario
 	var err error
 	switch scen {
@@ -103,14 +164,14 @@ func run(scen, archName string, vehicles, tasks int, duration float64, seed int6
 			return err
 		}
 		authMet = &root.AuthMetrics{}
-		sd, err := ivc.DeploySecure(s, arch, deployCfg(rec), ivc.Security{TA: ta, Metrics: authMet}, stats)
+		sd, err := ivc.DeploySecure(s, arch, deployCfg(rec, policy), ivc.Security{TA: ta, Metrics: authMet}, stats)
 		if err != nil {
 			return err
 		}
 		cloud = sd.Deployment
 	} else {
 		var err error
-		cloud, err = ivc.Deploy(s, arch, deployCfg(rec), stats)
+		cloud, err = ivc.Deploy(s, arch, deployCfg(rec, policy), stats)
 		if err != nil {
 			return err
 		}
@@ -152,8 +213,11 @@ func run(scen, archName string, vehicles, tasks int, duration float64, seed int6
 	fmt.Printf("scenario=%s arch=%s vehicles=%d: %d controller(s), %d member(s) after warm-up\n",
 		scen, archName, len(s.VehicleIDs()), len(cloud.ActiveControllers()), members)
 
+	results := make([]root.TaskResult, 0, tasks)
 	for i := 0; i < tasks; i++ {
-		if err := cloud.SubmitAnywhere(root.Task{Ops: 2000, InputBytes: 2000, OutputBytes: 1000}, nil); err != nil {
+		err := cloud.SubmitAnywhere(root.Task{Ops: 2000, InputBytes: 2000, OutputBytes: 1000},
+			func(r root.TaskResult) { results = append(results, r) })
+		if err != nil {
 			fmt.Printf("  submit %d refused: %v\n", i, err)
 		}
 	}
@@ -164,6 +228,22 @@ func run(scen, archName string, vehicles, tasks int, duration float64, seed int6
 	fmt.Printf("tasks: submitted=%d completed=%d failed=%d retries=%d handovers=%d\n",
 		stats.Submitted.Value(), stats.Completed.Value(), stats.Failed.Value(),
 		stats.Retries.Value(), stats.Handovers.Value())
+	if policy != nil {
+		fmt.Printf("dependability: replicas dispatched=%d wrong votes=%d no-quorum rounds=%d\n",
+			stats.ReplicaDispatches.Value(), stats.WrongVotes.Value(), stats.NoQuorum.Value())
+		tbl := metrics.NewTable("per-task dependability",
+			"task", "outcome", "retries", "replicas", "voters", "latency")
+		for _, r := range results {
+			outcome := "ok"
+			if !r.OK {
+				outcome = "failed: " + r.Reason
+			}
+			tbl.AddRow(fmt.Sprintf("%d", r.ID), outcome,
+				fmt.Sprintf("%d", r.Retries), fmt.Sprintf("%d", r.Replicas),
+				fmt.Sprintf("%d", len(r.Voters)), fmt.Sprintf("%.0fms", float64(r.Latency.Milliseconds())))
+		}
+		fmt.Print(tbl.String())
+	}
 	if stats.Latency.Count() > 0 {
 		fmt.Printf("latency: p50=%.1fms p95=%.1fms\n",
 			stats.Latency.Percentile(50), stats.Latency.Percentile(95))
@@ -192,12 +272,13 @@ func run(scen, archName string, vehicles, tasks int, duration float64, seed int6
 	return nil
 }
 
-// deployCfg builds the default deployment config with optional tracing.
-func deployCfg(rec *trace.Recorder) ivc.DeployConfig {
+// deployCfg builds the default deployment config with optional tracing
+// and dependability policy.
+func deployCfg(rec *trace.Recorder, policy *root.DependabilityPolicy) ivc.DeployConfig {
 	return ivc.DeployConfig{
 		Handover:    true,
 		DwellMode:   mobility.DwellRouteAware,
 		ClusterAlgo: cluster.MobilitySimilarity{},
-		Controller:  ivc.ControllerConfig{Trace: rec},
+		Controller:  ivc.ControllerConfig{Trace: rec, Depend: policy},
 	}
 }

@@ -1,0 +1,80 @@
+package attack
+
+import (
+	"fmt"
+	"math/rand"
+
+	"vcloud/internal/vcloud"
+)
+
+// ByzantineWorker turns a cloud member into the §III "malicious member"
+// the dependable-execution layer defends against: it executes assigned
+// tasks normally but returns a wrong result value — silently (every
+// result) or intermittently (each result wrong with probability
+// WrongProb, drawn from a seeded stream so runs reproduce).
+//
+// The model is non-colluding: each worker's wrong value is a
+// deterministic scramble of the correct value keyed by (worker, task),
+// so two Byzantine workers never agree with each other or with the
+// honest majority. This is the classical adversary redundant execution
+// with majority voting is designed for; colluding adversaries that
+// coordinate on a single wrong value would additionally require
+// replica counts of 2f+1 with f colluders, which E12's no-quorum and
+// trust metrics expose but the voting layer does not otherwise defend
+// against.
+type ByzantineWorker struct {
+	member    *vcloud.Member
+	wrongProb float64
+	rng       *rand.Rand
+	active    bool
+	// Wrong counts results tampered with; Honest counts results passed
+	// through (inactive periods and intermittent honesty).
+	Wrong  uint64
+	Honest uint64
+}
+
+// Byzantify installs Byzantine result-tampering on a member. wrongProb
+// is the per-result probability of lying in [0,1] (1 = every result
+// wrong); rng must be a seeded stream (e.g. Kernel.NewStream) and may be
+// nil when wrongProb is 1. The worker starts active.
+func Byzantify(m *vcloud.Member, wrongProb float64, rng *rand.Rand) (*ByzantineWorker, error) {
+	if m == nil {
+		return nil, fmt.Errorf("attack: member must not be nil")
+	}
+	if wrongProb < 0 || wrongProb > 1 {
+		return nil, fmt.Errorf("attack: wrong probability must be in [0,1], got %v", wrongProb)
+	}
+	if wrongProb < 1 && rng == nil {
+		return nil, fmt.Errorf("attack: intermittent byzantine worker needs a seeded rng")
+	}
+	b := &ByzantineWorker{member: m, wrongProb: wrongProb, rng: rng, active: true}
+	m.SetResultTamper(b.tamper)
+	return b, nil
+}
+
+// SetActive flips the worker between Byzantine and honest behaviour
+// (the chaos soak's "byzantine flip" fault).
+func (b *ByzantineWorker) SetActive(on bool) { b.active = on }
+
+// Active reports whether the worker is currently lying.
+func (b *ByzantineWorker) Active() bool { return b.active }
+
+func (b *ByzantineWorker) tamper(t vcloud.Task, correct uint64) uint64 {
+	if !b.active || (b.wrongProb < 1 && b.rng.Float64() >= b.wrongProb) {
+		b.Honest++
+		return correct
+	}
+	b.Wrong++
+	return scramble(uint64(b.member.Addr()), uint64(t.ID)) ^ correct
+}
+
+// scramble mixes (worker, task) into a non-zero perturbation, splitmix-
+// style, so every Byzantine worker produces a distinct wrong value per
+// task and never accidentally the correct one.
+func scramble(worker, task uint64) uint64 {
+	z := worker*0x9e3779b97f4a7c15 + task + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return z | 1 // never zero: wrong value always differs from correct
+}

@@ -1,0 +1,548 @@
+// Package chaos is the soak harness for the dependability stack: it
+// runs a vehicular cloud under a randomized-but-seeded storm of faults
+// — member crashes and recoveries, region partitions, loss bursts,
+// controller kills, Byzantine flips — for long simulated horizons while
+// a continuous workload flows, and asserts the system's safety
+// invariants after every step:
+//
+//   - no task is reported both completed and failed (each submission's
+//     callback fires at most once, and the controller's double-finish
+//     tripwire stays silent);
+//   - no task is orphaned: between events, every in-flight task holds a
+//     pending timer or retry round that will eventually move it;
+//   - progress counters are monotone and consistent
+//     (completed + failed ≤ submitted, failovers never decrease);
+//   - result correctness: a completed task whose voter set contained at
+//     most ⌊(K−1)/2⌋ possibly-Byzantine workers carries the correct
+//     value (the redundant-execution guarantee; the soak runs with
+//     trust-weighted voting off, which is the configuration under which
+//     that bound is exact).
+//
+// "Possibly Byzantine" is a deliberate over-approximation: a voter
+// counts as Byzantine for a task if any of its lying intervals
+// overlapped the task's lifetime. Over-counting can only skip a check,
+// never raise a false alarm, so a reported violation is always real.
+//
+// Every random draw — fault mix, targets, timings, Byzantine flips —
+// comes from named kernel streams, so a soak is a pure function of its
+// config: the FNV-1a checksum over the canonical event log is
+// bit-for-bit reproducible under the same seed, and any violation
+// replays exactly.
+package chaos
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"vcloud/internal/attack"
+	"vcloud/internal/faults"
+	"vcloud/internal/geo"
+	"vcloud/internal/mobility"
+	"vcloud/internal/roadnet"
+	"vcloud/internal/scenario"
+	"vcloud/internal/sim"
+	"vcloud/internal/vcloud"
+	"vcloud/internal/vnet"
+)
+
+// SoakConfig tunes a soak run. Zero values take defaults.
+type SoakConfig struct {
+	// Seed drives everything; equal seeds replay equal soaks.
+	Seed int64
+	// Vehicles is the parked fleet size. Default 20.
+	Vehicles int
+	// ByzFraction of members lie about results (WrongProb 1 while
+	// active; "byz-flip" faults toggle them). Default 0.2.
+	ByzFraction float64
+	// Duration is the soaked horizon after warm-up. Default 10 min.
+	Duration sim.Time
+	// Warmup lets the cloud form before the storm. Default 10 s.
+	Warmup sim.Time
+	// Drain lets in-flight tasks settle after the horizon before the
+	// final audit. Default 30 s.
+	Drain sim.Time
+	// TaskEvery is the workload submission period. Default 500 ms.
+	TaskEvery sim.Time
+	// TaskOps sizes each task. Default 1500.
+	TaskOps float64
+	// FaultEvery is the mean fault injection period. Default 5 s.
+	FaultEvery sim.Time
+	// CheckEvery is the invariant-check period. Default 1 s.
+	CheckEvery sim.Time
+	// Policy is the dependability policy under soak. Defaults to
+	// 3 replicas, 3 retries, trust weighting off (see package comment).
+	Policy *vcloud.DependabilityPolicy
+}
+
+func (c SoakConfig) withDefaults() SoakConfig {
+	if c.Vehicles == 0 {
+		c.Vehicles = 20
+	}
+	if c.ByzFraction == 0 {
+		c.ByzFraction = 0.2
+	}
+	if c.Duration == 0 {
+		c.Duration = 10 * time.Minute
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 10 * time.Second
+	}
+	if c.Drain == 0 {
+		c.Drain = 30 * time.Second
+	}
+	if c.TaskEvery == 0 {
+		c.TaskEvery = 500 * time.Millisecond
+	}
+	if c.TaskOps == 0 {
+		c.TaskOps = 1500
+	}
+	if c.FaultEvery == 0 {
+		c.FaultEvery = 5 * time.Second
+	}
+	if c.CheckEvery == 0 {
+		c.CheckEvery = time.Second
+	}
+	if c.Policy == nil {
+		c.Policy = &vcloud.DependabilityPolicy{Replicas: 3, MaxRetries: 3}
+	}
+	return c
+}
+
+// Validate checks config sanity.
+func (c SoakConfig) Validate() error {
+	if c.Vehicles < 0 || c.ByzFraction < 0 || c.ByzFraction > 1 {
+		return fmt.Errorf("chaos: vehicles must be >= 0 and byz fraction in [0,1]")
+	}
+	if c.Duration < 0 || c.Warmup < 0 || c.Drain < 0 ||
+		c.TaskEvery < 0 || c.FaultEvery < 0 || c.CheckEvery < 0 {
+		return fmt.Errorf("chaos: durations must be >= 0")
+	}
+	if c.TaskOps < 0 || math.IsNaN(c.TaskOps) || math.IsInf(c.TaskOps, 0) {
+		return fmt.Errorf("chaos: task ops must be finite and >= 0")
+	}
+	if c.Policy != nil {
+		return c.Policy.Validate()
+	}
+	return nil
+}
+
+// Report is the outcome of a soak run.
+type Report struct {
+	// Submitted counts tasks entered; Refused counts submissions no
+	// active controller would take (cloud headless mid-failover).
+	Submitted int
+	Refused   int
+	// Completed/Failed count callback outcomes. Tasks resumed by a
+	// failover successor lose their callbacks, so these can undercount
+	// the controller's own totals — the reconciliation the invariant
+	// checker performs accounts for that.
+	Completed int
+	Failed    int
+	// Correct/Wrong split completed tasks by result value. Unchecked
+	// counts completions whose voter set had too many possibly-
+	// Byzantine members for the ⌊(K−1)/2⌋ guarantee to apply.
+	Correct   int
+	Wrong     int
+	Unchecked int
+	// FaultsInjected counts storm events; FaultLog holds one line each.
+	FaultsInjected int
+	FaultLog       []string
+	// Failovers is the controller promotions the run saw.
+	Failovers uint64
+	// Violations holds every invariant breach, deduplicated. Empty is
+	// the passing state.
+	Violations []string
+	// Checks counts invariant sweeps performed.
+	Checks int
+	// Checksum is an FNV-1a digest over the canonical event log —
+	// bit-for-bit identical across runs with equal configs.
+	Checksum uint64
+	// Events is the canonical event log the checksum covers.
+	Events []string
+}
+
+// byzWindow is one interval during which a worker lied.
+type byzWindow struct{ from, to sim.Time }
+
+// soakTask tracks one submission by sequence number (task IDs can
+// collide after a stale-checkpoint promotion; sequence numbers cannot).
+type soakTask struct {
+	task      vcloud.Task
+	submitted sim.Time
+	fired     int
+}
+
+type soak struct {
+	cfg   SoakConfig
+	s     *scenario.Scenario
+	d     *vcloud.Deployment
+	stats *vcloud.Stats
+	inj   *faults.Injector
+	rng   *rand.Rand // "chaos.plan" stream: fault mix and targets
+
+	byz        map[vnet.Addr]*attack.ByzantineWorker
+	byzWindows map[vnet.Addr][]byzWindow
+
+	tasks      []*soakTask
+	report     *Report
+	violations map[string]bool
+	// lastKill gates controller kills: a fresh promotee needs time to
+	// gather members and replicate a checkpoint before it can be killed
+	// survivably, so kills are spaced by killSpacing.
+	lastKill sim.Time
+	// monotonicity watermarks.
+	lastSubmitted, lastCompleted, lastFailed, lastFailovers uint64
+}
+
+// killSpacing is the minimum gap between controller kills. It covers
+// failover detection (FailoverTTL) plus member re-join and at least one
+// checkpoint replication to the successor's own standby; killing faster
+// than that makes the storm unsurvivable by design, which is a fault in
+// the harness rather than the system under test.
+const killSpacing = 20 * time.Second
+
+// Soak runs one full soak and returns its report. The report's
+// Violations being empty is the pass criterion.
+func Soak(cfg SoakConfig) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	net, err := roadnet.ParkingLot(roadnet.ParkingLotSpec{Aisles: 4, AisleLenM: 200, AisleGapM: 40})
+	if err != nil {
+		return nil, err
+	}
+	s, err := scenario.New(scenario.Spec{Seed: cfg.Seed, Network: net, NumVehicles: cfg.Vehicles, Parked: true})
+	if err != nil {
+		return nil, err
+	}
+	if _, err := s.AddRSU(geo.Point{X: 0, Y: 0}); err != nil {
+		return nil, err
+	}
+	stats := &vcloud.Stats{}
+	d, err := vcloud.Deploy(s, vcloud.Stationary, vcloud.DeployConfig{
+		Failover:   true,
+		Controller: vcloud.ControllerConfig{Depend: cfg.Policy},
+	}, stats)
+	if err != nil {
+		return nil, err
+	}
+	inj, err := faults.NewInjector(s)
+	if err != nil {
+		return nil, err
+	}
+	inj.OnControllerKill(func(idx int) {
+		ctls := d.ActiveControllers()
+		if idx >= 0 && idx < len(ctls) {
+			ctls[idx].Crash()
+		}
+	})
+
+	sk := &soak{
+		cfg:        cfg,
+		s:          s,
+		d:          d,
+		stats:      stats,
+		inj:        inj,
+		rng:        s.Kernel.NewStream("chaos.plan"),
+		byz:        make(map[vnet.Addr]*attack.ByzantineWorker),
+		byzWindows: make(map[vnet.Addr][]byzWindow),
+		report:     &Report{},
+		violations: make(map[string]bool),
+	}
+	if err := sk.byzantify(); err != nil {
+		return nil, err
+	}
+	if err := s.Start(); err != nil {
+		return nil, err
+	}
+	if err := s.RunFor(cfg.Warmup); err != nil {
+		return nil, err
+	}
+
+	taskT, err := s.Kernel.Every(cfg.TaskEvery, sk.submitOne)
+	if err != nil {
+		return nil, err
+	}
+	faultT, err := s.Kernel.Every(cfg.FaultEvery, sk.injectFault)
+	if err != nil {
+		return nil, err
+	}
+	checkT, err := s.Kernel.Every(cfg.CheckEvery, sk.check)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.RunFor(cfg.Duration); err != nil {
+		return nil, err
+	}
+	// Storm over: stop injecting and submitting, let in-flight work
+	// settle, then audit one last time.
+	taskT.Stop()
+	faultT.Stop()
+	if err := s.RunFor(cfg.Drain); err != nil {
+		return nil, err
+	}
+	checkT.Stop()
+	sk.check()
+	sk.finalize()
+	return sk.report, nil
+}
+
+// byzantify turns the configured fraction of members Byzantine, lowest
+// vehicle IDs first (deterministic; which IDs are low is arbitrary with
+// respect to the parking layout).
+func (sk *soak) byzantify() error {
+	ids := make([]mobility.VehicleID, 0, len(sk.d.Members))
+	for id := range sk.d.Members {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	n := int(math.Round(sk.cfg.ByzFraction * float64(len(ids))))
+	for _, id := range ids[:n] {
+		m := sk.d.Members[id]
+		b, err := attack.Byzantify(m, 1, nil)
+		if err != nil {
+			return err
+		}
+		sk.byz[m.Addr()] = b
+		sk.byzWindows[m.Addr()] = []byzWindow{{from: 0, to: -1}} // open
+	}
+	return nil
+}
+
+// setByz flips a worker's lying state, closing or opening its window.
+func (sk *soak) setByz(a vnet.Addr, on bool) {
+	b := sk.byz[a]
+	if b == nil || b.Active() == on {
+		return
+	}
+	b.SetActive(on)
+	now := sk.s.Kernel.Now()
+	ws := sk.byzWindows[a]
+	if on {
+		sk.byzWindows[a] = append(ws, byzWindow{from: now, to: -1})
+	} else if len(ws) > 0 && ws[len(ws)-1].to < 0 {
+		ws[len(ws)-1].to = now
+	}
+}
+
+// possiblyByz reports whether worker a had any lying interval
+// overlapping [t0, t1].
+func (sk *soak) possiblyByz(a vnet.Addr, t0, t1 sim.Time) bool {
+	for _, w := range sk.byzWindows[a] {
+		end := w.to
+		if end < 0 {
+			end = t1 // still open
+		}
+		if w.from <= t1 && end >= t0 {
+			return true
+		}
+	}
+	return false
+}
+
+// submitOne enters one workload task and registers its outcome hooks.
+func (sk *soak) submitOne() {
+	seq := len(sk.tasks)
+	st := &soakTask{
+		task:      vcloud.Task{Ops: sk.cfg.TaskOps, InputBytes: 1000, OutputBytes: 500},
+		submitted: sk.s.Kernel.Now(),
+	}
+	sk.tasks = append(sk.tasks, st)
+	err := sk.d.SubmitAnywhere(st.task, func(r vcloud.TaskResult) {
+		sk.onOutcome(seq, r)
+	})
+	if err != nil {
+		sk.report.Refused++
+		sk.event("task %d refused at %s", seq, sk.s.Kernel.Now())
+		return
+	}
+	sk.report.Submitted++
+}
+
+// onOutcome records a task callback and checks the per-task invariants:
+// single firing, and result correctness under the Byzantine bound.
+func (sk *soak) onOutcome(seq int, r vcloud.TaskResult) {
+	st := sk.tasks[seq]
+	st.fired++
+	if st.fired > 1 {
+		sk.violate("task seq %d reported %d outcomes (completed and failed must be exclusive)", seq, st.fired)
+		return
+	}
+	now := sk.s.Kernel.Now()
+	if !r.OK {
+		sk.report.Failed++
+		sk.event("task %d failed reason=%q retries=%d replicas=%d", seq, r.Reason, r.Retries, r.Replicas)
+		return
+	}
+	sk.report.Completed++
+	// The controller assigned the task its ID after submission; workers
+	// hashed that ID into their values, so the reference must too.
+	ref := st.task
+	ref.ID = r.ID
+	correct := vcloud.TaskValue(ref)
+	// Count possibly-Byzantine voters over the task's lifetime; the
+	// over-approximation can only widen this set (see package comment).
+	nByz := 0
+	for _, v := range r.Voters {
+		if sk.possiblyByz(v, st.submitted, now) {
+			nByz++
+		}
+	}
+	if 2*nByz < len(r.Voters) {
+		if r.Value == correct {
+			sk.report.Correct++
+		} else {
+			sk.report.Wrong++
+			sk.violate("task seq %d decided wrong value with %d/%d possibly-byzantine voters", seq, nByz, len(r.Voters))
+		}
+	} else {
+		sk.report.Unchecked++
+		if r.Value == correct {
+			sk.report.Correct++
+		} else {
+			sk.report.Wrong++ // majority-Byzantine voter set: no guarantee, count but don't flag
+		}
+	}
+	sk.event("task %d ok value=%d retries=%d replicas=%d voters=%d", seq, r.Value, r.Retries, r.Replicas, len(r.Voters))
+}
+
+// injectFault draws one storm event: crash (with auto-recovery),
+// partition, loss burst, controller kill, or Byzantine flip.
+func (sk *soak) injectFault() {
+	roll := sk.rng.Float64()
+	now := sk.s.Kernel.Now()
+	switch {
+	case roll < 0.35:
+		// Crash a random vehicle's radio for 5–20 s.
+		ids := sk.s.VehicleIDs()
+		if len(ids) == 0 {
+			return
+		}
+		id := ids[sk.rng.Intn(len(ids))]
+		dur := sim.Time(5+sk.rng.Float64()*15) * time.Second
+		sk.inj.CrashNode(vnet.Addr(id))
+		sk.s.Kernel.After(dur, func() { sk.inj.RecoverNode(vnet.Addr(id)) })
+		sk.fault("%s crash vehicle %d for %s", now, id, dur)
+	case roll < 0.55:
+		// Partition a circular region for 5–15 s.
+		b := sk.s.Network.Bounds()
+		c := geo.Point{
+			X: b.Min.X + sk.rng.Float64()*b.Width(),
+			Y: b.Min.Y + sk.rng.Float64()*b.Height(),
+		}
+		radius := 50 + sk.rng.Float64()*150
+		dur := sim.Time(5+sk.rng.Float64()*10) * time.Second
+		heal := sk.inj.StartPartition(c, radius)
+		sk.s.Kernel.After(dur, heal)
+		sk.fault("%s partition r=%.0fm at %.0f,%.0f for %s", now, radius, c.X, c.Y, dur)
+	case roll < 0.75:
+		// Loss burst 10–40% for 3–10 s.
+		p := 0.1 + sk.rng.Float64()*0.3
+		dur := sim.Time(3+sk.rng.Float64()*7) * time.Second
+		sk.inj.SetLoss(p)
+		sk.s.Kernel.After(dur, func() { sk.inj.SetLoss(0) })
+		sk.fault("%s loss p=%.2f for %s", now, p, dur)
+	case roll < 0.85:
+		// Kill the busiest controller; failover must take over. Keep a
+		// kill budget so a long storm cannot consume the whole fleet
+		// (every promotion costs one worker).
+		ctls := sk.d.ActiveControllers()
+		if len(ctls) == 0 || len(sk.d.Members) <= sk.cfg.Vehicles/2 ||
+			(sk.lastKill > 0 && now-sk.lastKill < killSpacing) {
+			return
+		}
+		sk.lastKill = now
+		ctls[sk.rng.Intn(len(ctls))].Crash()
+		sk.fault("%s kill-controller", now)
+	default:
+		// Flip a random Byzantine worker honest, or back.
+		if len(sk.byz) == 0 {
+			return
+		}
+		addrs := make([]vnet.Addr, 0, len(sk.byz))
+		for a := range sk.byz {
+			addrs = append(addrs, a)
+		}
+		sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+		a := addrs[sk.rng.Intn(len(addrs))]
+		sk.setByz(a, !sk.byz[a].Active())
+		sk.fault("%s byz-flip worker %d -> %v", now, a, sk.byz[a].Active())
+	}
+}
+
+// check is one invariant sweep: controller self-audits plus counter
+// monotonicity and accounting.
+func (sk *soak) check() {
+	sk.report.Checks++
+	for _, c := range sk.d.Controllers {
+		if c.Stopped() {
+			continue // a crashed controller's task table is dead, not stuck
+		}
+		for _, v := range c.InvariantViolations() {
+			sk.violate("controller %d: %s", c.Addr(), v)
+		}
+	}
+	sub, comp, fail := sk.stats.Submitted.Value(), sk.stats.Completed.Value(), sk.stats.Failed.Value()
+	fo := sk.stats.Failovers.Value()
+	// Accounting uses the soak's own callback counts, not the global
+	// stats: a stale-checkpoint promotion may re-execute a task its dead
+	// predecessor already finished, so the per-controller counters are
+	// at-least-once and can legitimately exceed submissions. The
+	// callback path is exactly-once (enforced by the fired>1 check).
+	if sk.report.Completed+sk.report.Failed > sk.report.Submitted {
+		sk.violate("accounting: completed %d + failed %d > submitted %d",
+			sk.report.Completed, sk.report.Failed, sk.report.Submitted)
+	}
+	if sub < sk.lastSubmitted || comp < sk.lastCompleted || fail < sk.lastFailed || fo < sk.lastFailovers {
+		sk.violate("monotonicity: counters went backwards (submitted %d<%d or completed %d<%d or failed %d<%d or failovers %d<%d)",
+			sub, sk.lastSubmitted, comp, sk.lastCompleted, fail, sk.lastFailed, fo, sk.lastFailovers)
+	}
+	sk.lastSubmitted, sk.lastCompleted, sk.lastFailed, sk.lastFailovers = sub, comp, fail, fo
+}
+
+// violate records a deduplicated invariant breach in the event log.
+func (sk *soak) violate(format string, args ...interface{}) {
+	msg := fmt.Sprintf(format, args...)
+	if sk.violations[msg] {
+		return
+	}
+	sk.violations[msg] = true
+	sk.report.Violations = append(sk.report.Violations, msg)
+	sk.event("VIOLATION %s", msg)
+}
+
+// fault logs one storm event to both the fault log and the event log.
+func (sk *soak) fault(format string, args ...interface{}) {
+	line := fmt.Sprintf(format, args...)
+	sk.report.FaultsInjected++
+	sk.report.FaultLog = append(sk.report.FaultLog, line)
+	sk.event("fault %s", line)
+}
+
+// event appends one line to the canonical (checksummed) event log.
+func (sk *soak) event(format string, args ...interface{}) {
+	sk.report.Events = append(sk.report.Events, fmt.Sprintf(format, args...))
+}
+
+// finalize computes the checksum and closing counters.
+func (sk *soak) finalize() {
+	sk.report.Failovers = sk.stats.Failovers.Value()
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, line := range sk.report.Events {
+		for i := 0; i < len(line); i++ {
+			h ^= uint64(line[i])
+			h *= prime64
+		}
+		h ^= '\n'
+		h *= prime64
+	}
+	sk.report.Checksum = h
+}

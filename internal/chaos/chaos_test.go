@@ -1,0 +1,89 @@
+package chaos
+
+import (
+	"testing"
+	"time"
+)
+
+// shortCfg is the CI-sized soak: 60 simulated seconds of storm.
+func shortCfg(seed int64) SoakConfig {
+	return SoakConfig{
+		Seed:     seed,
+		Vehicles: 16,
+		Duration: 60 * time.Second,
+	}
+}
+
+func TestSoakShortHoldsInvariants(t *testing.T) {
+	rep, err := Soak(shortCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("invariant violation: %s", v)
+	}
+	if rep.Submitted == 0 {
+		t.Fatal("soak submitted nothing")
+	}
+	if rep.Completed == 0 {
+		t.Error("soak completed nothing: storm too strong or scheduler broken")
+	}
+	if rep.FaultsInjected == 0 {
+		t.Error("no faults injected: not a soak")
+	}
+	if rep.Checks == 0 {
+		t.Error("invariant checker never ran")
+	}
+	if rep.Wrong > 0 {
+		t.Errorf("%d wrong results slipped through voting (correct=%d unchecked=%d)",
+			rep.Wrong, rep.Correct, rep.Unchecked)
+	}
+	t.Logf("submitted=%d completed=%d failed=%d refused=%d correct=%d unchecked=%d faults=%d failovers=%d checksum=%x",
+		rep.Submitted, rep.Completed, rep.Failed, rep.Refused, rep.Correct, rep.Unchecked,
+		rep.FaultsInjected, rep.Failovers, rep.Checksum)
+}
+
+func TestSoakReproducible(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: single soak is enough")
+	}
+	a, err := Soak(shortCfg(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Soak(shortCfg(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Checksum != b.Checksum {
+		t.Fatalf("same seed, different checksums: %x vs %x", a.Checksum, b.Checksum)
+	}
+	if a.Submitted != b.Submitted || a.Completed != b.Completed || a.Failed != b.Failed ||
+		a.FaultsInjected != b.FaultsInjected {
+		t.Errorf("same seed, different counts: %+v vs %+v", a, b)
+	}
+	if len(a.Events) != len(b.Events) {
+		t.Fatalf("event logs diverge in length: %d vs %d", len(a.Events), len(b.Events))
+	}
+	c, err := Soak(shortCfg(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Checksum == a.Checksum {
+		t.Error("different seeds produced identical event logs: storm is not seeded")
+	}
+}
+
+func TestSoakConfigValidate(t *testing.T) {
+	bad := []SoakConfig{
+		{Seed: 1, ByzFraction: 1.5},
+		{Seed: 1, Vehicles: -1},
+		{Seed: 1, Duration: -time.Second},
+		{Seed: 1, TaskOps: -5},
+	}
+	for i, cfg := range bad {
+		if _, err := Soak(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}

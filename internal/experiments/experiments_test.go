@@ -24,8 +24,8 @@ func quick(t *testing.T, run func(Config) (*Result, error)) *Result {
 
 func TestAllRegistered(t *testing.T) {
 	runners := All()
-	if len(runners) != 11 {
-		t.Fatalf("runners = %d, want 11", len(runners))
+	if len(runners) != 12 {
+		t.Fatalf("runners = %d, want 12", len(runners))
 	}
 	seen := map[string]bool{}
 	for _, r := range runners {
@@ -262,5 +262,32 @@ func TestE11Shape(t *testing.T) {
 	}
 	if v["failover/recovery_s"] > 15 {
 		t.Errorf("failover recovery %.1fs too slow (want seconds, not tens)", v["failover/recovery_s"])
+	}
+}
+
+func TestE12Shape(t *testing.T) {
+	r := quick(t, E12Dependability)
+	v := r.Values
+	// The issue's acceptance criterion: at a Byzantine fraction where the
+	// no-redundancy baseline returns <50% correct results, trust-gated
+	// redundancy+voting stays >=90% correct.
+	if v["baseline/byz0.6/correct"] >= 0.5 {
+		t.Errorf("baseline at 60%% Byzantine = %.2f correct, want <0.5", v["baseline/byz0.6/correct"])
+	}
+	if v["trustgated/byz0.6/correct"] < 0.9 {
+		t.Errorf("trust-gated at 60%% Byzantine = %.2f correct, want >=0.9", v["trustgated/byz0.6/correct"])
+	}
+	// Retries without redundancy cannot detect lies: the retry arm must
+	// not beat the baseline by more than noise.
+	if v["retry/byz0.6/correct"] > v["baseline/byz0.6/correct"]+0.2 {
+		t.Errorf("retry-only %.2f should not materially beat baseline %.2f against lies",
+			v["retry/byz0.6/correct"], v["baseline/byz0.6/correct"])
+	}
+	// Voting keeps wrong results out entirely at the tolerable fraction.
+	if v["redundant/byz0.2/wrong"] != 0 {
+		t.Errorf("redundancy accepted %v wrong results at 20%% Byzantine", v["redundant/byz0.2/wrong"])
+	}
+	if v["baseline/byz0.2/wrong"] == 0 {
+		t.Error("baseline accepted no wrong results at 20% Byzantine: attack not wired")
 	}
 }

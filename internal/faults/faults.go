@@ -18,6 +18,7 @@ package faults
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 	"strings"
@@ -105,11 +106,17 @@ func (e Event) Validate() error {
 			return fmt.Errorf("faults: %s target must be >= 0, got %d", e.Kind, e.Target)
 		}
 	case Partition:
-		if e.Radius <= 0 {
-			return fmt.Errorf("faults: partition radius must be positive, got %v", e.Radius)
+		// NaN compares false against everything, so the range checks
+		// must reject non-finite values explicitly — ParseFloat happily
+		// produces NaN/Inf from plan text like "partition NaN,0 Inf".
+		if !isFinite(e.Radius) || e.Radius <= 0 {
+			return fmt.Errorf("faults: partition radius must be positive and finite, got %v", e.Radius)
+		}
+		if !isFinite(e.Center.X) || !isFinite(e.Center.Y) {
+			return fmt.Errorf("faults: partition center must be finite, got %g,%g", e.Center.X, e.Center.Y)
 		}
 	case Loss:
-		if e.Prob < 0 || e.Prob > 1 {
+		if !isFinite(e.Prob) || e.Prob < 0 || e.Prob > 1 {
 			return fmt.Errorf("faults: loss probability must be in [0,1], got %v", e.Prob)
 		}
 	default:
@@ -120,6 +127,8 @@ func (e Event) Validate() error {
 	}
 	return nil
 }
+
+func isFinite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
 
 // Plan is an ordered fault schedule. Events at equal times apply in plan
 // order (the kernel breaks timestamp ties by scheduling sequence).

@@ -1,0 +1,85 @@
+package faults
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzParse drives the textual plan parser with arbitrary input. Two
+// properties must hold: Parse never panics, and any plan it accepts is
+// (a) valid under Plan.Validate — in particular free of the NaN/Inf
+// values float parsing would happily produce — and (b) round-trips
+// through the plan language: String() re-parses to a plan of the same
+// shape.
+func FuzzParse(f *testing.F) {
+	// Seeds: the README/DESIGN example plans, plus edge shapes.
+	f.Add("30s rsu-down 0; 45s partition 1500,0 400 20s; 60s loss 0.3 10s; 80s rsu-up 0")
+	f.Add("40s kill-controller 0")
+	f.Add("30s crash 5\n50s recover 5")
+	f.Add("1s partition -1500,-20 400")
+	f.Add("0s loss 1")
+	f.Add("# comment only\n\n;;")
+	f.Add("55s loss 0.3 10s # drop 30% for 10s")
+	f.Add("1s loss NaN")
+	f.Add("1s partition NaN,Inf +Inf 1s")
+	f.Add("9999999h crash 2147483647")
+	f.Add("-5s crash 1")
+
+	f.Fuzz(func(t *testing.T, text string) {
+		plan, err := Parse(text)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		if verr := plan.Validate(); verr != nil {
+			t.Fatalf("Parse accepted a plan its own Validate rejects: %v\nplan: %q", verr, plan.String())
+		}
+		for i, e := range plan {
+			switch e.Kind {
+			case Partition:
+				if math.IsNaN(e.Radius) || math.IsInf(e.Radius, 0) ||
+					math.IsNaN(e.Center.X) || math.IsInf(e.Center.X, 0) ||
+					math.IsNaN(e.Center.Y) || math.IsInf(e.Center.Y, 0) {
+					t.Fatalf("event %d: non-finite partition accepted: %+v", i, e)
+				}
+			case Loss:
+				if math.IsNaN(e.Prob) || e.Prob < 0 || e.Prob > 1 {
+					t.Fatalf("event %d: out-of-range loss prob accepted: %v", i, e.Prob)
+				}
+			}
+		}
+		// Round-trip: the rendered plan must parse back to the same shape.
+		again, err := Parse(plan.String())
+		if err != nil {
+			t.Fatalf("round-trip parse failed: %v\nrendered: %q", err, plan.String())
+		}
+		if len(again) != len(plan) {
+			t.Fatalf("round-trip length %d != %d\nrendered: %q", len(again), len(plan), plan.String())
+		}
+		for i := range plan {
+			if plan[i].Kind != again[i].Kind || plan[i].At != again[i].At || plan[i].Target != again[i].Target {
+				t.Fatalf("round-trip event %d differs: %+v vs %+v", i, plan[i], again[i])
+			}
+		}
+	})
+}
+
+// TestParseRejectsNonFinite pins the fuzz-found class directly: plan
+// text with NaN/Inf floats must be rejected, not scheduled.
+func TestParseRejectsNonFinite(t *testing.T) {
+	for _, text := range []string{
+		"1s loss NaN",
+		"1s loss +Inf",
+		"1s partition NaN,0 400",
+		"1s partition 0,Inf 400",
+		"1s partition 0,0 NaN",
+		"1s partition 0,0 Inf 5s",
+	} {
+		if _, err := Parse(text); err == nil {
+			t.Errorf("Parse(%q) accepted non-finite input", text)
+		}
+	}
+	// Finite plans still parse.
+	if _, err := Parse("1s partition -10,20 400 5s; 2s loss 0.5"); err != nil {
+		t.Errorf("finite plan rejected: %v", err)
+	}
+}

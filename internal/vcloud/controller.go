@@ -2,12 +2,14 @@ package vcloud
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 	"time"
 
 	"vcloud/internal/metrics"
 	"vcloud/internal/sim"
 	"vcloud/internal/trace"
+	"vcloud/internal/trust"
 	"vcloud/internal/vnet"
 )
 
@@ -43,12 +45,20 @@ type taskMsg struct {
 	// (== Task.Ops on first assignment).
 	RemainingOps float64
 	Attempt      int
+	// Replica indexes the redundant copy under a dependability policy
+	// (-1 on the plain single-copy path); the member echoes it back so
+	// the controller can match votes to slots.
+	Replica int
 }
 
 // resultMsg returns a finished task.
 type resultMsg struct {
 	ID      TaskID
 	Attempt int
+	Replica int
+	// Value is the worker's computed result (TaskValue for honest
+	// workers); the redundant-execution vote compares these.
+	Value uint64
 }
 
 // handoverMsg returns unfinished work for reassignment.
@@ -56,6 +66,7 @@ type handoverMsg struct {
 	ID           TaskID
 	RemainingOps float64
 	Attempt      int
+	Replica      int
 }
 
 // Stats aggregates cloud outcomes for the experiments.
@@ -72,6 +83,13 @@ type Stats struct {
 	// tasks a promoted controller restored from a checkpoint.
 	Failovers metrics.Counter
 	Resumed   metrics.Counter
+	// ReplicaDispatches counts redundant copies sent under a
+	// dependability policy; WrongVotes counts votes that lost to the
+	// majority value; NoQuorum counts vote rounds that could not reach a
+	// strict majority.
+	ReplicaDispatches metrics.Counter
+	WrongVotes        metrics.Counter
+	NoQuorum          metrics.Counter
 }
 
 // CompletionRate returns completed/submitted.
@@ -122,6 +140,18 @@ type ControllerConfig struct {
 	// FailoverTTL is how long the standby tolerates advertisement silence
 	// before promoting itself. Default 4×AdvPeriod.
 	FailoverTTL sim.Time
+	// Depend, when non-nil, applies a dependability policy (redundant
+	// replicas, voting, backoff retries) to every task that does not
+	// carry its own Task.Depend override. Nil keeps the plain
+	// single-copy path.
+	Depend *DependabilityPolicy
+	// Workers, when non-nil, is the execution-trust engine: replica
+	// placement excludes workers scoring below the policy's
+	// TrustThreshold, votes may be trust-weighted, and vote outcomes
+	// feed evidence back (the Fig. 3 loop). It holds a clock closure,
+	// so it is stripped from checkpoints — a failover successor starts
+	// with a fresh trust view.
+	Workers *trust.WorkerSet
 }
 
 type memberInfo struct {
@@ -142,6 +172,15 @@ type taskState struct {
 	submitted    sim.Time
 	timeout      sim.EventID
 	done         func(TaskResult)
+
+	// Dependable-execution state (policy non-nil switches the task onto
+	// the replicated path; see depend.go).
+	policy       *DependabilityPolicy
+	replicas     []*replicaSlot
+	round        int
+	roundPending bool
+	value        uint64
+	voters       []vnet.Addr
 }
 
 // Controller coordinates one vehicular cloud: membership, task
@@ -156,6 +195,12 @@ type Controller struct {
 	tasks   map[TaskID]*taskState
 	nextID  TaskID
 	ticker  *sim.Ticker
+	// rng feeds the dependability layer's backoff jitter; it is a named
+	// kernel stream, so retry timing reproduces bit-for-bit per seed.
+	rng *rand.Rand
+	// violations accumulates internal-consistency breaches (double
+	// finish, stuck task) for the chaos soak to assert empty.
+	violations []string
 
 	// standby is the designated failover successor (-1 when none).
 	standby  vnet.Addr
@@ -192,6 +237,11 @@ func NewController(node *vnet.Node, cfg ControllerConfig, stats *Stats) (*Contro
 	if cfg.FailoverTTL <= 0 {
 		cfg.FailoverTTL = 4 * cfg.AdvPeriod
 	}
+	if cfg.Depend != nil {
+		if err := cfg.Depend.Validate(); err != nil {
+			return nil, err
+		}
+	}
 	c := &Controller{
 		node:    node,
 		cfg:     cfg,
@@ -199,6 +249,7 @@ func NewController(node *vnet.Node, cfg ControllerConfig, stats *Stats) (*Contro
 		members: make(map[vnet.Addr]*memberInfo),
 		tasks:   make(map[TaskID]*taskState),
 		standby: -1,
+		rng:     node.Kernel().NewStream(fmt.Sprintf("vcloud.depend.%d", node.Addr())),
 	}
 	node.Handle(kindJoin, c.onJoin)
 	node.Handle(kindLeave, c.onLeave)
@@ -227,6 +278,9 @@ func (c *Controller) Stop() {
 	for _, id := range ids {
 		ts := c.tasks[id]
 		c.node.Kernel().Cancel(ts.timeout)
+		for _, slot := range ts.replicas {
+			c.node.Kernel().Cancel(slot.timeout)
+		}
 		c.finish(id, ts, false, "controller stopped")
 	}
 }
@@ -243,6 +297,9 @@ func (c *Controller) Crash() {
 	c.halt()
 	for _, ts := range c.tasks {
 		c.node.Kernel().Cancel(ts.timeout)
+		for _, slot := range ts.replicas {
+			c.node.Kernel().Cancel(slot.timeout)
+		}
 	}
 }
 
@@ -339,9 +396,30 @@ func (c *Controller) advertise() {
 // member back into scheduling. Tasks waiting in the no-member retry loop
 // are skipped (their pending After callback re-runs assign itself).
 func (c *Controller) reassignOrphans(gone vnet.Addr) {
+	// Dependable tasks: fail the vanished member's replicas and let the
+	// vote (or a retry round) take it from there.
+	var depIDs []TaskID
+	for id, ts := range c.tasks {
+		if ts.policy == nil {
+			continue
+		}
+		for _, slot := range ts.replicas {
+			if slot.assignee == gone && !slot.resolved() {
+				depIDs = append(depIDs, id)
+				break
+			}
+		}
+	}
+	sort.Slice(depIDs, func(i, j int) bool { return depIDs[i] < depIDs[j] })
+	for _, id := range depIDs {
+		if ts, live := c.tasks[id]; live {
+			c.expireReplicas(ts, gone)
+		}
+	}
+
 	var ids []TaskID
 	for id, ts := range c.tasks {
-		if ts.assignee == gone && ts.timeout.Pending() {
+		if ts.policy == nil && ts.assignee == gone && ts.timeout.Pending() {
 			ids = append(ids, id)
 		}
 	}
@@ -414,10 +492,17 @@ func (c *Controller) SubmitFor(client vnet.Addr, task Task, done func(TaskResult
 		remainingOps: task.Ops,
 		submitted:    c.node.Kernel().Now(),
 		done:         done,
+		policy:       c.effectivePolicy(task),
 	}
 	c.tasks[task.ID] = ts
 	c.stats.Submitted.Inc()
-	c.assign(ts)
+	// Deadline-aware fail-fast: a deadline no eligible member could meet
+	// is rejected immediately instead of burning a doomed timeout.
+	if c.failFastDeadline(task) {
+		c.finish(task.ID, ts, false, "deadline")
+		return task.ID, nil
+	}
+	c.launch(ts)
 	return task.ID, nil
 }
 
@@ -486,7 +571,9 @@ func (c *Controller) assign(ts *taskState) {
 		}
 		ts.retries++
 		c.stats.Retries.Inc()
+		ts.roundPending = true
 		c.node.Kernel().After(time.Second, func() {
+			ts.roundPending = false
 			if _, live := c.tasks[ts.task.ID]; live && !c.stopped {
 				c.assign(ts)
 			}
@@ -503,6 +590,7 @@ func (c *Controller) assign(ts *taskState) {
 		Task:         ts.task,
 		RemainingOps: ts.remainingOps,
 		Attempt:      ts.attempt,
+		Replica:      -1,
 	})
 	c.node.SendTo(addr, msg)
 
@@ -549,11 +637,20 @@ func (c *Controller) onResult(msg vnet.Message, _ vnet.Addr) {
 		return
 	}
 	ts, live := c.tasks[rm.ID]
-	if !live || rm.Attempt != ts.attempt || msg.Origin != ts.assignee {
+	if !live {
+		return
+	}
+	if ts.policy != nil {
+		c.onReplicaResult(ts, rm, msg.Origin)
+		return
+	}
+	if rm.Attempt != ts.attempt || msg.Origin != ts.assignee {
 		return // stale result from a superseded attempt
 	}
 	c.node.Kernel().Cancel(ts.timeout)
 	c.releaseQueue(ts)
+	ts.value = rm.Value
+	ts.voters = []vnet.Addr{msg.Origin}
 	if ts.task.Deadline > 0 && c.node.Kernel().Now() > ts.task.Deadline {
 		c.finish(rm.ID, ts, false, "deadline missed")
 		return
@@ -570,7 +667,14 @@ func (c *Controller) onHandover(msg vnet.Message, _ vnet.Addr) {
 		return
 	}
 	ts, live := c.tasks[hm.ID]
-	if !live || hm.Attempt != ts.attempt || msg.Origin != ts.assignee {
+	if !live {
+		return
+	}
+	if ts.policy != nil {
+		c.onReplicaHandover(ts, hm, msg.Origin)
+		return
+	}
+	if hm.Attempt != ts.attempt || msg.Origin != ts.assignee {
 		return
 	}
 	c.node.Kernel().Cancel(ts.timeout)
@@ -584,6 +688,12 @@ func (c *Controller) onHandover(msg vnet.Message, _ vnet.Addr) {
 }
 
 func (c *Controller) finish(id TaskID, ts *taskState, ok bool, reason string) {
+	if _, live := c.tasks[id]; !live {
+		// Tripwire for the "no task both completed and failed" invariant:
+		// a second finish means two code paths both claimed the task.
+		c.violations = append(c.violations, fmt.Sprintf("task %d finished twice (ok=%v reason=%q)", id, ok, reason))
+		return
+	}
 	delete(c.tasks, id)
 	lat := c.node.Kernel().Now() - ts.submitted
 	c.cfg.Trace.Emit(c.node.Kernel().Now(), trace.CatCloud, int32(c.node.Addr()),
@@ -591,21 +701,40 @@ func (c *Controller) finish(id TaskID, ts *taskState, ok bool, reason string) {
 	if ok {
 		c.stats.Completed.Inc()
 		c.stats.Latency.ObserveDuration(lat)
-		// Incentive settlement: the client pays the final worker. (On
-		// handover chains the last worker collects the full price; a
-		// production split would apportion by executed ops, which the
-		// controller cannot observe directly.)
-		if c.cfg.Ledger != nil && ts.assignee != ts.client {
+		// Incentive settlement: the client pays the worker(s). On the
+		// plain path the final worker collects the full price (a
+		// production split would apportion handover chains by executed
+		// ops, which the controller cannot observe directly); under a
+		// dependability policy the price splits evenly across the voters
+		// — redundancy is paid for, which is exactly the overhead E12
+		// prices out.
+		if c.cfg.Ledger != nil {
 			price := int64(ts.task.Ops/1000) * c.cfg.PricePerKOps
 			if price < 1 {
 				price = 1
 			}
-			_ = c.cfg.Ledger.Transfer(c.node.Kernel().Now(), id, ts.client, ts.assignee, price)
+			if ts.policy != nil && len(ts.voters) > 0 {
+				share := price / int64(len(ts.voters))
+				if share < 1 {
+					share = 1
+				}
+				for _, v := range ts.voters {
+					if v != ts.client {
+						_ = c.cfg.Ledger.Transfer(c.node.Kernel().Now(), id, ts.client, v, share)
+					}
+				}
+			} else if ts.assignee != ts.client {
+				_ = c.cfg.Ledger.Transfer(c.node.Kernel().Now(), id, ts.client, ts.assignee, price)
+			}
 		}
 	} else {
 		c.stats.Failed.Inc()
 	}
 	if ts.done != nil {
+		replicas := len(ts.replicas)
+		if ts.policy == nil && ts.attempt > 0 {
+			replicas = 1
+		}
 		ts.done(TaskResult{
 			ID:        id,
 			OK:        ok,
@@ -613,6 +742,9 @@ func (c *Controller) finish(id TaskID, ts *taskState, ok bool, reason string) {
 			Handovers: ts.handovers,
 			Retries:   ts.retries,
 			Reason:    reason,
+			Value:     ts.value,
+			Replicas:  replicas,
+			Voters:    ts.voters,
 		})
 	}
 }

@@ -77,11 +77,15 @@ type ckptMsg struct {
 func (c *Controller) Checkpoint() Checkpoint {
 	cfg := c.cfg
 	// Function hooks and local pointers cannot cross the wire; the
-	// successor runs without them.
+	// successor runs without them. Workers holds a clock closure and
+	// accumulated evidence, so the successor starts with a fresh trust
+	// view (its own vote outcomes rebuild it); the Depend policy is pure
+	// data and survives, so restored tasks stay replicated.
 	cfg.Dwell = nil
 	cfg.AcceptJoin = nil
 	cfg.Ledger = nil
 	cfg.Trace = nil
+	cfg.Workers = nil
 	ck := Checkpoint{
 		Controller:  c.node.Addr(),
 		Standby:     c.standby,
@@ -180,10 +184,11 @@ func RestoreController(node *vnet.Node, ckpt Checkpoint, stats *Stats) (*Control
 			retries:      tc.Retries,
 			handovers:    tc.Handovers,
 			submitted:    tc.Submitted,
+			policy:       c.effectivePolicy(tc.Task),
 		}
 		c.tasks[tc.Task.ID] = ts
 		stats.Resumed.Inc()
-		c.assign(ts)
+		c.launch(ts)
 	}
 	c.advertise()
 	return c, nil

@@ -45,6 +45,7 @@ type MemberConfig struct {
 type runningTask struct {
 	task       Task
 	attempt    int
+	replica    int // redundant-copy index (-1 on the plain path)
 	controller vnet.Addr
 	startedAt  sim.Time
 	ops        float64 // ops this attempt started with
@@ -77,6 +78,9 @@ type Member struct {
 	// sent it (-1 when not a standby).
 	standbyCkpt *Checkpoint
 	standbyFrom vnet.Addr
+	// tamper, when non-nil, rewrites the computed result value before it
+	// is sent — the Byzantine-worker hook (internal/attack.Byzantify).
+	tamper func(Task, uint64) uint64
 }
 
 // NewMember creates and starts a member agent on node.
@@ -247,6 +251,7 @@ func (m *Member) onTask(msg vnet.Message, _ vnet.Addr) {
 	rt := &runningTask{
 		task:       tm.Task,
 		attempt:    tm.Attempt,
+		replica:    tm.Replica,
 		controller: msg.Origin,
 		startedAt:  m.node.Kernel().Now() + sim.Time(queued/m.cfg.Resources.CPU*float64(time.Second)),
 		ops:        tm.RemainingOps,
@@ -260,20 +265,37 @@ func (m *Member) complete(rt *runningTask) {
 	if m.stopped {
 		return
 	}
-	if _, live := m.current[rt.task.ID]; !live {
+	// Pointer equality, not mere presence: a replacement copy of the same
+	// task may have overwritten our entry, and this stale completion must
+	// not evict it.
+	if m.current[rt.task.ID] != rt {
 		return
 	}
 	delete(m.current, rt.task.ID)
 	m.spentOps += rt.ops
+	value := TaskValue(rt.task)
+	if m.tamper != nil {
+		value = m.tamper(rt.task, value)
+	}
 	msg := m.node.NewMessage(rt.controller, kindResult, 64+rt.task.OutputBytes, 1, resultMsg{
 		ID:      rt.task.ID,
 		Attempt: rt.attempt,
+		Replica: rt.replica,
+		Value:   value,
 	})
 	m.node.SendTo(rt.controller, msg)
 	if m.cfg.BatteryOps > 0 && m.spentOps >= m.cfg.BatteryOps {
 		m.deplete()
 	}
 }
+
+// SetResultTamper installs (or clears, with nil) a hook that rewrites
+// this member's computed result values before they are sent — the
+// fault-injection point for Byzantine-worker experiments.
+func (m *Member) SetResultTamper(f func(Task, uint64) uint64) { m.tamper = f }
+
+// Addr returns the member's network address.
+func (m *Member) Addr() vnet.Addr { return m.node.Addr() }
 
 // onCkpt stores a replicated checkpoint: receiving one designates this
 // member as the controller's failover standby. A checkpoint also proves
@@ -385,6 +407,7 @@ func (m *Member) tick() {
 			ID:           id,
 			RemainingOps: remaining,
 			Attempt:      rt.attempt,
+			Replica:      rt.replica,
 		})
 		m.node.SendTo(rt.controller, msg)
 	}

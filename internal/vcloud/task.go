@@ -23,8 +23,10 @@ package vcloud
 
 import (
 	"fmt"
+	"math"
 
 	"vcloud/internal/sim"
+	"vcloud/internal/vnet"
 )
 
 // TaskID identifies a submitted task.
@@ -46,6 +48,10 @@ type Task struct {
 	// NeedsSensor, when non-empty, restricts placement to vehicles
 	// carrying that sensor (Fig. 1 heterogeneity).
 	NeedsSensor string
+	// Depend, when non-nil, overrides the controller's default
+	// dependability policy for this task: redundant replicas, retry
+	// budget, voting (see DependabilityPolicy).
+	Depend *DependabilityPolicy
 }
 
 // Validate checks task sanity.
@@ -56,7 +62,35 @@ func (t *Task) Validate() error {
 	if t.InputBytes < 0 || t.OutputBytes < 0 {
 		return fmt.Errorf("vcloud: task byte sizes must be non-negative")
 	}
+	if t.Depend != nil {
+		if err := t.Depend.Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
+}
+
+// TaskValue is the canonical result of executing a task: a deterministic
+// digest of the task definition that every honest worker computes
+// identically. Having a comparable value is what makes redundant
+// execution decidable — the controller's majority vote compares replica
+// values, and a Byzantine worker is one that returns something else
+// (see internal/attack.Byzantify).
+func TaskValue(t Task) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		h ^= v
+		h *= prime64
+	}
+	mix(uint64(t.ID))
+	mix(math.Float64bits(t.Ops))
+	mix(uint64(t.InputBytes))
+	mix(uint64(t.OutputBytes))
+	return h
 }
 
 // TaskStatus is the lifecycle state of a task inside the controller.
@@ -92,8 +126,22 @@ type TaskResult struct {
 	OK        bool
 	Latency   sim.Time
 	Handovers int
-	Retries   int
-	Reason    string
+	// Retries counts re-dispatches across the task's lifetime (both the
+	// plain retry loop and replica replacements under a dependability
+	// policy); it is populated on every completion path.
+	Retries int
+	Reason  string
+	// Value is the computed result: the winning value of the replica
+	// vote under a dependability policy, or the single worker's value
+	// otherwise. Compare against TaskValue to check correctness.
+	Value uint64
+	// Replicas is how many redundant copies were dispatched in total
+	// (1 for the plain path, 0 when the task never reached a worker).
+	Replicas int
+	// Voters lists the workers whose results were counted in the
+	// deciding vote, in dispatch order (nil when the task failed before
+	// any result arrived).
+	Voters []vnet.Addr
 }
 
 // Resources describes what a member contributes to the pool.

@@ -1,6 +1,7 @@
 package vcloud_test
 
 import (
+	"sort"
 	"testing"
 	"time"
 
@@ -614,8 +615,115 @@ func TestReplicaRetentionModelsBatterySleep(t *testing.T) {
 	}
 }
 
+func TestReplicaRepairWithRetentionDoesNotDoubleCount(t *testing.T) {
+	// With retention on, a sleeping holder keeps its replica: repair tops
+	// live copies up once, repeated repairs add nothing, and the
+	// sleeper's return costs no extra movement — the counters must
+	// reflect exactly one re-replication.
+	online := map[vnet.Addr]bool{1: true, 2: true, 3: true}
+	stats := &vcloud.ReplicaStats{}
+	rm, err := vcloud.NewReplicaManager(2, func(a vnet.Addr) bool { return online[a] }, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm.SetRetainOffline(true)
+	rm.Store("f", 100, []vnet.Addr{1, 2, 3}) // placed on 1 and 2
+	if stats.BytesMoved.Value() != 200 {
+		t.Fatalf("bytes after store = %d, want 200", stats.BytesMoved.Value())
+	}
+	online[1] = false // member 1 sleeps
+	rm.Repair([]vnet.Addr{1, 2, 3})
+	if stats.ReReplicas.Value() != 1 || stats.BytesMoved.Value() != 300 {
+		t.Fatalf("after first repair: re-replicas=%d bytes=%d, want 1/300",
+			stats.ReReplicas.Value(), stats.BytesMoved.Value())
+	}
+	// Repeated repairs while the sleeper stays offline must not re-copy.
+	rm.Repair([]vnet.Addr{1, 2, 3})
+	rm.Repair([]vnet.Addr{1, 2, 3})
+	if stats.ReReplicas.Value() != 1 || stats.BytesMoved.Value() != 300 {
+		t.Errorf("repeated repair double-counted: re-replicas=%d bytes=%d, want 1/300",
+			stats.ReReplicas.Value(), stats.BytesMoved.Value())
+	}
+	// The sleeper returns: it serves again without any new movement, and
+	// the surplus trim costs nothing either.
+	online[1] = true
+	if !rm.Read("f") {
+		t.Error("returned sleeper does not serve")
+	}
+	rm.Repair([]vnet.Addr{1, 2, 3})
+	if got := rm.Replicas("f"); got != 2 {
+		t.Errorf("replicas after trim = %d, want k=2", got)
+	}
+	if stats.ReReplicas.Value() != 1 || stats.BytesMoved.Value() != 300 {
+		t.Errorf("sleeper return moved bytes: re-replicas=%d bytes=%d, want 1/300",
+			stats.ReReplicas.Value(), stats.BytesMoved.Value())
+	}
+	if !rm.Read("f") {
+		t.Error("file unreadable after trim")
+	}
+}
+
 func TestTaskDeadlineMissedFails(t *testing.T) {
-	s := parkingScenario(t, 4)
+	// A deadline that looks feasible at submit (the fast member could
+	// make it) but is missed mid-flight: the fast member dies silently,
+	// the task reassigns to a slow member, and the late result fails
+	// with "deadline missed" — distinct from the submit-time fail-fast.
+	s := parkingScenario(t, 2)
+	stats := &vcloud.Stats{}
+	n := 0
+	d, err := vcloud.Deploy(s, vcloud.Stationary, vcloud.DeployConfig{
+		// attachMember iterates vehicles in ascending ID order, so the
+		// first call configures the lowest-ID member.
+		MemberResources: func(p mobility.Profile) vcloud.Resources {
+			n++
+			cpu := 500.0 // slow
+			if n == 1 {
+				cpu = 2000.0 // fast
+			}
+			return vcloud.Resources{CPU: cpu, Storage: p.Storage, Sensors: p.Sensors}
+		},
+	}, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunFor(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// 2000 ops: 1 s on the fast member, 4 s on the slow one. The 2.5 s
+	// deadline passes the fail-fast (fast member qualifies) and the
+	// scheduler picks the fast member (earliest finish).
+	var res vcloud.TaskResult
+	task := vcloud.Task{Ops: 2000, Deadline: s.Kernel.Now() + 2500*time.Millisecond}
+	if err := d.SubmitAnywhere(task, func(r vcloud.TaskResult) { res = r }); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the fast member silently: it expires, the task reassigns to
+	// the slow member, whose result lands past the deadline.
+	ids := s.VehicleIDs()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	d.Members[ids[0]].Stop()
+	if err := s.RunFor(2 * time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if res.OK || res.Reason != "deadline missed" {
+		t.Errorf("result = %+v, want deadline-missed failure", res)
+	}
+	if stats.Failed.Value() != 1 {
+		t.Errorf("failed = %d", stats.Failed.Value())
+	}
+	if res.Retries < 1 {
+		t.Errorf("retries = %d, want >= 1 (reassignment happened)", res.Retries)
+	}
+}
+
+func TestTaskInfeasibleDeadlineFailsFastAtSubmit(t *testing.T) {
+	// Regression for the fail-fast bugfix: a deadline no eligible member
+	// could possibly meet is rejected at submit with reason "deadline"
+	// instead of burning a doomed multi-second timeout.
+	s := parkingScenario(t, 2)
 	stats := &vcloud.Stats{}
 	d, err := vcloud.Deploy(s, vcloud.Stationary, vcloud.DeployConfig{}, stats)
 	if err != nil {
@@ -627,20 +735,35 @@ func TestTaskDeadlineMissedFails(t *testing.T) {
 	if err := s.RunFor(5 * time.Second); err != nil {
 		t.Fatal(err)
 	}
-	// A 10-second task with a deadline 1 s out: completes too late.
+	// 10,000 ops is 10 s on the default 1000 ops/s members; a 1 s
+	// deadline cannot be met by anyone.
 	var res vcloud.TaskResult
-	task := vcloud.Task{Ops: 10_000, Deadline: s.Kernel.Now() + time.Second}
-	if err := d.SubmitAnywhere(task, func(r vcloud.TaskResult) { res = r }); err != nil {
+	fired := 0
+	submitAt := s.Kernel.Now()
+	task := vcloud.Task{Ops: 10_000, Deadline: submitAt + time.Second}
+	if err := d.SubmitAnywhere(task, func(r vcloud.TaskResult) { res = r; fired++ }); err != nil {
 		t.Fatal(err)
 	}
-	if err := s.RunFor(2 * time.Minute); err != nil {
+	if fired != 1 {
+		t.Fatalf("done fired %d times, want 1 (synchronous rejection)", fired)
+	}
+	if res.OK || res.Reason != "deadline" {
+		t.Errorf("result = %+v, want fail-fast with reason \"deadline\"", res)
+	}
+	if res.Latency != 0 {
+		t.Errorf("latency = %v, want 0 (rejected at submit)", res.Latency)
+	}
+	if stats.Failed.Value() != 1 || stats.Submitted.Value() != 1 {
+		t.Errorf("submitted=%d failed=%d, want 1/1", stats.Submitted.Value(), stats.Failed.Value())
+	}
+	// An already-passed deadline fails fast even with no members.
+	var res2 vcloud.TaskResult
+	if err := d.SubmitAnywhere(vcloud.Task{Ops: 100, Deadline: submitAt - time.Second},
+		func(r vcloud.TaskResult) { res2 = r }); err != nil {
 		t.Fatal(err)
 	}
-	if res.OK || res.Reason != "deadline missed" {
-		t.Errorf("result = %+v, want deadline-missed failure", res)
-	}
-	if stats.Failed.Value() != 1 {
-		t.Errorf("failed = %d", stats.Failed.Value())
+	if res2.OK || res2.Reason != "deadline" {
+		t.Errorf("past-deadline result = %+v, want fail-fast", res2)
 	}
 }
 

@@ -18,7 +18,7 @@
 //     control with sticky data–policy packages, and real-time message
 //     trustworthiness validation;
 //   - the adversary models of the paper's §III threat list, and the
-//     E1–E11 experiment suite that operationalizes every figure and
+//     E1–E12 experiment suite that operationalizes every figure and
 //     claim (see DESIGN.md and EXPERIMENTS.md).
 //
 // This root package is the public facade: it re-exports the library's
@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"vcloud/internal/auth"
+	"vcloud/internal/chaos"
 	"vcloud/internal/cluster"
 	"vcloud/internal/experiments"
 	"vcloud/internal/faults"
@@ -77,6 +78,9 @@ type (
 	TaskResult = vcloud.TaskResult
 	// Architecture selects stationary / infrastructure / dynamic.
 	Architecture = vcloud.Architecture
+	// DependabilityPolicy configures redundant execution: replica count,
+	// majority voting, backoff retries and trust-gated placement.
+	DependabilityPolicy = vcloud.DependabilityPolicy
 )
 
 // The three Fig. 4 architectures.
@@ -263,15 +267,32 @@ func DeploySecureCloud(s *Scenario, arch Architecture, ta *TrustedAuthority, met
 }
 
 // RunExperiment executes one of the paper-reproduction experiments
-// (E1–E11) and returns its table and named values.
+// (E1–E12) and returns its table and named values.
 func RunExperiment(id string, cfg ExperimentConfig) (*ExperimentResult, error) {
 	for _, r := range experiments.All() {
 		if r.ID == id {
 			return r.Run(cfg)
 		}
 	}
-	return nil, fmt.Errorf("vcloud: unknown experiment %q (valid: E1..E11)", id)
+	return nil, fmt.Errorf("vcloud: unknown experiment %q (valid: E1..E12)", id)
 }
+
+// Chaos-soak types (the long-horizon invariant harness; see
+// internal/chaos).
+type (
+	// SoakConfig tunes a chaos soak run.
+	SoakConfig = chaos.SoakConfig
+	// SoakReport is a finished soak's counters, violations and
+	// reproducibility checksum.
+	SoakReport = chaos.Report
+)
+
+// RunSoak executes a seeded chaos soak: randomized crashes, partitions,
+// loss bursts, controller kills and Byzantine flips over a long horizon,
+// with dependability invariants asserted continuously. An empty
+// Violations slice in the report is the pass criterion; equal configs
+// reproduce runs bit-for-bit (compare Checksum).
+func RunSoak(cfg SoakConfig) (*SoakReport, error) { return chaos.Soak(cfg) }
 
 // Experiments lists the available experiment IDs with their titles.
 func Experiments() map[string]string {
