@@ -147,6 +147,18 @@ func BenchmarkE12Dependability(b *testing.B) {
 	})
 }
 
+// BenchmarkE13SplitBrain regenerates the split-brain drill: duplicate
+// applied outcomes and two-controller exposure with epoch fencing on vs
+// failover-only, under the same scripted controller isolation.
+func BenchmarkE13SplitBrain(b *testing.B) {
+	runExperiment(b, experiments.E13SplitBrain, map[string]string{
+		"baseline-duplicates": "baseline/duplicates",
+		"fenced-duplicates":   "fenced/duplicates",
+		"fenced-exposure-s":   "fenced/exposure_s",
+		"fenced-reconcile-s":  "fenced/reconcile_s",
+	})
+}
+
 // BenchmarkBatchVerification regenerates the DESIGN.md batch-verification
 // ablation ([21]/[44]): amortized batch checks vs individual signature
 // verification, in real CPU time and saved virtual time.

@@ -1,5 +1,5 @@
 // Command vcloudbench runs the paper-reproduction experiment suite
-// (E1–E11) and prints the result tables that back EXPERIMENTS.md.
+// (E1–E13) and prints the result tables that back EXPERIMENTS.md.
 //
 // Usage:
 //

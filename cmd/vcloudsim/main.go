@@ -27,6 +27,13 @@
 // asserted continuously. The exit code reports violations:
 //
 //	vcloudsim -soak -duration 600 -vehicles 20 -byz 0.25 -seed 7
+//
+// -splitbrain extends the soak with epoch fencing and controller
+// isolations that split the cloud into two live controllers, plus the
+// fencing invariants (one controller accepted per epoch, no outcome
+// applied twice) and the epoch/abdication/merge counters:
+//
+//	vcloudsim -soak -splitbrain -duration 300 -vehicles 16 -seed 7
 package main
 
 import (
@@ -59,11 +66,12 @@ func main() {
 		retries  = flag.Int("retries", 0, "max backoff retry rounds per task (with -replicas)")
 		soak     = flag.Bool("soak", false, "run the chaos soak harness (uses -seed, -vehicles, -duration, -byz)")
 		byz      = flag.Float64("byz", 0, "fraction of workers returning wrong results (soak mode)")
+		split    = flag.Bool("splitbrain", false, "with -soak: fence epochs and add controller-isolating split-brain storms")
 	)
 	flag.Parse()
 
 	if *soak {
-		if err := runSoak(*seed, *vehicles, *duration, *byz); err != nil {
+		if err := runSoak(*seed, *vehicles, *duration, *byz, *split); err != nil {
 			fmt.Fprintln(os.Stderr, "vcloudsim:", err)
 			os.Exit(1)
 		}
@@ -78,21 +86,26 @@ func main() {
 // runSoak executes the chaos soak harness and prints its report. A
 // non-empty violation list is a process failure: the soak is the
 // executable form of the dependability invariants.
-func runSoak(seed int64, vehicles int, duration float64, byz float64) error {
+func runSoak(seed int64, vehicles int, duration float64, byz float64, split bool) error {
 	rep, err := root.RunSoak(root.SoakConfig{
 		Seed:        seed,
 		Vehicles:    vehicles,
 		Duration:    root.Seconds(duration),
 		ByzFraction: byz,
+		SplitBrain:  split,
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("soak: seed=%d vehicles=%d duration=%.0fs byz=%.2f\n", seed, vehicles, duration, byz)
+	fmt.Printf("soak: seed=%d vehicles=%d duration=%.0fs byz=%.2f splitbrain=%v\n", seed, vehicles, duration, byz, split)
 	fmt.Printf("tasks: submitted=%d completed=%d failed=%d refused=%d correct=%d wrong=%d unchecked=%d\n",
 		rep.Submitted, rep.Completed, rep.Failed, rep.Refused, rep.Correct, rep.Wrong, rep.Unchecked)
 	fmt.Printf("storm: %d fault(s) injected, %d failover(s), %d invariant sweep(s)\n",
 		rep.FaultsInjected, rep.Failovers, rep.Checks)
+	if split {
+		fmt.Printf("fencing: %d split(s), highest epoch %d, %d abdication(s), %d merge(s), %d task(s) adopted, %d outcome(s) deduped, %d stale msg(s) rejected\n",
+			rep.SplitBrains, rep.Epochs, rep.Abdications, rep.Merges, rep.Adopted, rep.Deduped, rep.StaleRejected)
+	}
 	for _, f := range rep.FaultLog {
 		fmt.Printf("  %s\n", f)
 	}

@@ -18,6 +18,15 @@
 //     trust-weighted voting off, which is the configuration under which
 //     that bound is exact).
 //
+// In SplitBrain mode the storm additionally isolates the active
+// controller (standby always left outside) so the cloud splits into two
+// live controllers, and two fencing invariants arm:
+//
+//   - at most one controller is accepted by members per epoch counter;
+//   - no task outcome is applied twice across epochs — not by rival
+//     controllers, not by a promotee replaying its checkpoint, not by a
+//     later voting round.
+//
 // "Possibly Byzantine" is a deliberate over-approximation: a voter
 // counts as Byzantine for a task if any of its lying intervals
 // overlapped the task's lifetime. Over-counting can only skip a check,
@@ -41,6 +50,7 @@ import (
 	"vcloud/internal/faults"
 	"vcloud/internal/geo"
 	"vcloud/internal/mobility"
+	"vcloud/internal/radio"
 	"vcloud/internal/roadnet"
 	"vcloud/internal/scenario"
 	"vcloud/internal/sim"
@@ -75,6 +85,13 @@ type SoakConfig struct {
 	// Policy is the dependability policy under soak. Defaults to
 	// 3 replicas, 3 retries, trust weighting off (see package comment).
 	Policy *vcloud.DependabilityPolicy
+	// SplitBrain deploys the cloud with epoch fencing and adds a storm
+	// branch that isolates the active controller (with a random minority
+	// of its members, never its standby) so the standby promotes and the
+	// cloud splits into two live controllers until the isolation heals.
+	// It also arms two extra invariants: at most one controller accepted
+	// per epoch, and no task outcome applied twice across epochs.
+	SplitBrain bool
 }
 
 func (c SoakConfig) withDefaults() SoakConfig {
@@ -152,6 +169,17 @@ type Report struct {
 	FaultLog       []string
 	// Failovers is the controller promotions the run saw.
 	Failovers uint64
+	// Split-brain counters (meaningful when SplitBrain is on).
+	// SplitBrains counts controller-isolation storms injected; Epochs is
+	// the highest epoch round any member accepted; the rest mirror the
+	// fencing counters in vcloud.Stats at the end of the run.
+	SplitBrains   int
+	Epochs        uint64
+	Abdications   uint64
+	Merges        uint64
+	Adopted       uint64
+	Deduped       uint64
+	StaleRejected uint64
 	// Violations holds every invariant breach, deduplicated. Empty is
 	// the passing state.
 	Violations []string
@@ -191,8 +219,20 @@ type soak struct {
 	violations map[string]bool
 	// lastKill gates controller kills: a fresh promotee needs time to
 	// gather members and replicate a checkpoint before it can be killed
-	// survivably, so kills are spaced by killSpacing.
-	lastKill sim.Time
+	// survivably, so kills are spaced by killSpacing. lastSplit gates
+	// split-brain isolations for the same reason: back-to-back splits
+	// would starve the merged survivor of the checkpoint round it needs
+	// before its next standby can promote survivably.
+	lastKill  sim.Time
+	lastSplit sim.Time
+	// Fencing invariant registries (SplitBrain mode). epochClaim maps an
+	// epoch counter to the controller members accepted it from; a second
+	// claimant at the same counter is a split-brain safety breach.
+	// applies counts outcome applications per task ID; two applications
+	// of one ID — across epochs, controllers, or voting rounds — is a
+	// duplicated outcome the fencing ledger should have deduplicated.
+	epochClaim map[uint64]vnet.Addr
+	applies    map[vcloud.TaskID]applyRecord
 	// monotonicity watermarks.
 	lastSubmitted, lastCompleted, lastFailed, lastFailovers uint64
 }
@@ -222,11 +262,28 @@ func Soak(cfg SoakConfig) (*Report, error) {
 	if _, err := s.AddRSU(geo.Point{X: 0, Y: 0}); err != nil {
 		return nil, err
 	}
+	sk := &soak{
+		cfg:        cfg,
+		s:          s,
+		rng:        s.Kernel.NewStream("chaos.plan"),
+		byz:        make(map[vnet.Addr]*attack.ByzantineWorker),
+		byzWindows: make(map[vnet.Addr][]byzWindow),
+		report:     &Report{},
+		violations: make(map[string]bool),
+		epochClaim: make(map[uint64]vnet.Addr),
+		applies:    make(map[vcloud.TaskID]applyRecord),
+	}
 	stats := &vcloud.Stats{}
-	d, err := vcloud.Deploy(s, vcloud.Stationary, vcloud.DeployConfig{
+	dcfg := vcloud.DeployConfig{
 		Failover:   true,
 		Controller: vcloud.ControllerConfig{Depend: cfg.Policy},
-	}, stats)
+	}
+	if cfg.SplitBrain {
+		dcfg.Fencing = true
+		dcfg.OnApply = sk.onApply
+		dcfg.OnAccept = sk.onAccept
+	}
+	d, err := vcloud.Deploy(s, vcloud.Stationary, dcfg, stats)
 	if err != nil {
 		return nil, err
 	}
@@ -240,19 +297,7 @@ func Soak(cfg SoakConfig) (*Report, error) {
 			ctls[idx].Crash()
 		}
 	})
-
-	sk := &soak{
-		cfg:        cfg,
-		s:          s,
-		d:          d,
-		stats:      stats,
-		inj:        inj,
-		rng:        s.Kernel.NewStream("chaos.plan"),
-		byz:        make(map[vnet.Addr]*attack.ByzantineWorker),
-		byzWindows: make(map[vnet.Addr][]byzWindow),
-		report:     &Report{},
-		violations: make(map[string]bool),
-	}
+	sk.d, sk.stats, sk.inj = d, stats, inj
 	if err := sk.byzantify(); err != nil {
 		return nil, err
 	}
@@ -411,10 +456,15 @@ func (sk *soak) onOutcome(seq int, r vcloud.TaskResult) {
 }
 
 // injectFault draws one storm event: crash (with auto-recovery),
-// partition, loss burst, controller kill, or Byzantine flip.
+// partition, loss burst, controller kill, or Byzantine flip — plus, in
+// SplitBrain mode, controller isolations that force a rival promotion.
 func (sk *soak) injectFault() {
 	roll := sk.rng.Float64()
 	now := sk.s.Kernel.Now()
+	if sk.cfg.SplitBrain && roll < 0.30 {
+		sk.splitBrain(now)
+		return
+	}
 	switch {
 	case roll < 0.35:
 		// Crash a random vehicle's radio for 5–20 s.
@@ -474,6 +524,85 @@ func (sk *soak) injectFault() {
 	}
 }
 
+// splitBrain isolates the active controller together with a random
+// minority of its members — never its standby — for long enough that
+// the standby stops hearing advertisements, promotes, and the cloud
+// runs two live controllers until the isolation heals and the epoch
+// battle merges them back into one.
+func (sk *soak) splitBrain(now sim.Time) {
+	if sk.lastSplit > 0 && now-sk.lastSplit < killSpacing {
+		return
+	}
+	ctls := sk.d.ActiveControllers()
+	if len(ctls) == 0 {
+		return
+	}
+	c := ctls[sk.rng.Intn(len(ctls))]
+	standby := c.StandbyAddr()
+	if !c.Fenced() || standby < 0 {
+		return // no standby: isolation would only make the cloud headless
+	}
+	var pool []radio.NodeID
+	for _, a := range c.Members() {
+		if a != standby && a != c.Addr() {
+			pool = append(pool, radio.NodeID(a))
+		}
+	}
+	sk.rng.Shuffle(len(pool), func(i, j int) { pool[i], pool[j] = pool[j], pool[i] })
+	n := 0
+	if len(pool) > 0 {
+		n = sk.rng.Intn(len(pool)/2 + 1)
+	}
+	dur := sim.Time(10+sk.rng.Float64()*10) * time.Second
+	heal := sk.inj.StartIsolation(radio.NodeID(c.Addr()), pool[:n])
+	sk.s.Kernel.After(dur, heal)
+	sk.lastSplit = now
+	sk.report.SplitBrains++
+	sk.fault("%s split-brain isolate controller %d with %d kept members for %s", now, c.Addr(), n, dur)
+}
+
+// onAccept is the member-side fencing probe: every fenced follow
+// reports (controller, epoch). Two distinct controllers accepted at the
+// same epoch counter is the split-brain safety breach fencing exists to
+// prevent.
+func (sk *soak) onAccept(ctl vnet.Addr, e vcloud.Epoch) {
+	if r := e.Round(); r > sk.report.Epochs {
+		sk.report.Epochs = r
+	}
+	if prev, ok := sk.epochClaim[e.Counter]; ok && prev != ctl {
+		sk.violate("epoch %v accepted from two controllers (%d then %d): at most one controller may be accepted per epoch",
+			e, prev, ctl)
+		return
+	}
+	sk.epochClaim[e.Counter] = ctl
+}
+
+// onApply is the controller-side fencing probe: each application of a
+// task outcome reports its ID. A second application of the same ID —
+// on the same controller, a rival, or a later epoch's voting round —
+// is a duplicated outcome the (task, epoch) ledger should have caught.
+func (sk *soak) onApply(id vcloud.TaskID, epoch uint64, ok bool) {
+	ar := sk.applies[id]
+	ar.count++
+	if ar.count == 1 {
+		ar.epoch = epoch
+	}
+	sk.applies[id] = ar
+	if ar.count > 1 {
+		// An epoch counter encodes its claimant's address in the low bits,
+		// so naming both epochs identifies both appliers.
+		sk.violate("task %d applied %d times (first epoch %d, now epoch %d): no task outcome may be applied twice across epochs",
+			id, ar.count, ar.epoch, epoch)
+	}
+}
+
+// applyRecord remembers how often — and first under which epoch — a
+// task's outcome was applied.
+type applyRecord struct {
+	count int
+	epoch uint64
+}
+
 // check is one invariant sweep: controller self-audits plus counter
 // monotonicity and accounting.
 func (sk *soak) check() {
@@ -531,6 +660,11 @@ func (sk *soak) event(format string, args ...interface{}) {
 // finalize computes the checksum and closing counters.
 func (sk *soak) finalize() {
 	sk.report.Failovers = sk.stats.Failovers.Value()
+	sk.report.Abdications = sk.stats.Abdications.Value()
+	sk.report.Merges = sk.stats.Merges.Value()
+	sk.report.Adopted = sk.stats.Adopted.Value()
+	sk.report.Deduped = sk.stats.Deduped.Value()
+	sk.report.StaleRejected = sk.stats.StaleRejected.Value()
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211

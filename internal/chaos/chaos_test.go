@@ -74,6 +74,84 @@ func TestSoakReproducible(t *testing.T) {
 	}
 }
 
+// splitCfg is the CI-sized split-brain soak: fencing on, controller
+// isolations in the storm mix.
+func splitCfg(seed int64) SoakConfig {
+	return SoakConfig{
+		Seed:       seed,
+		Vehicles:   16,
+		Duration:   90 * time.Second,
+		SplitBrain: true,
+	}
+}
+
+func TestSplitBrainSoakShort(t *testing.T) {
+	rep, err := Soak(splitCfg(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range rep.Violations {
+		t.Errorf("invariant violation: %s", v)
+	}
+	if rep.SplitBrains == 0 {
+		t.Error("no split-brain isolations injected: not a split-brain soak")
+	}
+	if rep.Completed == 0 {
+		t.Error("soak completed nothing: storm too strong or scheduler broken")
+	}
+	t.Logf("submitted=%d completed=%d failed=%d splits=%d epochs=%d abdications=%d merges=%d adopted=%d deduped=%d stale=%d checksum=%x",
+		rep.Submitted, rep.Completed, rep.Failed, rep.SplitBrains, rep.Epochs,
+		rep.Abdications, rep.Merges, rep.Adopted, rep.Deduped, rep.StaleRejected, rep.Checksum)
+}
+
+// TestSplitBrainSoakSeeds is the acceptance sweep: five seeds of
+// split-brain storm, zero invariant violations, and at least one run
+// that actually split (epoch advanced past the initial claim).
+func TestSplitBrainSoakSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: TestSplitBrainSoakShort covers one seed")
+	}
+	var splits, epochBumps int
+	for seed := int64(1); seed <= 5; seed++ {
+		rep, err := Soak(splitCfg(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range rep.Violations {
+			t.Errorf("seed %d: invariant violation: %s", seed, v)
+		}
+		splits += rep.SplitBrains
+		if rep.Epochs > 1 {
+			epochBumps++
+		}
+		t.Logf("seed %d: splits=%d epochs=%d abdications=%d merges=%d adopted=%d deduped=%d",
+			seed, rep.SplitBrains, rep.Epochs, rep.Abdications, rep.Merges, rep.Adopted, rep.Deduped)
+	}
+	if splits == 0 {
+		t.Error("no seed injected a split-brain isolation")
+	}
+	if epochBumps == 0 {
+		t.Error("no seed ever advanced the epoch: isolations never caused a promotion")
+	}
+}
+
+func TestSplitBrainSoakReproducible(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: single soak is enough")
+	}
+	a, err := Soak(splitCfg(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Soak(splitCfg(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Checksum != b.Checksum {
+		t.Fatalf("same seed, different checksums: %x vs %x", a.Checksum, b.Checksum)
+	}
+}
+
 func TestSoakConfigValidate(t *testing.T) {
 	bad := []SoakConfig{
 		{Seed: 1, ByzFraction: 1.5},

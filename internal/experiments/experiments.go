@@ -1,5 +1,5 @@
 // Package experiments contains the runnable reproductions of every
-// figure and load-bearing claim of the paper, indexed E1–E12 (see
+// figure and load-bearing claim of the paper, indexed E1–E13 (see
 // DESIGN.md for the mapping). Each experiment builds its scenario from
 // the substrate packages, runs it on the deterministic kernel, and
 // returns both a printable table (the paper-style rows) and a map of
@@ -61,6 +61,7 @@ func All() []Runner {
 		{"E10", "attack/defense drill", E10Attacks},
 		{"E11", "controller failover under crash", E11Failover},
 		{"E12", "dependable execution under Byzantine workers", E12Dependability},
+		{"E13", "split-brain fencing vs failover-only", E13SplitBrain},
 	}
 }
 

@@ -24,8 +24,8 @@ func quick(t *testing.T, run func(Config) (*Result, error)) *Result {
 
 func TestAllRegistered(t *testing.T) {
 	runners := All()
-	if len(runners) != 12 {
-		t.Fatalf("runners = %d, want 12", len(runners))
+	if len(runners) != 13 {
+		t.Fatalf("runners = %d, want 13", len(runners))
 	}
 	seen := map[string]bool{}
 	for _, r := range runners {
@@ -289,5 +289,35 @@ func TestE12Shape(t *testing.T) {
 	}
 	if v["baseline/byz0.2/wrong"] == 0 {
 		t.Error("baseline accepted no wrong results at 20% Byzantine: attack not wired")
+	}
+}
+
+func TestE13Shape(t *testing.T) {
+	r := quick(t, E13SplitBrain)
+	v := r.Values
+	// The issue's acceptance criterion: the fenced arm applies no outcome
+	// twice while the failover-only baseline duplicates at least one.
+	if v["fenced/duplicates"] != 0 {
+		t.Errorf("fenced arm applied %v duplicate outcomes, want exactly-once", v["fenced/duplicates"])
+	}
+	if v["baseline/duplicates"] == 0 {
+		t.Error("baseline applied no duplicates: split-brain not induced, experiment proves nothing")
+	}
+	// Fencing must actually reconcile: the survivor merges shortly after
+	// heal, and the two-controller exposure stays bounded while the
+	// baseline's persists (neither baseline controller ever stands down).
+	if v["fenced/merges"] == 0 {
+		t.Error("fenced arm never merged after the partition healed")
+	}
+	if v["fenced/reconcile_s"] > 10 {
+		t.Errorf("reconciliation took %.1fs, want seconds", v["fenced/reconcile_s"])
+	}
+	if v["fenced/exposure_s"] >= v["baseline/exposure_s"] {
+		t.Errorf("fenced split-brain exposure %.1fs should undercut baseline %.1fs",
+			v["fenced/exposure_s"], v["baseline/exposure_s"])
+	}
+	if v["fenced/completion"] < v["baseline/completion"] {
+		t.Errorf("fencing cost completion: %.2f vs baseline %.2f",
+			v["fenced/completion"], v["baseline/completion"])
 	}
 }

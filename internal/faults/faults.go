@@ -56,6 +56,13 @@ const (
 	// Target as the controller index — the cloud layer decides what a
 	// dead controller means (see vcloud.Controller.Crash).
 	KillController Kind = "kill-controller"
+	// Isolate cuts every frame crossing the boundary of a node set:
+	// Target (plus the optional Keep peers) on one side, everyone else
+	// on the other. Unlike Partition it is node-targeted, not
+	// region-scoped — the split-brain primitive that cuts a controller
+	// off from its standby while both keep reachable neighbours. Heals
+	// after Dur, or never when Dur is zero.
+	Isolate Kind = "isolate"
 )
 
 // Event is one scheduled fault.
@@ -72,8 +79,11 @@ type Event struct {
 	Radius float64
 	// Prob is the Loss drop probability in [0,1].
 	Prob float64
-	// Dur auto-heals Partition and Loss events; zero means "until the end
-	// of the run".
+	// Keep lists node addresses isolated together with Target (Isolate
+	// only): they stay reachable from Target but are cut from the rest.
+	Keep []int
+	// Dur auto-heals Partition, Loss and Isolate events; zero means
+	// "until the end of the run".
 	Dur sim.Time
 }
 
@@ -84,6 +94,11 @@ func (e Event) String() string {
 	switch e.Kind {
 	case Crash, Recover, RSUDown, RSUUp, KillController:
 		fmt.Fprintf(&b, " %d", e.Target)
+	case Isolate:
+		fmt.Fprintf(&b, " %d", e.Target)
+		for _, k := range e.Keep {
+			fmt.Fprintf(&b, ",%d", k)
+		}
 	case Partition:
 		fmt.Fprintf(&b, " %g,%g %g", e.Center.X, e.Center.Y, e.Radius)
 	case Loss:
@@ -104,6 +119,15 @@ func (e Event) Validate() error {
 	case Crash, Recover, RSUDown, RSUUp, KillController:
 		if e.Target < 0 {
 			return fmt.Errorf("faults: %s target must be >= 0, got %d", e.Kind, e.Target)
+		}
+	case Isolate:
+		if e.Target < 0 {
+			return fmt.Errorf("faults: %s target must be >= 0, got %d", e.Kind, e.Target)
+		}
+		for _, k := range e.Keep {
+			if k < 0 {
+				return fmt.Errorf("faults: %s keep address must be >= 0, got %d", e.Kind, k)
+			}
 		}
 	case Partition:
 		// NaN compares false against everything, so the range checks
@@ -174,6 +198,9 @@ type Injector struct {
 	// partitions holds active region isolations keyed by install order.
 	partitions map[int]partitionRegion
 	nextPart   int
+	// isolations holds active node-set isolations keyed by install order.
+	isolations map[int]map[radio.NodeID]bool
+	nextIso    int
 	lossProb   float64
 
 	killCtl func(idx int)
@@ -198,6 +225,7 @@ func NewInjector(s *scenario.Scenario) (*Injector, error) {
 		rng:        s.Kernel.NewStream("faults"),
 		dead:       make(map[radio.NodeID]bool),
 		partitions: make(map[int]partitionRegion),
+		isolations: make(map[int]map[radio.NodeID]bool),
 	}
 	in.remove = s.Medium.AddBlocker(in.blocked)
 	return in, nil
@@ -270,6 +298,19 @@ func (in *Injector) apply(e Event) {
 				heal()
 			})
 		}
+	case Isolate:
+		keep := make([]radio.NodeID, 0, len(e.Keep))
+		for _, k := range e.Keep {
+			keep = append(keep, radio.NodeID(k))
+		}
+		heal := in.StartIsolation(radio.NodeID(e.Target), keep)
+		if e.Dur > 0 {
+			in.s.Kernel.After(e.Dur, func() {
+				in.stats.Applied++
+				in.log = append(in.log, fmt.Sprintf("%s isolation healed around %d", in.s.Kernel.Now(), e.Target))
+				heal()
+			})
+		}
 	case Loss:
 		in.SetLoss(e.Prob)
 		if e.Dur > 0 {
@@ -288,6 +329,12 @@ func (in *Injector) apply(e Event) {
 
 func (e Event) describe() string {
 	switch e.Kind {
+	case Isolate:
+		d := "until end"
+		if e.Dur > 0 {
+			d = fmt.Sprintf("for %s", e.Dur)
+		}
+		return fmt.Sprintf("isolate %d with %d kept peers (%s)", e.Target, len(e.Keep), d)
 	case Partition:
 		d := "until end"
 		if e.Dur > 0 {
@@ -335,11 +382,30 @@ func (in *Injector) StartPartition(center geo.Point, radius float64) (heal func(
 	return func() { delete(in.partitions, id) }
 }
 
-// blocked is the frame filter: crash silences, partitions cut boundary
-// crossings, loss bursts drop at random. Checks run in a fixed order so
-// the loss stream's draws stay reproducible.
+// StartIsolation cuts the node set {center} ∪ keep off from every other
+// node immediately and returns a heal function (programmatic form of
+// Isolate). Traffic inside the set, and among the outsiders, still
+// flows — the targeted split-brain cut.
+func (in *Injector) StartIsolation(center radio.NodeID, keep []radio.NodeID) (heal func()) {
+	set := map[radio.NodeID]bool{center: true}
+	for _, k := range keep {
+		set[k] = true
+	}
+	id := in.nextIso
+	in.nextIso++
+	in.isolations[id] = set
+	return func() { delete(in.isolations, id) }
+}
+
+// blocked is the frame filter: crash silences, isolations and partitions
+// cut boundary crossings, loss bursts drop at random. Checks run in a
+// fixed order so the loss stream's draws stay reproducible.
 func (in *Injector) blocked(from, to radio.NodeID) bool {
 	if len(in.dead) > 0 && (in.dead[from] || in.dead[to]) {
+		in.stats.DroppedFrames++
+		return true
+	}
+	if len(in.isolations) > 0 && in.isolationCut(from, to) {
 		in.stats.DroppedFrames++
 		return true
 	}
@@ -350,6 +416,22 @@ func (in *Injector) blocked(from, to radio.NodeID) bool {
 	if in.lossProb > 0 && in.rng.Float64() < in.lossProb {
 		in.stats.DroppedFrames++
 		return true
+	}
+	return false
+}
+
+func (in *Injector) isolationCut(from, to radio.NodeID) bool {
+	// Evaluate sets in install order for reproducibility.
+	ids := make([]int, 0, len(in.isolations))
+	for id := range in.isolations {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		set := in.isolations[id]
+		if set[from] != set[to] {
+			return true
+		}
 	}
 	return false
 }

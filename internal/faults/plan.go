@@ -21,12 +21,14 @@ import (
 //	30s  rsu-down 0           # RSU by creation index
 //	60s  rsu-up 0
 //	40s  partition 1500,0 400 20s   # isolate r=400m around (1500,0) for 20s
+//	45s  isolate 3 12s              # cut node 3 off from everyone for 12s
+//	45s  isolate 3,7,9 12s          # cut {3,7,9} off from everyone else
 //	55s  loss 0.3 10s               # drop 30% of frames for 10s
 //	70s  kill-controller 0          # via the injector's kill hook
 //
-// The trailing duration on partition and loss is optional (omitted =
-// until the end of the run). Plan order is preserved: same-time events
-// apply in the order written.
+// The trailing duration on partition, loss and isolate is optional
+// (omitted = until the end of the run). Plan order is preserved:
+// same-time events apply in the order written.
 func Parse(text string) (Plan, error) {
 	var plan Plan
 	entries := strings.FieldsFunc(text, func(r rune) bool { return r == '\n' || r == ';' })
@@ -86,6 +88,26 @@ func parseEvent(fields []string) (Event, error) {
 		e.Radius = r
 		if len(args) == 3 {
 			if e.Dur, err = parseDur(args[2]); err != nil {
+				return Event{}, err
+			}
+		}
+	case Isolate:
+		if len(args) != 1 && len(args) != 2 {
+			return Event{}, fmt.Errorf("isolate wants \"<target>[,<keep>...] [dur]\"")
+		}
+		for i, f := range strings.Split(args[0], ",") {
+			t, err := strconv.Atoi(f)
+			if err != nil {
+				return Event{}, fmt.Errorf("bad isolate address %q: %w", f, err)
+			}
+			if i == 0 {
+				e.Target = t
+			} else {
+				e.Keep = append(e.Keep, t)
+			}
+		}
+		if len(args) == 2 {
+			if e.Dur, err = parseDur(args[1]); err != nil {
 				return Event{}, err
 			}
 		}

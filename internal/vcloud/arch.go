@@ -2,6 +2,7 @@ package vcloud
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"vcloud/internal/cluster"
@@ -74,6 +75,19 @@ type DeployConfig struct {
 	// self-promotion on every controller, and tracks promoted successors
 	// in Controllers so SubmitAnywhere finds them.
 	Failover bool
+	// Fencing enables split-brain-safe leadership on every controller:
+	// epoch-fenced dispatches, apply-after-ack outcomes, abdication and
+	// merge reconciliation (see merge.go). A controller that abdicates
+	// is removed from Controllers and its vehicle node rejoins as a
+	// member.
+	Fencing bool
+	// OnApply observes every applied task outcome across all controllers
+	// (including promoted successors, whose checkpoints strip hooks) —
+	// the chaos harness's "no outcome applied twice" probe.
+	OnApply func(id TaskID, epoch uint64, ok bool)
+	// OnAccept observes every fenced advertisement members accept — the
+	// chaos harness's "at most one controller per epoch" probe.
+	OnAccept func(controller vnet.Addr, e Epoch)
 
 	// Unexported wiring installed by DeploySecure.
 	memberAuthorize func(id mobility.VehicleID) func(vnet.Addr, func(bool))
@@ -138,10 +152,41 @@ func (d *Deployment) dwellFor(ctlNode *vnet.Node) DwellEstimator {
 	}
 }
 
+// applyHook returns the effective outcome-apply observer (an explicit
+// controller-level hook wins over the deployment-level one).
+func (d *Deployment) applyHook() func(TaskID, uint64, bool) {
+	if d.cfg.Controller.OnApply != nil {
+		return d.cfg.Controller.OnApply
+	}
+	return d.cfg.OnApply
+}
+
+// onAbdicate removes an abdicated controller from the deployment and —
+// when it ran on a vehicle — re-attaches a member agent on the node, so
+// the ex-leader's resources return to the pool it just handed over.
+func (d *Deployment) onAbdicate(c *Controller) {
+	for i, cc := range d.Controllers {
+		if cc == c {
+			d.Controllers = append(d.Controllers[:i], d.Controllers[i+1:]...)
+			break
+		}
+	}
+	if addr := c.Addr(); !scenario.IsRSU(addr) {
+		_ = d.attachMember(mobility.VehicleID(addr))
+	}
+}
+
 func (d *Deployment) newController(node *vnet.Node) (*Controller, error) {
 	cc := d.cfg.Controller
 	cc.Handover = d.cfg.Handover
 	cc.Failover = cc.Failover || d.cfg.Failover
+	cc.Fencing = cc.Fencing || d.cfg.Fencing
+	if cc.OnApply == nil {
+		cc.OnApply = d.cfg.OnApply
+	}
+	if cc.Fencing && cc.OnAbdicate == nil {
+		cc.OnAbdicate = d.onAbdicate
+	}
 	if cc.Dwell == nil {
 		cc.Dwell = d.dwellFor(node)
 	}
@@ -163,12 +208,21 @@ func (d *Deployment) attachMember(id mobility.VehicleID) error {
 		BatteryOps: d.cfg.BatteryOps,
 	}
 	vid := id
+	mc.OnAccept = d.cfg.OnAccept
 	mc.OnPromote = func(c *Controller) {
 		// The promoted node stopped being a worker; track its controller
 		// so SubmitAnywhere and ActiveControllers see the successor.
 		delete(d.Members, vid)
 		if d.emergency {
 			c.SetEmergency(true)
+		}
+		// Checkpoints strip function hooks; re-install the deployment's
+		// so promoted successors keep reporting applies, abdications and
+		// trace events.
+		c.cfg.OnApply = d.applyHook()
+		c.cfg.Trace = d.cfg.Controller.Trace
+		if c.cfg.Fencing {
+			c.cfg.OnAbdicate = d.onAbdicate
 		}
 		d.Controllers = append(d.Controllers, c)
 	}
@@ -329,22 +383,30 @@ func (d *Deployment) ActiveControllers() []*Controller {
 }
 
 // SubmitAnywhere submits a task to the live controller with the most
-// members (a client-side broker). It fails when no controller exists.
+// members (a client-side broker), falling back to the next-best
+// controller when one refuses — a fenced controller whose leadership
+// lease expired rejects new work rather than risking double dispatch.
+// It fails when no controller exists or all of them refuse.
 func (d *Deployment) SubmitAnywhere(task Task, done func(TaskResult)) error {
-	var best *Controller
-	for _, c := range d.Controllers {
-		if c.Stopped() {
-			continue
-		}
-		if best == nil || c.NumMembers() > best.NumMembers() {
-			best = c
-		}
-	}
-	if best == nil {
+	cands := d.ActiveControllers()
+	if len(cands) == 0 {
 		return fmt.Errorf("vcloud: no active controller (cloud not formed)")
 	}
-	_, err := best.Submit(task, done)
-	return err
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].NumMembers() != cands[j].NumMembers() {
+			return cands[i].NumMembers() > cands[j].NumMembers()
+		}
+		return cands[i].Addr() < cands[j].Addr()
+	})
+	var lastErr error
+	for _, c := range cands {
+		if _, err := c.Submit(task, done); err == nil {
+			return nil
+		} else {
+			lastErr = err
+		}
+	}
+	return lastErr
 }
 
 // SetEmergency flips emergency mode on every current controller and on

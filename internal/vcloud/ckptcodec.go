@@ -1,0 +1,365 @@
+// Checkpoint wire codec. PR 1 replicated checkpoints as in-memory Go
+// values; a truncated or corrupted replica could therefore never be
+// detected, and a standby could in principle promote itself into a
+// garbage state. The codec makes the failure mode explicit: checkpoints
+// cross the (simulated) wire as a versioned, length-checked binary
+// encoding, and DecodeCheckpoint rejects anything malformed with an
+// error instead of yielding a partially-filled struct. The fuzz test in
+// ckptcodec_test.go drives arbitrary mutations through the decoder.
+package vcloud
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"vcloud/internal/sim"
+	"vcloud/internal/vnet"
+)
+
+// ckptMagic identifies encoded checkpoints; the trailing byte is the
+// format version.
+var ckptMagic = [4]byte{'V', 'C', 'P', 1}
+
+// Decoder sanity caps: a checkpoint exceeding these is rejected as
+// corrupt. They sit far above anything a simulated cloud produces.
+const (
+	ckptMaxMembers = 1 << 14
+	ckptMaxTasks   = 1 << 16
+	ckptMaxSensors = 64
+	ckptMaxString  = 1 << 10
+	ckptMaxVoters  = 1 << 12
+	ckptMaxLedger  = 1 << 16
+)
+
+type ckptWriter struct{ buf []byte }
+
+func (w *ckptWriter) u8(v uint8) { w.buf = append(w.buf, v) }
+func (w *ckptWriter) bool(v bool) {
+	if v {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+func (w *ckptWriter) u16(v uint16)     { w.buf = binary.BigEndian.AppendUint16(w.buf, v) }
+func (w *ckptWriter) u32(v uint32)     { w.buf = binary.BigEndian.AppendUint32(w.buf, v) }
+func (w *ckptWriter) u64(v uint64)     { w.buf = binary.BigEndian.AppendUint64(w.buf, v) }
+func (w *ckptWriter) i64(v int64)      { w.u64(uint64(v)) }
+func (w *ckptWriter) f64(v float64)    { w.u64(math.Float64bits(v)) }
+func (w *ckptWriter) addr(a vnet.Addr) { w.i64(int64(a)) }
+func (w *ckptWriter) str(s string) {
+	w.u16(uint16(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+type ckptReader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *ckptReader) fail(format string, args ...interface{}) {
+	if r.err == nil {
+		r.err = fmt.Errorf("vcloud: corrupt checkpoint: "+format, args...)
+	}
+}
+
+func (r *ckptReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.off+n > len(r.buf) {
+		r.fail("truncated at byte %d (want %d more)", r.off, n)
+		return nil
+	}
+	b := r.buf[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *ckptReader) u8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *ckptReader) bool() bool { return r.u8() != 0 }
+
+func (r *ckptReader) u16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (r *ckptReader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (r *ckptReader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(b)
+}
+
+func (r *ckptReader) i64() int64      { return int64(r.u64()) }
+func (r *ckptReader) f64() float64    { return math.Float64frombits(r.u64()) }
+func (r *ckptReader) addr() vnet.Addr { return vnet.Addr(r.i64()) }
+
+func (r *ckptReader) str() string {
+	n := int(r.u16())
+	if n > ckptMaxString {
+		r.fail("string length %d exceeds cap", n)
+		return ""
+	}
+	b := r.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// count reads a u32 collection length and bounds it.
+func (r *ckptReader) count(what string, max int) int {
+	n := int(r.u32())
+	if n > max {
+		r.fail("%s count %d exceeds cap %d", what, n, max)
+		return 0
+	}
+	return n
+}
+
+func writePolicy(w *ckptWriter, p *DependabilityPolicy) {
+	if p == nil {
+		w.bool(false)
+		return
+	}
+	w.bool(true)
+	w.i64(int64(p.Replicas))
+	w.i64(int64(p.MaxRetries))
+	w.i64(int64(p.RetryBackoff))
+	w.f64(p.BackoffJitter)
+	w.i64(int64(p.AttemptTimeout))
+	w.f64(p.TrustThreshold)
+	w.bool(p.TrustWeighted)
+}
+
+func readPolicy(r *ckptReader) *DependabilityPolicy {
+	if !r.bool() {
+		return nil
+	}
+	p := &DependabilityPolicy{
+		Replicas:       int(r.i64()),
+		MaxRetries:     int(r.i64()),
+		RetryBackoff:   sim.Time(r.i64()),
+		BackoffJitter:  r.f64(),
+		AttemptTimeout: sim.Time(r.i64()),
+		TrustThreshold: r.f64(),
+		TrustWeighted:  r.bool(),
+	}
+	if r.err == nil {
+		if err := p.Validate(); err != nil {
+			r.fail("invalid policy: %v", err)
+		}
+	}
+	return p
+}
+
+func writeTask(w *ckptWriter, t Task) {
+	w.u64(uint64(t.ID))
+	w.f64(t.Ops)
+	w.i64(int64(t.InputBytes))
+	w.i64(int64(t.OutputBytes))
+	w.i64(int64(t.Deadline))
+	w.str(t.NeedsSensor)
+	writePolicy(w, t.Depend)
+}
+
+func readTask(r *ckptReader) Task {
+	t := Task{
+		ID:          TaskID(r.u64()),
+		Ops:         r.f64(),
+		InputBytes:  int(r.i64()),
+		OutputBytes: int(r.i64()),
+		Deadline:    sim.Time(r.i64()),
+		NeedsSensor: r.str(),
+	}
+	t.Depend = readPolicy(r)
+	if r.err == nil {
+		if err := t.Validate(); err != nil {
+			r.fail("invalid task %d: %v", t.ID, err)
+		}
+	}
+	return t
+}
+
+// EncodeCheckpoint serializes a checkpoint for replication. The
+// encoding is deterministic: equal checkpoints encode to equal bytes.
+func EncodeCheckpoint(ck Checkpoint) []byte {
+	w := &ckptWriter{buf: make([]byte, 0, 256+48*len(ck.Members)+128*len(ck.Tasks))}
+	w.buf = append(w.buf, ckptMagic[:]...)
+	w.addr(ck.Controller)
+	w.addr(ck.Standby)
+	w.u64(ck.Seq)
+	w.u64(uint64(ck.NextID))
+	w.bool(ck.Emergency)
+	w.i64(int64(ck.FailoverTTL))
+	w.u64(ck.Epoch.Counter)
+	w.addr(ck.Epoch.Claimant)
+
+	cfg := ck.Cfg
+	w.i64(int64(cfg.AdvPeriod))
+	w.i64(int64(cfg.MemberTTL))
+	w.f64(cfg.DwellMargin)
+	w.i64(int64(cfg.RetryLimit))
+	w.bool(cfg.Handover)
+	w.i64(cfg.PricePerKOps)
+	w.bool(cfg.Failover)
+	w.i64(int64(cfg.CheckpointPeriod))
+	w.i64(int64(cfg.FailoverTTL))
+	w.bool(cfg.Fencing)
+	writePolicy(w, cfg.Depend)
+
+	w.u32(uint32(len(ck.Members)))
+	for _, m := range ck.Members {
+		w.addr(m.Addr)
+		w.f64(m.Res.CPU)
+		w.f64(m.Res.Storage)
+		w.u16(uint16(len(m.Res.Sensors)))
+		for _, s := range m.Res.Sensors {
+			w.str(s)
+		}
+	}
+	w.u32(uint32(len(ck.Tasks)))
+	for _, t := range ck.Tasks {
+		writeTask(w, t.Task)
+		w.addr(t.Client)
+		w.f64(t.RemainingOps)
+		w.i64(int64(t.Retries))
+		w.i64(int64(t.Handovers))
+		w.i64(int64(t.Submitted))
+	}
+	w.u32(uint32(len(ck.Applied)))
+	for _, a := range ck.Applied {
+		w.u64(uint64(a.ID))
+		w.u64(a.Epoch)
+	}
+	w.u32(uint32(len(ck.Parked)))
+	for _, p := range ck.Parked {
+		writeTask(w, p.Task)
+		w.addr(p.Client)
+		w.bool(p.OK)
+		w.str(p.Reason)
+		w.u64(p.Value)
+		w.u32(uint32(len(p.Voters)))
+		for _, v := range p.Voters {
+			w.addr(v)
+		}
+		w.i64(int64(p.Retries))
+		w.i64(int64(p.Handovers))
+		w.i64(int64(p.Submitted))
+		w.u64(p.Seq)
+	}
+	w.u32(uint32(len(ck.Armed)))
+	for _, a := range ck.Armed {
+		w.addr(a)
+	}
+	return w.buf
+}
+
+// DecodeCheckpoint parses an encoded checkpoint, rejecting truncated or
+// corrupted input with an error — a standby never promotes itself from
+// garbage.
+func DecodeCheckpoint(data []byte) (Checkpoint, error) {
+	r := &ckptReader{buf: data}
+	if m := r.take(4); m == nil || [4]byte{m[0], m[1], m[2], m[3]} != ckptMagic {
+		return Checkpoint{}, fmt.Errorf("vcloud: corrupt checkpoint: bad magic/version")
+	}
+	var ck Checkpoint
+	ck.Controller = r.addr()
+	ck.Standby = r.addr()
+	ck.Seq = r.u64()
+	ck.NextID = TaskID(r.u64())
+	ck.Emergency = r.bool()
+	ck.FailoverTTL = sim.Time(r.i64())
+	ck.Epoch.Counter = r.u64()
+	ck.Epoch.Claimant = r.addr()
+
+	ck.Cfg.AdvPeriod = sim.Time(r.i64())
+	ck.Cfg.MemberTTL = sim.Time(r.i64())
+	ck.Cfg.DwellMargin = r.f64()
+	ck.Cfg.RetryLimit = int(r.i64())
+	ck.Cfg.Handover = r.bool()
+	ck.Cfg.PricePerKOps = r.i64()
+	ck.Cfg.Failover = r.bool()
+	ck.Cfg.CheckpointPeriod = sim.Time(r.i64())
+	ck.Cfg.FailoverTTL = sim.Time(r.i64())
+	ck.Cfg.Fencing = r.bool()
+	ck.Cfg.Depend = readPolicy(r)
+
+	for i, n := 0, r.count("member", ckptMaxMembers); i < n && r.err == nil; i++ {
+		ms := MemberSnapshot{Addr: r.addr()}
+		ms.Res.CPU = r.f64()
+		ms.Res.Storage = r.f64()
+		ns := int(r.u16())
+		if ns > ckptMaxSensors {
+			r.fail("sensor count %d exceeds cap", ns)
+			break
+		}
+		for j := 0; j < ns && r.err == nil; j++ {
+			ms.Res.Sensors = append(ms.Res.Sensors, r.str())
+		}
+		ck.Members = append(ck.Members, ms)
+	}
+	for i, n := 0, r.count("task", ckptMaxTasks); i < n && r.err == nil; i++ {
+		tc := TaskCheckpoint{Task: readTask(r)}
+		tc.Client = r.addr()
+		tc.RemainingOps = r.f64()
+		tc.Retries = int(r.i64())
+		tc.Handovers = int(r.i64())
+		tc.Submitted = sim.Time(r.i64())
+		if r.err == nil && (math.IsNaN(tc.RemainingOps) || tc.RemainingOps < 0) {
+			r.fail("task %d remaining ops %v", tc.Task.ID, tc.RemainingOps)
+		}
+		ck.Tasks = append(ck.Tasks, tc)
+	}
+	for i, n := 0, r.count("ledger", ckptMaxLedger); i < n && r.err == nil; i++ {
+		ck.Applied = append(ck.Applied, AppliedRecord{ID: TaskID(r.u64()), Epoch: r.u64()})
+	}
+	for i, n := 0, r.count("parked", ckptMaxLedger); i < n && r.err == nil; i++ {
+		p := ParkedOutcome{Task: readTask(r)}
+		p.Client = r.addr()
+		p.OK = r.bool()
+		p.Reason = r.str()
+		p.Value = r.u64()
+		nv := r.count("voter", ckptMaxVoters)
+		for j := 0; j < nv && r.err == nil; j++ {
+			p.Voters = append(p.Voters, r.addr())
+		}
+		p.Retries = int(r.i64())
+		p.Handovers = int(r.i64())
+		p.Submitted = sim.Time(r.i64())
+		p.Seq = r.u64()
+		ck.Parked = append(ck.Parked, p)
+	}
+	for i, n := 0, r.count("armed", ckptMaxMembers); i < n && r.err == nil; i++ {
+		ck.Armed = append(ck.Armed, r.addr())
+	}
+	if r.err != nil {
+		return Checkpoint{}, r.err
+	}
+	if r.off != len(r.buf) {
+		return Checkpoint{}, fmt.Errorf("vcloud: corrupt checkpoint: %d trailing bytes", len(r.buf)-r.off)
+	}
+	return ck, nil
+}

@@ -1,0 +1,150 @@
+package vcloud_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"vcloud/internal/vcloud"
+	"vcloud/internal/vnet"
+)
+
+// fixtureCheckpoint exercises every field the codec carries: membership
+// with sensors, fenced epoch, a dependability policy both in the config
+// and per-task, an applied ledger, parked outcomes with voters, and
+// outstanding arming obligations.
+func fixtureCheckpoint() vcloud.Checkpoint {
+	pol := &vcloud.DependabilityPolicy{Replicas: 3, MaxRetries: 2, RetryBackoff: time.Second}
+	return vcloud.Checkpoint{
+		Controller:  7,
+		Standby:     3,
+		Seq:         42,
+		NextID:      9001,
+		Emergency:   true,
+		FailoverTTL: 4 * time.Second,
+		Cfg: vcloud.ControllerConfig{
+			AdvPeriod:        time.Second,
+			MemberTTL:        3 * time.Second,
+			DwellMargin:      1.5,
+			RetryLimit:       4,
+			Handover:         true,
+			PricePerKOps:     2,
+			Failover:         true,
+			CheckpointPeriod: 2 * time.Second,
+			FailoverTTL:      4 * time.Second,
+			Fencing:          true,
+			Depend:           pol,
+		},
+		Members: []vcloud.MemberSnapshot{
+			{Addr: 3, Res: vcloud.Resources{CPU: 1000, Storage: 4096, Sensors: []string{"lidar", "cam"}}},
+			{Addr: 5, Res: vcloud.Resources{CPU: 500, Storage: 1024}},
+		},
+		Tasks: []vcloud.TaskCheckpoint{
+			{
+				Task:         vcloud.Task{ID: 11, Ops: 5000, InputBytes: 100, OutputBytes: 50, NeedsSensor: "lidar", Depend: pol},
+				Client:       5,
+				RemainingOps: 1234.5,
+				Retries:      1,
+				Handovers:    2,
+				Submitted:    10 * time.Second,
+			},
+		},
+		Epoch:   vcloud.NextEpoch(0, 7),
+		Applied: []vcloud.AppliedRecord{{ID: 9, Epoch: 65543}, {ID: 10, Epoch: 65543}},
+		Parked: []vcloud.ParkedOutcome{
+			{
+				Task:      vcloud.Task{ID: 12, Ops: 800},
+				Client:    5,
+				OK:        true,
+				Reason:    "",
+				Value:     0xfeed,
+				Voters:    []vnet.Addr{3, 5, 9},
+				Retries:   0,
+				Handovers: 1,
+				Submitted: 11 * time.Second,
+				Seq:       41,
+			},
+		},
+		Armed: []vnet.Addr{3, 9},
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	ck := fixtureCheckpoint()
+	data := vcloud.EncodeCheckpoint(ck)
+	got, err := vcloud.DecodeCheckpoint(data)
+	if err != nil {
+		t.Fatalf("decode of a valid encoding failed: %v", err)
+	}
+	if !reflect.DeepEqual(ck, got) {
+		t.Errorf("round-trip mismatch:\n in: %+v\nout: %+v", ck, got)
+	}
+	// Deterministic: equal checkpoints encode to equal bytes.
+	if !bytes.Equal(data, vcloud.EncodeCheckpoint(ck)) {
+		t.Error("encoding is not deterministic")
+	}
+}
+
+func TestCheckpointDecodeRejectsCorruption(t *testing.T) {
+	valid := vcloud.EncodeCheckpoint(fixtureCheckpoint())
+
+	t.Run("bad magic", func(t *testing.T) {
+		data := append([]byte(nil), valid...)
+		data[0] ^= 0xff
+		if _, err := vcloud.DecodeCheckpoint(data); err == nil {
+			t.Error("bad magic accepted")
+		}
+	})
+	t.Run("bad version", func(t *testing.T) {
+		data := append([]byte(nil), valid...)
+		data[3]++
+		if _, err := vcloud.DecodeCheckpoint(data); err == nil {
+			t.Error("bumped version accepted")
+		}
+	})
+	t.Run("truncation", func(t *testing.T) {
+		for n := 0; n < len(valid); n += 7 {
+			if _, err := vcloud.DecodeCheckpoint(valid[:n]); err == nil {
+				t.Fatalf("truncation to %d bytes accepted", n)
+			}
+		}
+	})
+	t.Run("trailing garbage", func(t *testing.T) {
+		if _, err := vcloud.DecodeCheckpoint(append(append([]byte(nil), valid...), 0xaa)); err == nil {
+			t.Error("trailing byte accepted")
+		}
+	})
+	t.Run("empty", func(t *testing.T) {
+		if _, err := vcloud.DecodeCheckpoint(nil); err == nil {
+			t.Error("empty input accepted")
+		}
+	})
+}
+
+// FuzzDecodeCheckpoint asserts the decoder's contract on arbitrary
+// bytes: it never panics, and anything it does accept survives a
+// re-encode/re-decode round trip (no partially-filled garbage escapes —
+// the property that keeps a standby from promoting into a corrupt
+// state).
+func FuzzDecodeCheckpoint(f *testing.F) {
+	valid := vcloud.EncodeCheckpoint(fixtureCheckpoint())
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	small := vcloud.EncodeCheckpoint(vcloud.Checkpoint{Controller: 1, Standby: -1})
+	f.Add(small)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ck, err := vcloud.DecodeCheckpoint(data)
+		if err != nil {
+			return
+		}
+		re := vcloud.EncodeCheckpoint(ck)
+		ck2, err := vcloud.DecodeCheckpoint(re)
+		if err != nil {
+			t.Fatalf("re-encode of an accepted checkpoint does not decode: %v", err)
+		}
+		if !reflect.DeepEqual(ck, ck2) {
+			t.Fatalf("accepted checkpoint is not a codec fixed point:\n first: %+v\nsecond: %+v", ck, ck2)
+		}
+	})
+}

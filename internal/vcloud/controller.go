@@ -31,6 +31,8 @@ type advMsg struct {
 	// Standby is the designated failover successor (-1 when none); it is
 	// broadcast so a deposed standby knows to discard its checkpoint.
 	Standby vnet.Addr
+	// Epoch is the advertiser's fencing token (zero when unfenced).
+	Epoch Epoch
 }
 
 // joinMsg announces a member and its resources.
@@ -49,6 +51,9 @@ type taskMsg struct {
 	// (-1 on the plain single-copy path); the member echoes it back so
 	// the controller can match votes to slots.
 	Replica int
+	// Epoch fences the dispatch: members reject a task from an epoch
+	// below the highest they have witnessed (zero when unfenced).
+	Epoch Epoch
 }
 
 // resultMsg returns a finished task.
@@ -59,6 +64,9 @@ type resultMsg struct {
 	// Value is the worker's computed result (TaskValue for honest
 	// workers); the redundant-execution vote compares these.
 	Value uint64
+	// Epoch echoes the dispatching controller's epoch back with the
+	// result (zero when the dispatch was unfenced).
+	Epoch Epoch
 }
 
 // handoverMsg returns unfinished work for reassignment.
@@ -67,6 +75,8 @@ type handoverMsg struct {
 	RemainingOps float64
 	Attempt      int
 	Replica      int
+	// Epoch echoes the dispatching controller's epoch.
+	Epoch Epoch
 }
 
 // Stats aggregates cloud outcomes for the experiments.
@@ -90,6 +100,23 @@ type Stats struct {
 	ReplicaDispatches metrics.Counter
 	WrongVotes        metrics.Counter
 	NoQuorum          metrics.Counter
+	// Split-brain fencing counters (PR 3). Abdications counts controllers
+	// that stood down on hearing a superseding epoch; Merges counts
+	// reconciliations received from abdicating rivals; Adopted counts
+	// orphaned in-flight tasks re-adopted during a merge; Deduped counts
+	// duplicate outcomes suppressed by the (task, epoch) applied ledger;
+	// StaleRejected counts fenced messages members refused for carrying
+	// an outdated epoch; CkptRejected counts corrupt checkpoints the
+	// decoder refused; StandbyLost counts transitions into a
+	// standby-less state while failover was enabled (the cloud is one
+	// controller crash away from losing its task table).
+	Abdications   metrics.Counter
+	Merges        metrics.Counter
+	Adopted       metrics.Counter
+	Deduped       metrics.Counter
+	StaleRejected metrics.Counter
+	CkptRejected  metrics.Counter
+	StandbyLost   metrics.Counter
 }
 
 // CompletionRate returns completed/submitted.
@@ -145,6 +172,24 @@ type ControllerConfig struct {
 	// carry its own Task.Depend override. Nil keeps the plain
 	// single-copy path.
 	Depend *DependabilityPolicy
+	// Fencing enables split-brain-safe leadership: the controller
+	// carries a monotonically increasing epoch on every advertisement,
+	// checkpoint, dispatch and result; members reject stale epochs; a
+	// controller that hears a superseding rival abdicates and ships its
+	// state for merge reconciliation; and finished outcomes are applied
+	// only after the armed standby acknowledges a checkpoint carrying
+	// them (see merge.go). Off by default — zero epochs keep every
+	// legacy code path bit-for-bit identical.
+	Fencing bool
+	// OnApply, when non-nil, observes every applied task outcome with
+	// the applying controller's epoch counter — the hook the chaos
+	// harness uses to assert "no task outcome applied twice across
+	// epochs". Stripped from checkpoints.
+	OnApply func(id TaskID, epoch uint64, ok bool)
+	// OnAbdicate, when non-nil, is called after this controller stands
+	// down in favor of a superseding rival; the deployment wires this to
+	// re-attach a member agent on the node. Stripped from checkpoints.
+	OnAbdicate func(c *Controller)
 	// Workers, when non-nil, is the execution-trust engine: replica
 	// placement excludes workers scoring below the policy's
 	// TrustThreshold, votes may be trust-weighted, and vote outcomes
@@ -207,6 +252,20 @@ type Controller struct {
 	ckptSeq  uint64
 	lastCkpt sim.Time
 
+	// Fencing state (see merge.go). epoch is this controller's fencing
+	// token; armed tracks every standby ever sent a checkpoint (it can
+	// promote from its copy, so outcomes park until it acks or disarms)
+	// with its highest acknowledged sequence and last-heard time — any
+	// single armed standby going silent past FailoverTTL expires the
+	// leadership lease; parked holds finished outcomes awaiting
+	// acknowledgement, in checkpoint-seq order; applied/appliedOrder is
+	// the capped (task, epoch) ledger enforcing exactly-once application.
+	epoch        Epoch
+	armed        map[vnet.Addr]armedStandby
+	parked       []*parkedEntry
+	applied      map[TaskID]uint64
+	appliedOrder []TaskID
+
 	emergency bool
 	stopped   bool
 }
@@ -255,6 +314,15 @@ func NewController(node *vnet.Node, cfg ControllerConfig, stats *Stats) (*Contro
 	node.Handle(kindLeave, c.onLeave)
 	node.Handle(kindResult, c.onResult)
 	node.Handle(kindHandover, c.onHandover)
+	if cfg.Fencing {
+		c.epoch = NextEpoch(0, node.Addr())
+		c.armed = make(map[vnet.Addr]armedStandby)
+		c.applied = make(map[TaskID]uint64)
+		node.Handle(kindAdv, c.onRivalAdv)
+		node.Handle(kindMerge, c.onMerge)
+		node.Handle(kindCkptAck, c.onCkptAck)
+		node.Handle(kindCkpt, c.onRivalCkpt)
+	}
 	t, err := node.Kernel().Every(cfg.AdvPeriod, c.tick)
 	if err != nil {
 		return nil, err
@@ -311,6 +379,12 @@ func (c *Controller) halt() {
 	c.node.Handle(kindLeave, nil)
 	c.node.Handle(kindResult, nil)
 	c.node.Handle(kindHandover, nil)
+	if c.cfg.Fencing {
+		c.node.Handle(kindAdv, nil)
+		c.node.Handle(kindMerge, nil)
+		c.node.Handle(kindCkptAck, nil)
+		c.node.Handle(kindCkpt, nil)
+	}
 }
 
 // Addr returns the controller's network address.
@@ -388,6 +462,7 @@ func (c *Controller) advertise() {
 		Controller: c.node.Addr(),
 		Emergency:  c.emergency,
 		Standby:    c.standby,
+		Epoch:      c.epoch,
 	})
 	c.node.BroadcastLocal(adv)
 }
@@ -484,8 +559,15 @@ func (c *Controller) SubmitFor(client vnet.Addr, task Task, done func(TaskResult
 	if err := task.Validate(); err != nil {
 		return 0, err
 	}
+	// Lease expiry: an armed standby has not acknowledged a checkpoint
+	// within FailoverTTL, so it may already have promoted on the far
+	// side of a partition. Refuse new work rather than double-dispatch
+	// it — safety over availability until the partition resolves.
+	if c.leaseExpired(c.node.Kernel().Now()) {
+		return 0, fmt.Errorf("vcloud: leadership lease expired (standby unreachable)")
+	}
 	c.nextID++
-	task.ID = c.nextID
+	task.ID = epochTaskID(c.epoch.Counter, c.nextID)
 	ts := &taskState{
 		task:         task,
 		client:       client,
@@ -591,6 +673,7 @@ func (c *Controller) assign(ts *taskState) {
 		RemainingOps: ts.remainingOps,
 		Attempt:      ts.attempt,
 		Replica:      -1,
+		Epoch:        c.epoch,
 	})
 	c.node.SendTo(addr, msg)
 
@@ -695,58 +778,45 @@ func (c *Controller) finish(id TaskID, ts *taskState, ok bool, reason string) {
 		return
 	}
 	delete(c.tasks, id)
-	lat := c.node.Kernel().Now() - ts.submitted
-	c.cfg.Trace.Emit(c.node.Kernel().Now(), trace.CatCloud, int32(c.node.Addr()),
-		"task %d finish ok=%v reason=%q latency=%v", id, ok, reason, lat)
-	if ok {
-		c.stats.Completed.Inc()
-		c.stats.Latency.ObserveDuration(lat)
-		// Incentive settlement: the client pays the worker(s). On the
-		// plain path the final worker collects the full price (a
-		// production split would apportion handover chains by executed
-		// ops, which the controller cannot observe directly); under a
-		// dependability policy the price splits evenly across the voters
-		// — redundancy is paid for, which is exactly the overhead E12
-		// prices out.
-		if c.cfg.Ledger != nil {
-			price := int64(ts.task.Ops/1000) * c.cfg.PricePerKOps
-			if price < 1 {
-				price = 1
-			}
-			if ts.policy != nil && len(ts.voters) > 0 {
-				share := price / int64(len(ts.voters))
-				if share < 1 {
-					share = 1
-				}
-				for _, v := range ts.voters {
-					if v != ts.client {
-						_ = c.cfg.Ledger.Transfer(c.node.Kernel().Now(), id, ts.client, v, share)
-					}
-				}
-			} else if ts.assignee != ts.client {
-				_ = c.cfg.Ledger.Transfer(c.node.Kernel().Now(), id, ts.client, ts.assignee, price)
-			}
-		}
-	} else {
-		c.stats.Failed.Inc()
+	now := c.node.Kernel().Now()
+	c.cfg.Trace.Emit(now, trace.CatCloud, int32(c.node.Addr()),
+		"task %d finish ok=%v reason=%q latency=%v", id, ok, reason, now-ts.submitted)
+	replicas := len(ts.replicas)
+	if ts.policy == nil && ts.attempt > 0 {
+		replicas = 1
 	}
-	if ts.done != nil {
-		replicas := len(ts.replicas)
-		if ts.policy == nil && ts.attempt > 0 {
-			replicas = 1
-		}
-		ts.done(TaskResult{
-			ID:        id,
+	e := &parkedEntry{
+		po: ParkedOutcome{
+			Task:      ts.task,
+			Client:    ts.client,
 			OK:        ok,
-			Latency:   lat,
-			Handovers: ts.handovers,
-			Retries:   ts.retries,
 			Reason:    reason,
 			Value:     ts.value,
-			Replicas:  replicas,
 			Voters:    ts.voters,
-		})
+			Retries:   ts.retries,
+			Handovers: ts.handovers,
+			Submitted: ts.submitted,
+		},
+		done:      ts.done,
+		replicas:  replicas,
+		assignee:  ts.assignee,
+		hasPolicy: ts.policy != nil,
 	}
+	// Apply-after-ack (fenced failover only): while any standby holds an
+	// unacknowledged checkpoint copy of our state, applying immediately
+	// could duplicate the outcome — the standby might promote from a
+	// checkpoint that still lists this task as in flight. Park the
+	// outcome until the next checkpoint carrying it is acknowledged;
+	// with no standby armed nobody can promote a stale copy, so apply
+	// directly (likewise when stopping — the flush machinery is dead).
+	if c.cfg.Fencing && c.cfg.Failover && !c.stopped && len(c.armed) > 0 {
+		e.po.Seq = c.ckptSeq + 1
+		c.parked = append(c.parked, e)
+		c.cfg.Trace.Emit(now, trace.CatCloud, int32(c.node.Addr()),
+			"task %d outcome parked until ckpt %d acked", id, e.po.Seq)
+		return
+	}
+	c.applyEntry(e)
 }
 
 // PendingTasks returns how many tasks are in flight.

@@ -267,6 +267,7 @@ func (c *Controller) dispatchOneReplica(ts *taskState, addr vnet.Addr, remaining
 		RemainingOps: remaining,
 		Attempt:      slot.attempt,
 		Replica:      idx,
+		Epoch:        c.epoch,
 	})
 	c.node.SendTo(addr, msg)
 

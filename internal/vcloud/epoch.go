@@ -1,0 +1,118 @@
+// Controller epochs: the fencing token that makes leadership
+// partition-safe (ISSUE 3 tentpole). Every fenced controller carries a
+// monotonically increasing epoch counter; the counter is stamped on
+// every advertisement, checkpoint, dispatch and result, and grows by at
+// least one on every promotion, so two controllers that both believe
+// they lead the same cloud can always be ordered. Workers reject
+// dispatches from a counter below the highest they have witnessed, and
+// a controller that hears a rival with a superseding epoch abdicates
+// deterministically (higher counter wins).
+//
+// Counters are allocated collision-free in the style of Viewstamped
+// Replication's view numbers: the high bits hold a round and the low
+// epochAddrBits hold the claimant's address, so two controllers that
+// bump concurrently from the same base — a standby promoting off a
+// stale checkpoint racing a survivor's merge bump — mint counters that
+// differ in the address bits and stay totally ordered. Without this,
+// equal counters from concurrent bumps would tie, and ties bypass the
+// counter-only staleness checks at workers and replicas.
+//
+// A zero epoch (Counter == 0) is the legacy unfenced mode: every
+// pre-fencing code path sends zero epochs and every fencing check
+// ignores them, so deployments that do not opt in behave bit-for-bit
+// as before.
+package vcloud
+
+import (
+	"fmt"
+
+	"vcloud/internal/vnet"
+)
+
+// Epoch is a fencing token: a monotonically increasing leadership
+// counter plus the address that claimed it.
+type Epoch struct {
+	// Counter orders leadership generations. Zero means unfenced.
+	Counter uint64
+	// Claimant is the controller address that claimed this counter.
+	Claimant vnet.Addr
+}
+
+// Zero reports whether the epoch is the legacy unfenced token.
+func (e Epoch) Zero() bool { return e.Counter == 0 }
+
+// Supersedes reports whether e strictly supersedes o: a worker that has
+// witnessed e must reject dispatches carrying o.
+func (e Epoch) Supersedes(o Epoch) bool { return e.Counter > o.Counter }
+
+// Defers reports whether a controller holding e must abdicate to a
+// rival advertising r: the rival carries a higher counter, or — as
+// defense in depth, since address-sharded allocation should make
+// counter ties between distinct controllers impossible — the same
+// counter with a lower claimant address. A controller never defers to
+// itself or to a zero epoch.
+func (e Epoch) Defers(r Epoch) bool {
+	if r.Zero() || r.Claimant == e.Claimant {
+		return false
+	}
+	if r.Counter != e.Counter {
+		return r.Counter > e.Counter
+	}
+	return r.Claimant < e.Claimant
+}
+
+// epochAddrBits is how many low counter bits carry the claimant's
+// address (the round occupies the bits above, up to epochIDBits total).
+const epochAddrBits = 16
+
+// NextEpoch mints the first epoch claimant can claim that strictly
+// supersedes every counter at or below after: the round above after's
+// is taken and the claimant's address is packed into the low bits, so
+// concurrent bumps from the same base by different controllers can
+// never collide.
+func NextEpoch(after uint64, claimant vnet.Addr) Epoch {
+	round := after>>epochAddrBits + 1
+	return Epoch{
+		Counter:  round<<epochAddrBits | uint64(uint16(claimant)),
+		Claimant: claimant,
+	}
+}
+
+// Round is the allocation round the counter encodes — the
+// human-readable "generation number" for traces and reports.
+func (e Epoch) Round() uint64 { return e.Counter >> epochAddrBits }
+
+// String implements fmt.Stringer, printing the round rather than the
+// raw address-sharded counter.
+func (e Epoch) String() string { return fmt.Sprintf("e%d@%d", e.Round(), e.Claimant) }
+
+// epochIDBits is how many low bits of a fenced TaskID hold the
+// per-epoch sequence number; the epoch counter occupies the bits above.
+const epochIDBits = 32
+
+// epochTaskID builds a fenced task ID: the epoch counter prefixes the
+// per-epoch sequence so IDs minted by different leadership generations
+// can never collide — which is what makes the (task, epoch) applied
+// ledger a sound exactly-once dedupe key. Counter zero (legacy mode)
+// yields the plain sequence, preserving historical IDs.
+func epochTaskID(counter uint64, seq TaskID) TaskID {
+	if counter == 0 {
+		return seq
+	}
+	return TaskID(counter<<epochIDBits | uint64(seq)&(1<<epochIDBits-1))
+}
+
+// AppliedRecord is one row of the applied-outcome ledger: task ID plus
+// the epoch counter under which its outcome was applied. The ledger is
+// replicated in checkpoints and exchanged in merges so no outcome is
+// ever applied twice across epochs.
+type AppliedRecord struct {
+	ID    TaskID
+	Epoch uint64
+}
+
+// appliedLedgerCap bounds the replicated ledger: only recently applied
+// tasks can still be in flight somewhere (a stale checkpoint or a
+// partitioned rival), so the ledger keeps the most recent entries and
+// forgets the rest — bounding checkpoint growth over long soaks.
+const appliedLedgerCap = 2048

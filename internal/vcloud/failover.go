@@ -66,11 +66,34 @@ type Checkpoint struct {
 	Members []MemberSnapshot
 	// Tasks is the in-flight task table in ascending task-ID order.
 	Tasks []TaskCheckpoint
+	// Epoch is the checkpointing controller's fencing token (zero when
+	// unfenced); a successor promotes itself at a strictly higher
+	// counter.
+	Epoch Epoch
+	// Applied is the (task, epoch) ledger of already-applied outcomes;
+	// a successor seeds its own ledger from it so no outcome is applied
+	// twice across epochs.
+	Applied []AppliedRecord
+	// Parked holds outcomes finished but not yet applied (apply-after-ack,
+	// see merge.go). Acknowledging this checkpoint licenses the
+	// controller to apply them, so a successor promoting from it must
+	// treat them as applied — they seed the ledger, not the task table.
+	Parked []ParkedOutcome
+	// Armed lists every standby the controller has replicated state to
+	// that has not disarmed — each could promote a sibling successor
+	// holding this same task table. A successor inherits these arming
+	// obligations (minus itself): it parks its own outcomes until each
+	// sibling disarms or the epoch battle resolves, so two sibling
+	// successors never both apply one task's outcome.
+	Armed []vnet.Addr
 }
 
-// ckptMsg replicates a checkpoint to the standby.
+// ckptMsg replicates a checkpoint to the standby as encoded bytes: the
+// standby decodes and validates before accepting the standby role, so a
+// truncated or corrupted checkpoint is rejected with an error instead
+// of promoting garbage.
 type ckptMsg struct {
-	Ckpt Checkpoint
+	Data []byte
 }
 
 // Checkpoint builds the controller's current replicable state.
@@ -86,6 +109,8 @@ func (c *Controller) Checkpoint() Checkpoint {
 	cfg.Ledger = nil
 	cfg.Trace = nil
 	cfg.Workers = nil
+	cfg.OnApply = nil
+	cfg.OnAbdicate = nil
 	ck := Checkpoint{
 		Controller:  c.node.Addr(),
 		Standby:     c.standby,
@@ -94,6 +119,10 @@ func (c *Controller) Checkpoint() Checkpoint {
 		Emergency:   c.emergency,
 		FailoverTTL: c.cfg.FailoverTTL,
 		Cfg:         cfg,
+		Epoch:       c.epoch,
+		Applied:     c.exportLedger(),
+		Parked:      c.exportParked(),
+		Armed:       c.exportArmed(),
 	}
 	for _, a := range c.Members() {
 		ck.Members = append(ck.Members, MemberSnapshot{Addr: a, Res: c.members[a].res})
@@ -117,14 +146,12 @@ func (c *Controller) Checkpoint() Checkpoint {
 	return ck
 }
 
-// ckptSize approximates the checkpoint's on-air size in bytes.
-func ckptSize(ck Checkpoint) int {
-	return 128 + 24*len(ck.Members) + 72*len(ck.Tasks)
-}
-
 // refreshStandby (re)designates the checkpoint target: the lowest-address
 // fresh member, chosen deterministically so equal seeds replay equal
-// failovers. Returns true when a standby exists.
+// failovers. Returns true when a standby exists. Losing the last
+// eligible member leaves the cloud standby-less — one controller crash
+// away from losing the task table — so that transition is surfaced via
+// Stats.StandbyLost and a trace event instead of silently no-oping.
 func (c *Controller) refreshStandby(now sim.Time) bool {
 	best := vnet.Addr(-1)
 	for a, m := range c.members {
@@ -135,16 +162,32 @@ func (c *Controller) refreshStandby(now sim.Time) bool {
 			best = a
 		}
 	}
+	if best < 0 && c.standby >= 0 {
+		c.stats.StandbyLost.Inc()
+		c.cfg.Trace.Emit(now, trace.CatCloud, int32(c.node.Addr()),
+			"standby lost: no eligible member to replicate checkpoints to")
+	}
 	c.standby = best
 	return best >= 0
 }
 
-// sendCheckpoint replicates current state to the standby.
+// sendCheckpoint replicates current state to the standby. Under fencing
+// the standby becomes "armed" from the first checkpoint it is sent: it
+// holds state it could promote from, so finished outcomes park until it
+// acknowledges (see merge.go).
 func (c *Controller) sendCheckpoint(now sim.Time) {
 	c.ckptSeq++
 	c.lastCkpt = now
-	ck := c.Checkpoint()
-	msg := c.node.NewMessage(c.standby, kindCkpt, ckptSize(ck), 1, ckptMsg{Ckpt: ck})
+	if c.cfg.Fencing {
+		if _, armed := c.armed[c.standby]; !armed {
+			// The lease grace period for this standby starts at arming.
+			// Arm before building the checkpoint so its Armed list names
+			// the recipient too (a third sibling must learn of it).
+			c.armed[c.standby] = armedStandby{at: now}
+		}
+	}
+	data := EncodeCheckpoint(c.Checkpoint())
+	msg := c.node.NewMessage(c.standby, kindCkpt, len(data), 1, ckptMsg{Data: data})
 	c.node.SendTo(c.standby, msg)
 }
 
@@ -169,13 +212,39 @@ func RestoreController(node *vnet.Node, ckpt Checkpoint, stats *Stats) (*Control
 		if ms.Addr == self || ms.Addr == ckpt.Controller {
 			continue // the promoted node and the dead coordinator are not workers
 		}
-		c.members[ms.Addr] = &memberInfo{res: ms.Res, lastSeen: now}
+		// Checkpointed membership is not live contact: seed each member at
+		// the very edge of MemberTTL so resumed tasks can dispatch to it
+		// right away, but only members that answer the promotion
+		// advertisement (the immediate advertise below triggers a re-join)
+		// stay past the first tick. Members behind a partition age out
+		// instead of being chosen as the armed standby — arming an
+		// unreachable standby would park every outcome forever.
+		c.members[ms.Addr] = &memberInfo{res: ms.Res, lastSeen: now - c.cfg.MemberTTL}
 	}
 	c.nextID = ckpt.NextID
 	c.emergency = ckpt.Emergency
+	if cfg.Fencing {
+		// Promote at a strictly higher counter than any epoch this node
+		// has witnessed, so the predecessor's dispatches are fenced off.
+		c.epoch = NextEpoch(ckpt.Epoch.Counter, self)
+		// Seed the exactly-once ledger: outcomes the predecessor applied,
+		// plus the parked outcomes this (acknowledged) checkpoint
+		// licensed it to apply — resuming those would risk applying them
+		// twice, so they count as applied (at-most-once under partition).
+		for _, ar := range ckpt.Applied {
+			c.recordApplied(ar.ID, ar.Epoch)
+		}
+		for _, po := range ckpt.Parked {
+			c.recordApplied(po.Task.ID, ckpt.Epoch.Counter)
+		}
+		// Sibling standbys of the dead predecessor hold this same task
+		// lineage; until each disarms (or promotes and loses the epoch
+		// battle), our outcomes must park like the predecessor's did.
+		c.inheritArmed(ckpt.Armed, now)
+	}
 	c.cfg.Trace.Emit(now, trace.CatCloud, int32(self),
-		"promoted to controller (ckpt seq %d from %d: %d members, %d tasks)",
-		ckpt.Seq, ckpt.Controller, len(ckpt.Members), len(ckpt.Tasks))
+		"promoted to controller (ckpt seq %d from %d: %d members, %d tasks, epoch %v)",
+		ckpt.Seq, ckpt.Controller, len(ckpt.Members), len(ckpt.Tasks), c.epoch)
 	for _, tc := range ckpt.Tasks {
 		ts := &taskState{
 			task:         tc.Task,

@@ -39,6 +39,10 @@ type MemberConfig struct {
 	// itself to controller from a replicated checkpoint (failover). The
 	// deployment wires this to track the successor controller.
 	OnPromote func(c *Controller)
+	// OnAccept, when non-nil, observes every fenced advertisement this
+	// member accepts leadership from — the hook the chaos harness uses
+	// to assert "at most one controller accepted per epoch".
+	OnAccept func(controller vnet.Addr, e Epoch)
 }
 
 // runningTask is a task being executed locally.
@@ -47,6 +51,7 @@ type runningTask struct {
 	attempt    int
 	replica    int // redundant-copy index (-1 on the plain path)
 	controller vnet.Addr
+	epoch      Epoch // dispatching controller's epoch, echoed in the result
 	startedAt  sim.Time
 	ops        float64 // ops this attempt started with
 	doneEv     sim.EventID
@@ -81,6 +86,10 @@ type Member struct {
 	// tamper, when non-nil, rewrites the computed result value before it
 	// is sent — the Byzantine-worker hook (internal/attack.Byzantify).
 	tamper func(Task, uint64) uint64
+	// highestEpoch is the highest fencing token this member has
+	// witnessed; advertisements, dispatches and checkpoints from a lower
+	// counter are stale and rejected.
+	highestEpoch Epoch
 }
 
 // NewMember creates and starts a member agent on node.
@@ -152,22 +161,73 @@ func (m *Member) onAdv(msg vnet.Message, _ vnet.Addr) {
 	}
 	// Deposed as standby: a fresher advertisement names someone else.
 	if m.standbyFrom == adv.Controller && adv.Standby != m.node.Addr() {
-		m.standbyCkpt = nil
-		m.standbyFrom = -1
+		m.disarm(adv.Controller)
 	}
 	m.emergencyMode = adv.Emergency
 	now := m.node.Kernel().Now()
 	// Follow the first controller heard; switch only after silence.
-	if m.controller < 0 || m.controller == adv.Controller || now-m.controllerAt > 5*time.Second {
-		first := m.controller != adv.Controller
+	follow := m.controller < 0 || m.controller == adv.Controller || now-m.controllerAt > 5*time.Second
+	e := adv.Epoch
+	switch {
+	case e.Supersedes(m.highestEpoch):
+		// A newer leadership generation preempts whoever we currently
+		// follow — immediately, not after silence: its predecessor is
+		// fenced off the moment we witness the higher counter.
+		m.highestEpoch = e
+		// A standby checkpoint from the superseded generation is now a
+		// replay hazard: its task table may list work the new generation
+		// already applied, so promoting from it later would re-execute
+		// and double-apply those outcomes. Drop it; the disarm-ack also
+		// unsticks the deposed controller's parked outcomes (and carries
+		// the epoch that deposed it).
+		if m.standbyCkpt != nil && e.Supersedes(m.standbyCkpt.Epoch) {
+			m.disarm(m.standbyFrom, adv.Controller)
+		}
+		follow = true
+	case !e.Zero() && m.highestEpoch.Supersedes(e):
+		// Stale generation. Follow it only if our controller has gone
+		// silent — the higher-epoch controller may be gone for good, and
+		// a stale-but-alive coordinator beats none (liveness). Lowering
+		// the watermark re-admits its dispatches.
+		if !follow {
+			return
+		}
+		m.highestEpoch = e
+	}
+	if follow {
 		m.controller = adv.Controller
 		m.controllerAt = now
-		if first {
-			m.join()
-		} else {
-			// Periodic re-join keeps the membership entry fresh.
-			m.join()
+		if !e.Zero() && m.cfg.OnAccept != nil {
+			m.cfg.OnAccept(adv.Controller, e)
 		}
+		m.join()
+	}
+}
+
+// disarm discards the standby checkpoint; when the checkpoint came from
+// a fenced controller, a disarm-ack releases each named controller's
+// apply-after-ack hold (the armer may be parking outcomes on our
+// account, and a successor may have inherited that obligation — both
+// need to hear we can no longer promote).
+func (m *Member) disarm(ctls ...vnet.Addr) {
+	ck := m.standbyCkpt
+	m.standbyCkpt = nil
+	m.standbyFrom = -1
+	if ck == nil || !ck.Cfg.Fencing {
+		return
+	}
+	sent := map[vnet.Addr]bool{}
+	for _, ctl := range ctls {
+		if ctl < 0 || sent[ctl] {
+			continue
+		}
+		sent[ctl] = true
+		ack := m.node.NewMessage(ctl, kindCkptAck, 64, 1, ackMsg{
+			Seq:    ck.Seq,
+			Disarm: true,
+			Known:  m.highestEpoch,
+		})
+		m.node.SendTo(ctl, ack)
 	}
 }
 
@@ -231,6 +291,18 @@ func (m *Member) onTask(msg vnet.Message, _ vnet.Addr) {
 	if !ok {
 		return
 	}
+	// Fencing: refuse dispatches from a leadership generation below the
+	// highest we have witnessed — the sender was superseded and may not
+	// know it yet (the split-brain double-dispatch this PR eliminates).
+	if !tm.Epoch.Zero() {
+		if m.highestEpoch.Supersedes(tm.Epoch) {
+			m.stats.StaleRejected.Inc()
+			return
+		}
+		if tm.Epoch.Supersedes(m.highestEpoch) {
+			m.highestEpoch = tm.Epoch
+		}
+	}
 	if m.cfg.BatteryOps > 0 {
 		committed := m.spentOps
 		for _, rt := range m.current {
@@ -253,6 +325,7 @@ func (m *Member) onTask(msg vnet.Message, _ vnet.Addr) {
 		attempt:    tm.Attempt,
 		replica:    tm.Replica,
 		controller: msg.Origin,
+		epoch:      tm.Epoch,
 		startedAt:  m.node.Kernel().Now() + sim.Time(queued/m.cfg.Resources.CPU*float64(time.Second)),
 		ops:        tm.RemainingOps,
 	}
@@ -282,6 +355,7 @@ func (m *Member) complete(rt *runningTask) {
 		Attempt: rt.attempt,
 		Replica: rt.replica,
 		Value:   value,
+		Epoch:   rt.epoch,
 	})
 	m.node.SendTo(rt.controller, msg)
 	if m.cfg.BatteryOps > 0 && m.spentOps >= m.cfg.BatteryOps {
@@ -297,9 +371,12 @@ func (m *Member) SetResultTamper(f func(Task, uint64) uint64) { m.tamper = f }
 // Addr returns the member's network address.
 func (m *Member) Addr() vnet.Addr { return m.node.Addr() }
 
-// onCkpt stores a replicated checkpoint: receiving one designates this
-// member as the controller's failover standby. A checkpoint also proves
-// the controller is alive, refreshing the silence clock.
+// onCkpt decodes a replicated checkpoint: accepting one designates this
+// member as the controller's failover standby. A corrupt checkpoint is
+// rejected with a counter bump — this member will never promote itself
+// into a garbage state. A valid checkpoint also proves the controller
+// is alive, refreshing the silence clock, and (under fencing) is
+// acknowledged so the controller may apply the outcomes it carries.
 func (m *Member) onCkpt(msg vnet.Message, _ vnet.Addr) {
 	if m.stopped || m.depleted {
 		return
@@ -308,11 +385,49 @@ func (m *Member) onCkpt(msg vnet.Message, _ vnet.Addr) {
 	if !ok {
 		return
 	}
-	ck := cm.Ckpt
+	ck, err := DecodeCheckpoint(cm.Data)
+	if err != nil {
+		m.stats.CkptRejected.Inc()
+		return
+	}
+	// Fencing: a checkpoint from a superseded leadership generation must
+	// not make us its standby — refuse the role with a disarm-ack so the
+	// stale controller's parked outcomes do not stall forever (the Known
+	// epoch also tells it it was deposed).
+	if !ck.Epoch.Zero() {
+		if m.highestEpoch.Supersedes(ck.Epoch) {
+			m.stats.StaleRejected.Inc()
+			// The disarm must be truthful: drop any checkpoint this (now
+			// superseded) controller armed us with earlier, or we could
+			// later promote from it and replay a task table whose
+			// outcomes the controller applied once we disarmed it.
+			if m.standbyFrom == msg.Origin {
+				m.standbyCkpt = nil
+				m.standbyFrom = -1
+			}
+			ack := m.node.NewMessage(msg.Origin, kindCkptAck, 64, 1, ackMsg{
+				Seq:    ck.Seq,
+				Disarm: true,
+				Known:  m.highestEpoch,
+			})
+			m.node.SendTo(msg.Origin, ack)
+			return
+		}
+		if ck.Epoch.Supersedes(m.highestEpoch) {
+			m.highestEpoch = ck.Epoch
+		}
+	}
 	m.standbyCkpt = &ck
 	m.standbyFrom = msg.Origin
 	if m.controller == msg.Origin {
 		m.controllerAt = m.node.Kernel().Now()
+	}
+	if ck.Cfg.Fencing {
+		ack := m.node.NewMessage(msg.Origin, kindCkptAck, 64, 1, ackMsg{
+			Seq:   ck.Seq,
+			Known: m.highestEpoch,
+		})
+		m.node.SendTo(msg.Origin, ack)
 	}
 }
 
@@ -343,6 +458,12 @@ func (m *Member) promote() {
 	ckpt := *m.standbyCkpt
 	m.standbyCkpt = nil
 	m.standbyFrom = -1
+	// Promote past every epoch this member has witnessed, not just the
+	// checkpoint's: a higher-epoch controller may have lived (and
+	// applied outcomes) since the checkpoint was cut.
+	if ckpt.Cfg.Fencing && m.highestEpoch.Counter > ckpt.Epoch.Counter {
+		ckpt.Epoch.Counter = m.highestEpoch.Counter
+	}
 	node, stats, onPromote := m.node, m.stats, m.cfg.OnPromote
 	m.Stop()
 	c, err := RestoreController(node, ckpt, stats)
@@ -408,6 +529,7 @@ func (m *Member) tick() {
 			RemainingOps: remaining,
 			Attempt:      rt.attempt,
 			Replica:      rt.replica,
+			Epoch:        rt.epoch,
 		})
 		m.node.SendTo(rt.controller, msg)
 	}

@@ -17,6 +17,9 @@ type ReplicaStats struct {
 	ReadsServed metrics.Counter
 	ReReplicas  metrics.Counter
 	BytesMoved  metrics.Counter
+	// StaleWrites counts writes refused by epoch fencing: a superseded
+	// controller kept mutating placements after losing leadership.
+	StaleWrites metrics.Counter
 }
 
 // Availability returns served/attempted reads.
@@ -40,6 +43,45 @@ type ReplicaManager struct {
 	// serves again when it returns. Repair still tops live replicas up
 	// to k, trimming surplus holders when sleepers return.
 	retainOffline bool
+	// highWater is the highest epoch counter a writer has presented;
+	// fenced writes below it are refused (split-brain protection for the
+	// placement table, mirroring the task-dispatch fence).
+	highWater uint64
+}
+
+// Accept fences a write from a controller at the given epoch counter:
+// it returns false (and counts a stale write) when a higher-epoch
+// controller has written since — the caller was superseded and must not
+// mutate placements. Counter zero is the legacy unfenced path and is
+// always accepted.
+func (r *ReplicaManager) Accept(epoch uint64) bool {
+	if epoch == 0 {
+		return true
+	}
+	if epoch < r.highWater {
+		r.stats.StaleWrites.Inc()
+		return false
+	}
+	r.highWater = epoch
+	return true
+}
+
+// StoreFenced is Store gated by epoch fencing: a stale-epoch writer's
+// placement is refused outright (returns 0 replicas placed).
+func (r *ReplicaManager) StoreFenced(epoch uint64, id FileID, size int, candidates []vnet.Addr) int {
+	if !r.Accept(epoch) {
+		return 0
+	}
+	return r.Store(id, size, candidates)
+}
+
+// RepairFenced is Repair gated by epoch fencing: a stale-epoch
+// controller must not reshape placements it no longer owns.
+func (r *ReplicaManager) RepairFenced(epoch uint64, candidates []vnet.Addr) int {
+	if !r.Accept(epoch) {
+		return 0
+	}
+	return r.Repair(candidates)
 }
 
 type fileState struct {

@@ -18,7 +18,7 @@
 //     control with sticky data–policy packages, and real-time message
 //     trustworthiness validation;
 //   - the adversary models of the paper's §III threat list, and the
-//     E1–E12 experiment suite that operationalizes every figure and
+//     E1–E13 experiment suite that operationalizes every figure and
 //     claim (see DESIGN.md and EXPERIMENTS.md).
 //
 // This root package is the public facade: it re-exports the library's
@@ -267,14 +267,14 @@ func DeploySecureCloud(s *Scenario, arch Architecture, ta *TrustedAuthority, met
 }
 
 // RunExperiment executes one of the paper-reproduction experiments
-// (E1–E12) and returns its table and named values.
+// (E1–E13) and returns its table and named values.
 func RunExperiment(id string, cfg ExperimentConfig) (*ExperimentResult, error) {
 	for _, r := range experiments.All() {
 		if r.ID == id {
 			return r.Run(cfg)
 		}
 	}
-	return nil, fmt.Errorf("vcloud: unknown experiment %q (valid: E1..E12)", id)
+	return nil, fmt.Errorf("vcloud: unknown experiment %q (valid: E1..E13)", id)
 }
 
 // Chaos-soak types (the long-horizon invariant harness; see
