@@ -7,25 +7,81 @@
 //	vcloudbench -quick          # smaller populations/durations
 //	vcloudbench -only E4,E5     # a subset
 //	vcloudbench -seed 7         # different seed (results reproduce per seed)
+//	vcloudbench -parallel 8     # worker-pool width (default: GOMAXPROCS)
+//	vcloudbench -benchjson BENCH.json      # machine-readable perf report
+//	vcloudbench -cpuprofile cpu.pprof -memprofile mem.pprof
+//
+// Experiments and their per-configuration sweep points run across a
+// bounded worker pool; every sweep point builds its own kernel, and
+// tables are assembled in sweep order, so stdout is byte-identical at
+// any -parallel value (run timing goes to stderr). Per-seed results
+// reproduce exactly.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"vcloud/internal/experiments"
 )
 
+// benchExperiment is one experiment's entry in the -benchjson report.
+type benchExperiment struct {
+	ID           string             `json:"id"`
+	Title        string             `json:"title"`
+	WallMs       float64            `json:"wall_ms"`
+	KernelEvents uint64             `json:"kernel_events"`
+	KernelWallMs float64            `json:"kernel_wall_ms"`
+	EventsPerSec float64            `json:"events_per_sec"`
+	Values       map[string]float64 `json:"values,omitempty"`
+	Error        string             `json:"error,omitempty"`
+}
+
+// benchReport is the top-level -benchjson document.
+type benchReport struct {
+	Seed        int64             `json:"seed"`
+	Quick       bool              `json:"quick"`
+	Parallel    int               `json:"parallel"`
+	TotalWallMs float64           `json:"total_wall_ms"`
+	Experiments []benchExperiment `json:"experiments"`
+}
+
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
-		seed  = flag.Int64("seed", 42, "random seed; equal seeds reproduce runs exactly")
-		quick = flag.Bool("quick", false, "shrink populations and durations")
-		only  = flag.String("only", "", "comma-separated experiment ids (e.g. E1,E5); empty = all")
+		seed       = flag.Int64("seed", 42, "random seed; equal seeds reproduce runs exactly")
+		quick      = flag.Bool("quick", false, "shrink populations and durations")
+		only       = flag.String("only", "", "comma-separated experiment ids (e.g. E1,E5); empty = all")
+		parallel   = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool width for experiments and sweep points (1 = serial)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		benchjson  = flag.String("benchjson", "", "write a JSON perf report (wall time, kernel events/sec, headline metrics) to this file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vcloudbench:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "vcloudbench:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	want := map[string]bool{}
 	if *only != "" {
@@ -33,25 +89,106 @@ func main() {
 			want[strings.TrimSpace(strings.ToUpper(id))] = true
 		}
 	}
-
-	cfg := experiments.Config{Seed: *seed, Quick: *quick}
-	failed := 0
+	var runners []experiments.Runner
 	for _, r := range experiments.All() {
-		if len(want) > 0 && !want[r.ID] {
-			continue
+		if len(want) == 0 || want[r.ID] {
+			runners = append(runners, r)
 		}
+	}
+
+	cfg := experiments.Config{Seed: *seed, Quick: *quick, Parallel: *parallel}
+
+	// The pool: workers pull experiment indices; the main goroutine
+	// prints each experiment's block as soon as it — and everything
+	// before it — is done, so stdout order never depends on timing.
+	type outcome struct {
+		res  *experiments.Result
+		err  error
+		wall time.Duration
+	}
+	outs := make([]outcome, len(runners))
+	done := make([]chan struct{}, len(runners))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	workers := *parallel
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(runners) {
+		workers = len(runners)
+	}
+	totalStart := time.Now()
+	var next atomic.Int64
+	for w := 0; w < workers; w++ {
+		go func() {
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(runners) {
+					return
+				}
+				start := time.Now()
+				res, err := runners[i].Run(cfg)
+				outs[i] = outcome{res: res, err: err, wall: time.Since(start)}
+				close(done[i])
+			}
+		}()
+	}
+
+	report := benchReport{Seed: *seed, Quick: *quick, Parallel: *parallel}
+	failed := 0
+	for i, r := range runners {
+		<-done[i]
+		o := outs[i]
 		fmt.Printf("== %s: %s (seed=%d quick=%v)\n", r.ID, r.Name, *seed, *quick)
-		start := time.Now()
-		res, err := r.Run(cfg)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s failed: %v\n", r.ID, err)
+		entry := benchExperiment{ID: r.ID, Title: r.Name, WallMs: float64(o.wall.Microseconds()) / 1000}
+		if o.err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", r.ID, o.err)
+			entry.Error = o.err.Error()
+			report.Experiments = append(report.Experiments, entry)
 			failed++
 			continue
 		}
-		fmt.Println(res.Table.String())
-		fmt.Printf("(%s wall time: %v)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+		fmt.Println(o.res.Table.String())
+		fmt.Println()
+		fmt.Fprintf(os.Stderr, "(%s wall time: %v, %d kernel events, %.0f events/sec)\n",
+			r.ID, o.wall.Round(time.Millisecond), o.res.KernelEvents, o.res.EventsPerSec())
+		entry.KernelEvents = o.res.KernelEvents
+		entry.KernelWallMs = float64(o.res.KernelWall.Microseconds()) / 1000
+		entry.EventsPerSec = o.res.EventsPerSec()
+		entry.Values = o.res.Values
+		report.Experiments = append(report.Experiments, entry)
+	}
+	report.TotalWallMs = float64(time.Since(totalStart).Microseconds()) / 1000
+	fmt.Fprintf(os.Stderr, "(total wall time: %v, parallel=%d)\n",
+		time.Since(totalStart).Round(time.Millisecond), *parallel)
+
+	if *benchjson != "" {
+		buf, err := json.MarshalIndent(&report, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vcloudbench:", err)
+			return 1
+		}
+		if err := os.WriteFile(*benchjson, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "vcloudbench:", err)
+			return 1
+		}
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vcloudbench:", err)
+			return 1
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "vcloudbench:", err)
+			return 1
+		}
 	}
 	if failed > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -40,6 +40,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/pprof"
 	"time"
 
 	root "vcloud"
@@ -67,8 +68,23 @@ func main() {
 		soak     = flag.Bool("soak", false, "run the chaos soak harness (uses -seed, -vehicles, -duration, -byz)")
 		byz      = flag.Float64("byz", 0, "fraction of workers returning wrong results (soak mode)")
 		split    = flag.Bool("splitbrain", false, "with -soak: fence epochs and add controller-isolating split-brain storms")
+		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	)
 	flag.Parse()
+
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vcloudsim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "vcloudsim:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	if *soak {
 		if err := runSoak(*seed, *vehicles, *duration, *byz, *split); err != nil {

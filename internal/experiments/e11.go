@@ -39,28 +39,30 @@ func E11Failover(cfg Config) (*Result, error) {
 		name     string
 		failover bool
 	}
-	for _, a := range []arm{{"baseline", false}, {"failover", true}} {
+	arms := []arm{{"baseline", false}, {"failover", true}}
+	events, wall, err := assemble(cfg, table, values, len(arms), func(ai int, p *point) error {
+		a := arms[ai]
 		net, err := roadnet.ParkingLot(roadnet.ParkingLotSpec{Aisles: 4, AisleLenM: 150, AisleGapM: 40})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		s, err := scenario.New(scenario.Spec{Seed: cfg.Seed, Network: net, NumVehicles: vehicles, Parked: true})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if _, err := s.AddRSU(geo.Point{X: 0, Y: 0}); err != nil {
-			return nil, err
+			return err
 		}
 		stats := &vcloud.Stats{}
 		dep, err := vcloud.Deploy(s, vcloud.Stationary, vcloud.DeployConfig{Failover: a.failover}, stats)
 		if err != nil {
-			return nil, err
+			return err
 		}
 
 		// The same seeded controller-crash schedule for both arms.
 		inj, err := faults.NewInjector(s)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		inj.OnControllerKill(func(idx int) {
 			ctls := dep.ActiveControllers()
@@ -70,10 +72,10 @@ func E11Failover(cfg Config) (*Result, error) {
 		})
 		plan, err := faults.Parse(fmt.Sprintf("%s kill-controller 0", crashAt))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if err := inj.Schedule(plan); err != nil {
-			return nil, err
+			return err
 		}
 
 		// Sample completions after the crash to time recovery: the first
@@ -91,14 +93,14 @@ func E11Failover(cfg Config) (*Result, error) {
 				probe()
 			}
 		}); err != nil {
-			return nil, err
+			return err
 		}
 
 		if err := s.Start(); err != nil {
-			return nil, err
+			return err
 		}
 		if err := s.RunFor(10 * time.Second); err != nil {
-			return nil, err
+			return err
 		}
 
 		// Steady workload across the crash: one task every 2 s.
@@ -111,7 +113,7 @@ func E11Failover(cfg Config) (*Result, error) {
 			})
 		}
 		if err := s.Run(horizon); err != nil {
-			return nil, err
+			return err
 		}
 
 		completion := float64(stats.Completed.Value()) / float64(tasks)
@@ -119,20 +121,26 @@ func E11Failover(cfg Config) (*Result, error) {
 		if recovery >= 0 {
 			recoveryCell = fmt.Sprintf("%.1fs", recovery)
 		}
-		table.AddRow(a.name,
+		p.addRow(a.name,
 			metrics.Pct(completion),
 			fmt.Sprintf("%d", refused),
 			fmt.Sprintf("%d", stats.Failovers.Value()),
 			fmt.Sprintf("%d", stats.Resumed.Value()),
 			recoveryCell)
-		values[a.name+"/completion"] = completion
-		values[a.name+"/refused"] = float64(refused)
-		values[a.name+"/failovers"] = float64(stats.Failovers.Value())
-		values[a.name+"/resumed"] = float64(stats.Resumed.Value())
+		p.set(a.name+"/completion", completion)
+		p.set(a.name+"/refused", float64(refused))
+		p.set(a.name+"/failovers", float64(stats.Failovers.Value()))
+		p.set(a.name+"/resumed", float64(stats.Resumed.Value()))
 		if recovery < 0 {
 			recovery = horizon.Seconds()
 		}
-		values[a.name+"/recovery_s"] = recovery
+		p.set(a.name+"/recovery_s", recovery)
+		p.tally(s.Kernel)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return &Result{ID: "E11", Title: "controller failover", Table: table, Values: values}, nil
+	return &Result{ID: "E11", Title: "controller failover", Table: table, Values: values,
+		KernelEvents: events, KernelWall: wall}, nil
 }

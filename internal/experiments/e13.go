@@ -49,17 +49,19 @@ func E13SplitBrain(cfg Config) (*Result, error) {
 		name    string
 		fencing bool
 	}
-	for _, a := range []arm{{"baseline", false}, {"fenced", true}} {
+	arms := []arm{{"baseline", false}, {"fenced", true}}
+	events, wall, err := assemble(cfg, table, values, len(arms), func(ai int, p *point) error {
+		a := arms[ai]
 		net, err := roadnet.ParkingLot(roadnet.ParkingLotSpec{Aisles: 4, AisleLenM: 150, AisleGapM: 40})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		s, err := scenario.New(scenario.Spec{Seed: cfg.Seed, Network: net, NumVehicles: vehicles, Parked: true})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if _, err := s.AddRSU(geo.Point{X: 0, Y: 0}); err != nil {
-			return nil, err
+			return err
 		}
 
 		// Count every applied outcome by task ID across all controllers —
@@ -80,11 +82,11 @@ func E13SplitBrain(cfg Config) (*Result, error) {
 			},
 		}, stats)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		inj, err := faults.NewInjector(s)
 		if err != nil {
-			return nil, err
+			return err
 		}
 
 		// The same scripted split-brain for both arms: at isolateAt, cut
@@ -125,14 +127,14 @@ func E13SplitBrain(cfg Config) (*Result, error) {
 				reconcile = (s.Kernel.Now() - healAt).Seconds()
 			}
 		}); err != nil {
-			return nil, err
+			return err
 		}
 
 		if err := s.Start(); err != nil {
-			return nil, err
+			return err
 		}
 		if err := s.RunFor(10 * time.Second); err != nil {
-			return nil, err
+			return err
 		}
 
 		// Steady workload across the split: one task per second.
@@ -145,7 +147,7 @@ func E13SplitBrain(cfg Config) (*Result, error) {
 			})
 		}
 		if err := s.Run(horizon); err != nil {
-			return nil, err
+			return err
 		}
 
 		applied := 0
@@ -163,24 +165,30 @@ func E13SplitBrain(cfg Config) (*Result, error) {
 		if reconcile >= 0 {
 			reconcileCell = fmt.Sprintf("%.1fs", reconcile)
 		}
-		table.AddRow(a.name,
+		p.addRow(a.name,
 			metrics.Pct(completion),
 			fmt.Sprintf("%d", duplicates),
 			fmt.Sprintf("%.0f ops", waste),
 			fmt.Sprintf("%.1fs", exposure),
 			reconcileCell)
-		values[a.name+"/completion"] = completion
-		values[a.name+"/duplicates"] = float64(duplicates)
-		values[a.name+"/waste_ops"] = waste
-		values[a.name+"/exposure_s"] = exposure
-		values[a.name+"/refused"] = float64(refused)
-		values[a.name+"/abdications"] = float64(stats.Abdications.Value())
-		values[a.name+"/merges"] = float64(stats.Merges.Value())
-		values[a.name+"/deduped"] = float64(stats.Deduped.Value())
+		p.set(a.name+"/completion", completion)
+		p.set(a.name+"/duplicates", float64(duplicates))
+		p.set(a.name+"/waste_ops", waste)
+		p.set(a.name+"/exposure_s", exposure)
+		p.set(a.name+"/refused", float64(refused))
+		p.set(a.name+"/abdications", float64(stats.Abdications.Value()))
+		p.set(a.name+"/merges", float64(stats.Merges.Value()))
+		p.set(a.name+"/deduped", float64(stats.Deduped.Value()))
 		if reconcile < 0 {
 			reconcile = horizon.Seconds()
 		}
-		values[a.name+"/reconcile_s"] = reconcile
+		p.set(a.name+"/reconcile_s", reconcile)
+		p.tally(s.Kernel)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return &Result{ID: "E13", Title: "split-brain fencing", Table: table, Values: values}, nil
+	return &Result{ID: "E13", Title: "split-brain fencing", Table: table, Values: values,
+		KernelEvents: events, KernelWall: wall}, nil
 }

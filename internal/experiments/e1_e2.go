@@ -58,14 +58,15 @@ func E1CloudComparison(cfg Config) (*Result, error) {
 	)
 	values := map[string]float64{}
 
-	for _, a := range arms {
+	events, wall, err := assemble(cfg, table, values, len(arms), func(i int, p *point) error {
+		a := arms[i]
 		net, err := roadnet.Highway(roadnet.HighwaySpec{LengthM: 3000, Segments: 3, SpeedLimit: 25, Lanes: 2})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		s, err := scenario.New(scenario.Spec{Seed: cfg.Seed, Network: net, NumVehicles: vehicles})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		stats := &vcloud.Stats{}
 		var backend vcloud.Backend
@@ -74,19 +75,19 @@ func E1CloudComparison(cfg Config) (*Result, error) {
 		if a.mkBack != nil {
 			backend, uplink, err = a.mkBack(s, stats)
 			if err != nil {
-				return nil, err
+				return err
 			}
 		} else {
 			dep, err = vcloud.Deploy(s, vcloud.Dynamic, vcloud.DeployConfig{}, stats)
 			if err != nil {
-				return nil, err
+				return err
 			}
 		}
 		if err := s.Start(); err != nil {
-			return nil, err
+			return err
 		}
 		if err := s.RunFor(10 * time.Second); err != nil {
-			return nil, err
+			return err
 		}
 
 		submit := func(n int) {
@@ -103,7 +104,7 @@ func E1CloudComparison(cfg Config) (*Result, error) {
 		// Phase 1: healthy.
 		submit(tasks)
 		if err := s.RunFor(phase); err != nil {
-			return nil, err
+			return err
 		}
 		healthyDone := stats.Completed.Value()
 		healthyP50 := stats.Latency.Percentile(50)
@@ -115,22 +116,28 @@ func E1CloudComparison(cfg Config) (*Result, error) {
 		before := stats.Completed.Value()
 		submit(tasks)
 		if err := s.RunFor(phase); err != nil {
-			return nil, err
+			return err
 		}
 		outageDone := stats.Completed.Value() - before
 
 		healthyRate := float64(healthyDone) / float64(tasks)
 		outageRate := float64(outageDone) / float64(tasks)
 		reliance := healthyRate - outageRate // how much dies with the infra
-		table.AddRow(a.name,
+		p.addRow(a.name,
 			metrics.Pct(healthyRate), metrics.Ms(healthyP50),
 			metrics.Pct(outageRate), fmt.Sprintf("%.2f", reliance),
 		)
-		values[a.name+"/healthy"] = healthyRate
-		values[a.name+"/outage"] = outageRate
-		values[a.name+"/p50ms"] = healthyP50
+		p.set(a.name+"/healthy", healthyRate)
+		p.set(a.name+"/outage", outageRate)
+		p.set(a.name+"/p50ms", healthyP50)
+		p.tally(s.Kernel)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return &Result{ID: "E1", Title: "cloud comparison", Table: table, Values: values}, nil
+	return &Result{ID: "E1", Title: "cloud comparison", Table: table, Values: values,
+		KernelEvents: events, KernelWall: wall}, nil
 }
 
 // E2Architectures reproduces Fig. 4: the three vehicular-cloud
@@ -151,39 +158,41 @@ func E2Architectures(cfg Config) (*Result, error) {
 		name string
 		arch vcloud.Architecture
 	}
-	for _, a := range []arm{
+	arms := []arm{
 		{"stationary", vcloud.Stationary},
 		{"infrastructure", vcloud.Infrastructure},
 		{"dynamic", vcloud.Dynamic},
-	} {
+	}
+	events, wall, err := assemble(cfg, table, values, len(arms), func(i int, p *point) error {
+		a := arms[i]
 		var s *scenario.Scenario
 		var err error
 		switch a.arch {
 		case vcloud.Stationary:
 			net, nerr := roadnet.ParkingLot(roadnet.ParkingLotSpec{Aisles: 4, AisleLenM: 150, AisleGapM: 40})
 			if nerr != nil {
-				return nil, nerr
+				return nerr
 			}
 			s, err = scenario.New(scenario.Spec{Seed: cfg.Seed, Network: net, NumVehicles: pick(cfg, 15, 40), Parked: true})
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if _, err := s.AddRSU(geo.Point{X: 0, Y: 0}); err != nil {
-				return nil, err
+				return err
 			}
 		default:
 			net, nerr := roadnet.Highway(roadnet.HighwaySpec{LengthM: 3000, Segments: 3, SpeedLimit: 25, Lanes: 2})
 			if nerr != nil {
-				return nil, nerr
+				return nerr
 			}
 			s, err = scenario.New(scenario.Spec{Seed: cfg.Seed, Network: net, NumVehicles: pick(cfg, 25, 60)})
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if a.arch == vcloud.Infrastructure {
 				for _, x := range []float64{500, 1500, 2500} {
 					if _, err := s.AddRSU(geo.Point{X: x, Y: 15}); err != nil {
-						return nil, err
+						return err
 					}
 				}
 			}
@@ -191,13 +200,13 @@ func E2Architectures(cfg Config) (*Result, error) {
 		stats := &vcloud.Stats{}
 		dep, err := vcloud.Deploy(s, a.arch, vcloud.DeployConfig{}, stats)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if err := s.Start(); err != nil {
-			return nil, err
+			return err
 		}
 		if err := s.RunFor(10 * time.Second); err != nil {
-			return nil, err
+			return err
 		}
 
 		members := 0
@@ -216,7 +225,7 @@ func E2Architectures(cfg Config) (*Result, error) {
 		}
 		submit(tasks)
 		if err := s.RunFor(phase); err != nil {
-			return nil, err
+			return err
 		}
 		healthy := float64(stats.Completed.Value()) / float64(tasks)
 
@@ -234,15 +243,21 @@ func E2Architectures(cfg Config) (*Result, error) {
 		before := stats.Completed.Value()
 		submitted := submit(tasks)
 		if err := s.RunFor(phase); err != nil {
-			return nil, err
+			return err
 		}
 		disaster := float64(stats.Completed.Value()-before) / float64(tasks)
 		_ = submitted
 
-		table.AddRow(a.name, fmt.Sprintf("%d", members), metrics.Pct(healthy), metrics.Pct(disaster))
-		values[a.name+"/healthy"] = healthy
-		values[a.name+"/disaster"] = disaster
-		values[a.name+"/members"] = float64(members)
+		p.addRow(a.name, fmt.Sprintf("%d", members), metrics.Pct(healthy), metrics.Pct(disaster))
+		p.set(a.name+"/healthy", healthy)
+		p.set(a.name+"/disaster", disaster)
+		p.set(a.name+"/members", float64(members))
+		p.tally(s.Kernel)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return &Result{ID: "E2", Title: "architectures", Table: table, Values: values}, nil
+	return &Result{ID: "E2", Title: "architectures", Table: table, Values: values,
+		KernelEvents: events, KernelWall: wall}, nil
 }

@@ -35,53 +35,68 @@ func E3ClusterStability(cfg Config) (*Result, error) {
 		cluster.MobilitySimilarity{},
 		cluster.PassiveMultiHop{MaxHops: 2},
 	}
+	type sweep struct {
+		algo  cluster.Algorithm
+		speed float64
+	}
+	var sweeps []sweep
 	for _, algo := range algos {
 		for _, speed := range speeds {
-			net, err := roadnet.Highway(roadnet.HighwaySpec{LengthM: 3000, Segments: 3, SpeedLimit: speed, Lanes: 2})
-			if err != nil {
-				return nil, err
-			}
-			s, err := scenario.New(scenario.Spec{Seed: cfg.Seed, Network: net, NumVehicles: vehicles})
-			if err != nil {
-				return nil, err
-			}
-			tracker := cluster.NewTracker()
-			runners := make([]*cluster.Runner, 0, vehicles)
-			for _, id := range s.VehicleIDs() {
-				node, _ := s.Node(id)
-				r, err := cluster.NewRunner(node, algo, time.Second, tracker)
-				if err != nil {
-					return nil, err
-				}
-				runners = append(runners, r)
-			}
-			if err := s.Start(); err != nil {
-				return nil, err
-			}
-			if err := s.RunFor(runFor); err != nil {
-				return nil, err
-			}
-			tracker.Finish(s.Kernel.Now())
-
-			churn := tracker.HeadChangesPerNodeMinute(vehicles, runFor)
-			clustered := tracker.MeanClusteredSeconds() / runFor.Seconds()
-			if clustered > 1 {
-				clustered = 1
-			}
-			heads := 0
-			for _, r := range runners {
-				if r.State().Role == cluster.Head {
-					heads++
-				}
-			}
-			table.AddRow(algo.Name(), fmt.Sprintf("%.0f", speed),
-				fmt.Sprintf("%.2f", churn), metrics.Pct(clustered), fmt.Sprintf("%d", heads))
-			key := fmt.Sprintf("%s/%.0f", algo.Name(), speed)
-			values[key+"/churn"] = churn
-			values[key+"/clustered"] = clustered
+			sweeps = append(sweeps, sweep{algo, speed})
 		}
 	}
-	return &Result{ID: "E3", Title: "cluster stability", Table: table, Values: values}, nil
+	events, wall, err := assemble(cfg, table, values, len(sweeps), func(i int, p *point) error {
+		algo, speed := sweeps[i].algo, sweeps[i].speed
+		net, err := roadnet.Highway(roadnet.HighwaySpec{LengthM: 3000, Segments: 3, SpeedLimit: speed, Lanes: 2})
+		if err != nil {
+			return err
+		}
+		s, err := scenario.New(scenario.Spec{Seed: cfg.Seed, Network: net, NumVehicles: vehicles})
+		if err != nil {
+			return err
+		}
+		tracker := cluster.NewTracker()
+		runners := make([]*cluster.Runner, 0, vehicles)
+		for _, id := range s.VehicleIDs() {
+			node, _ := s.Node(id)
+			r, err := cluster.NewRunner(node, algo, time.Second, tracker)
+			if err != nil {
+				return err
+			}
+			runners = append(runners, r)
+		}
+		if err := s.Start(); err != nil {
+			return err
+		}
+		if err := s.RunFor(runFor); err != nil {
+			return err
+		}
+		tracker.Finish(s.Kernel.Now())
+
+		churn := tracker.HeadChangesPerNodeMinute(vehicles, runFor)
+		clustered := tracker.MeanClusteredSeconds() / runFor.Seconds()
+		if clustered > 1 {
+			clustered = 1
+		}
+		heads := 0
+		for _, r := range runners {
+			if r.State().Role == cluster.Head {
+				heads++
+			}
+		}
+		p.addRow(algo.Name(), fmt.Sprintf("%.0f", speed),
+			fmt.Sprintf("%.2f", churn), metrics.Pct(clustered), fmt.Sprintf("%d", heads))
+		key := fmt.Sprintf("%s/%.0f", algo.Name(), speed)
+		p.set(key+"/churn", churn)
+		p.set(key+"/clustered", clustered)
+		p.tally(s.Kernel)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{ID: "E3", Title: "cluster stability", Table: table, Values: values,
+		KernelEvents: events, KernelWall: wall}, nil
 }
 
 // E4Routing compares MoZo against greedy-geographic, AODV and epidemic
@@ -105,91 +120,96 @@ func E4Routing(cfg Config) (*Result, error) {
 
 	type mk struct {
 		name string
-		make func(s *scenario.Scenario, node *vnet.Node, st *routing.Stats) (routing.Router, error)
+		make func(s *scenario.Scenario, node *vnet.Node, st *routing.Stats, loc *routing.StaleLoc) (routing.Router, error)
 	}
 	// Geographic protocols originate against a realistic (stale)
 	// location service; MoZo heads refresh stamps from fresh zone
-	// knowledge — the design point of [22].
-	staleFor := func(s *scenario.Scenario) *routing.StaleLoc {
-		return routing.NewStaleLoc(routing.OracleLoc{Positions: s.Medium}, s.Kernel.Now, 20*time.Second)
-	}
-	staleByScenario := map[*scenario.Scenario]*routing.StaleLoc{}
-	lookup := func(s *scenario.Scenario) *routing.StaleLoc {
-		if sl, ok := staleByScenario[s]; ok {
-			return sl
-		}
-		sl := staleFor(s)
-		staleByScenario[s] = sl
-		return sl
-	}
+	// knowledge — the design point of [22]. Each sweep point owns one
+	// StaleLoc shared by all its routers.
 	makers := []mk{
-		{"mozo", func(s *scenario.Scenario, node *vnet.Node, st *routing.Stats) (routing.Router, error) {
+		{"mozo", func(s *scenario.Scenario, node *vnet.Node, st *routing.Stats, loc *routing.StaleLoc) (routing.Router, error) {
 			r, err := cluster.NewRunner(node, cluster.MobilitySimilarity{}, time.Second, nil)
 			if err != nil {
 				return nil, err
 			}
-			cfg := routing.GeoConfig{Loc: lookup(s), ZoneLoc: routing.OracleLoc{Positions: s.Medium}}
+			cfg := routing.GeoConfig{Loc: loc, ZoneLoc: routing.OracleLoc{Positions: s.Medium}}
 			return routing.NewMoZo(node, st, cfg, r.State, nil)
 		}},
-		{"greedy", func(s *scenario.Scenario, node *vnet.Node, st *routing.Stats) (routing.Router, error) {
-			return routing.NewGreedy(node, st, routing.GeoConfig{Loc: lookup(s)}, nil)
+		{"greedy", func(s *scenario.Scenario, node *vnet.Node, st *routing.Stats, loc *routing.StaleLoc) (routing.Router, error) {
+			return routing.NewGreedy(node, st, routing.GeoConfig{Loc: loc}, nil)
 		}},
-		{"aodv", func(s *scenario.Scenario, node *vnet.Node, st *routing.Stats) (routing.Router, error) {
+		{"aodv", func(s *scenario.Scenario, node *vnet.Node, st *routing.Stats, loc *routing.StaleLoc) (routing.Router, error) {
 			return routing.NewAODV(node, st, nil)
 		}},
-		{"epidemic", func(s *scenario.Scenario, node *vnet.Node, st *routing.Stats) (routing.Router, error) {
+		{"epidemic", func(s *scenario.Scenario, node *vnet.Node, st *routing.Stats, loc *routing.StaleLoc) (routing.Router, error) {
 			return routing.NewEpidemic(node, st, nil)
 		}},
 	}
 
+	type sweep struct {
+		m       mk
+		density int
+	}
+	var sweeps []sweep
 	for _, m := range makers {
 		for _, density := range densities {
-			net, err := roadnet.Highway(roadnet.HighwaySpec{LengthM: 3000, Segments: 3, SpeedLimit: 27, Lanes: 2})
-			if err != nil {
-				return nil, err
-			}
-			s, err := scenario.New(scenario.Spec{Seed: cfg.Seed, Network: net, NumVehicles: density})
-			if err != nil {
-				return nil, err
-			}
-			stats := &routing.Stats{}
-			var routers []routing.Router
-			for _, id := range s.VehicleIDs() {
-				node, _ := s.Node(id)
-				rt, err := m.make(s, node, stats)
-				if err != nil {
-					return nil, err
-				}
-				routers = append(routers, rt)
-			}
-			if err := s.Start(); err != nil {
-				return nil, err
-			}
-			if err := s.RunFor(warm); err != nil {
-				return nil, err
-			}
-			rng := s.Kernel.NewStream("traffic")
-			gap := window / sim.Time(packets+1)
-			for i := 0; i < packets; i++ {
-				s.Kernel.After(sim.Time(i)*gap, func() {
-					src := routers[rng.Intn(len(routers))]
-					ids := s.VehicleIDs()
-					dst := vnet.Addr(ids[rng.Intn(len(ids))])
-					_ = src.Send(dst, 500, nil)
-				})
-			}
-			if err := s.RunFor(window + 20*time.Second); err != nil {
-				return nil, err
-			}
-			table.AddRow(m.name, fmt.Sprintf("%d", density),
-				metrics.Pct(stats.DeliveryRatio()),
-				metrics.Ms(stats.Latency.Percentile(50)),
-				fmt.Sprintf("%.1f", stats.OverheadPerDelivery()))
-			key := fmt.Sprintf("%s/%d", m.name, density)
-			values[key+"/delivery"] = stats.DeliveryRatio()
-			values[key+"/overhead"] = stats.OverheadPerDelivery()
-			values[key+"/p50ms"] = stats.Latency.Percentile(50)
+			sweeps = append(sweeps, sweep{m, density})
 		}
 	}
-	return &Result{ID: "E4", Title: "routing", Table: table, Values: values}, nil
+	events, wall, err := assemble(cfg, table, values, len(sweeps), func(i int, p *point) error {
+		m, density := sweeps[i].m, sweeps[i].density
+		net, err := roadnet.Highway(roadnet.HighwaySpec{LengthM: 3000, Segments: 3, SpeedLimit: 27, Lanes: 2})
+		if err != nil {
+			return err
+		}
+		s, err := scenario.New(scenario.Spec{Seed: cfg.Seed, Network: net, NumVehicles: density})
+		if err != nil {
+			return err
+		}
+		loc := routing.NewStaleLoc(routing.OracleLoc{Positions: s.Medium}, s.Kernel.Now, 20*time.Second)
+		stats := &routing.Stats{}
+		var routers []routing.Router
+		for _, id := range s.VehicleIDs() {
+			node, _ := s.Node(id)
+			rt, err := m.make(s, node, stats, loc)
+			if err != nil {
+				return err
+			}
+			routers = append(routers, rt)
+		}
+		if err := s.Start(); err != nil {
+			return err
+		}
+		if err := s.RunFor(warm); err != nil {
+			return err
+		}
+		rng := s.Kernel.NewStream("traffic")
+		gap := window / sim.Time(packets+1)
+		for i := 0; i < packets; i++ {
+			s.Kernel.After(sim.Time(i)*gap, func() {
+				src := routers[rng.Intn(len(routers))]
+				ids := s.VehicleIDs()
+				dst := vnet.Addr(ids[rng.Intn(len(ids))])
+				_ = src.Send(dst, 500, nil)
+			})
+		}
+		if err := s.RunFor(window + 20*time.Second); err != nil {
+			return err
+		}
+		p.addRow(m.name, fmt.Sprintf("%d", density),
+			metrics.Pct(stats.DeliveryRatio()),
+			metrics.Ms(stats.Latency.Percentile(50)),
+			fmt.Sprintf("%.1f", stats.OverheadPerDelivery()))
+		key := fmt.Sprintf("%s/%d", m.name, density)
+		p.set(key+"/delivery", stats.DeliveryRatio())
+		p.set(key+"/overhead", stats.OverheadPerDelivery())
+		p.set(key+"/p50ms", stats.Latency.Percentile(50))
+		p.tally(s.Kernel)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{ID: "E4", Title: "routing", Table: table, Values: values,
+		KernelEvents: events, KernelWall: wall}, nil
 }

@@ -46,91 +46,106 @@ func E5Authentication(cfg Config) (*Result, error) {
 		{auth.Hybrid, auth.CRLLinear, "hybrid"},
 	}
 
+	type sweep struct {
+		a       arm
+		revoked int
+	}
+	var sweeps []sweep
 	for _, a := range arms {
 		for _, revoked := range revokedLevels {
-			k := sim.NewKernel(cfg.Seed)
-			bounds := geo.NewRect(geo.Point{X: 0, Y: 0}, geo.Point{X: 1000, Y: 1000})
-			medium, err := radio.NewMedium(k, bounds, radio.DefaultParams())
-			if err != nil {
-				return nil, err
-			}
-			poolSize := 20
-			ta, err := pki.New("TA", rand.New(rand.NewSource(cfg.Seed)), pki.Config{PoolSize: poolSize})
-			if err != nil {
-				return nil, err
-			}
-			// Populate the revoked set.
-			for i := 0; i < revoked; i++ {
-				id := pki.VehicleIdentity(fmt.Sprintf("rev-%d", i))
-				if _, err := ta.Enroll(id); err != nil {
-					return nil, err
-				}
-				if err := ta.RevokeVehicle(id); err != nil {
-					return nil, err
-				}
-			}
-			anchors := auth.Anchors{
-				RootKey:  ta.RootKey(),
-				GroupKey: ta.GroupKey(),
-				CRL:      ta.CRL(),
-				CRLMode:  a.crlMode,
-				GroupRevoked: func(sig cryptoprim.GroupSig) (bool, int) {
-					// Verifier-local revocation tokens: one per revoked
-					// member.
-					return !ta.GroupManager().CheckNotRevoked(sig), revoked
-				},
-			}
-			met := &auth.Metrics{}
-			var auths []*auth.Authenticator
-			for i := 0; i < 2; i++ {
-				pos := geo.Point{X: 100 + float64(i)*100, Y: 100}
-				addr := vnet.Addr(i)
-				medium.UpdatePosition(addr, pos)
-				node, err := vnet.NewNode(k, medium, addr, vnet.Config{}, func() (geo.Point, float64, float64) {
-					return pos, 0, 0
-				})
-				if err != nil {
-					return nil, err
-				}
-				enr, err := ta.Enroll(pki.VehicleIdentity(fmt.Sprintf("veh-%d", i)))
-				if err != nil {
-					return nil, err
-				}
-				au, err := auth.New(node, enr, anchors, a.scheme, auth.CostModel{}, met)
-				if err != nil {
-					return nil, err
-				}
-				auths = append(auths, au)
-			}
-			for i := 0; i < handshakes; i++ {
-				i := i
-				k.At(sim.Time(i)*100*time.Millisecond, func() {
-					_ = auths[0].Authenticate(1, nil)
-				})
-			}
-			if err := k.Run(sim.Time(handshakes)*100*time.Millisecond + 10*time.Second); err != nil {
-				return nil, err
-			}
-
-			succ := met.Successes.Value()
-			if succ == 0 {
-				return nil, fmt.Errorf("E5: no successful handshakes for %s/%d", a.label, revoked)
-			}
-			bytesPer := float64(met.BytesSent.Value()) / float64(succ)
-			scansPer := float64(met.CRLScanned.Value()) / float64(succ)
-			anonymity, tracer := privacyRow(a.scheme, poolSize, ta)
-			table.AddRow(a.label, fmt.Sprintf("%d", revoked),
-				metrics.Ms(met.Latency.Percentile(50)),
-				fmt.Sprintf("%.0f", bytesPer),
-				fmt.Sprintf("%.0f", scansPer),
-				anonymity, tracer)
-			key := fmt.Sprintf("%s/%d", a.label, revoked)
-			values[key+"/p50ms"] = met.Latency.Percentile(50)
-			values[key+"/bytes"] = bytesPer
-			values[key+"/scans"] = scansPer
+			sweeps = append(sweeps, sweep{a, revoked})
 		}
 	}
-	return &Result{ID: "E5", Title: "authentication", Table: table, Values: values}, nil
+	events, wall, err := assemble(cfg, table, values, len(sweeps), func(idx int, p *point) error {
+		a, revoked := sweeps[idx].a, sweeps[idx].revoked
+		k := sim.NewKernel(cfg.Seed)
+		bounds := geo.NewRect(geo.Point{X: 0, Y: 0}, geo.Point{X: 1000, Y: 1000})
+		medium, err := radio.NewMedium(k, bounds, radio.DefaultParams())
+		if err != nil {
+			return err
+		}
+		poolSize := 20
+		ta, err := pki.New("TA", rand.New(rand.NewSource(cfg.Seed)), pki.Config{PoolSize: poolSize})
+		if err != nil {
+			return err
+		}
+		// Populate the revoked set.
+		for i := 0; i < revoked; i++ {
+			id := pki.VehicleIdentity(fmt.Sprintf("rev-%d", i))
+			if _, err := ta.Enroll(id); err != nil {
+				return err
+			}
+			if err := ta.RevokeVehicle(id); err != nil {
+				return err
+			}
+		}
+		anchors := auth.Anchors{
+			RootKey:  ta.RootKey(),
+			GroupKey: ta.GroupKey(),
+			CRL:      ta.CRL(),
+			CRLMode:  a.crlMode,
+			GroupRevoked: func(sig cryptoprim.GroupSig) (bool, int) {
+				// Verifier-local revocation tokens: one per revoked
+				// member.
+				return !ta.GroupManager().CheckNotRevoked(sig), revoked
+			},
+		}
+		met := &auth.Metrics{}
+		var auths []*auth.Authenticator
+		for i := 0; i < 2; i++ {
+			pos := geo.Point{X: 100 + float64(i)*100, Y: 100}
+			addr := vnet.Addr(i)
+			medium.UpdatePosition(addr, pos)
+			node, err := vnet.NewNode(k, medium, addr, vnet.Config{}, func() (geo.Point, float64, float64) {
+				return pos, 0, 0
+			})
+			if err != nil {
+				return err
+			}
+			enr, err := ta.Enroll(pki.VehicleIdentity(fmt.Sprintf("veh-%d", i)))
+			if err != nil {
+				return err
+			}
+			au, err := auth.New(node, enr, anchors, a.scheme, auth.CostModel{}, met)
+			if err != nil {
+				return err
+			}
+			auths = append(auths, au)
+		}
+		for i := 0; i < handshakes; i++ {
+			i := i
+			k.At(sim.Time(i)*100*time.Millisecond, func() {
+				_ = auths[0].Authenticate(1, nil)
+			})
+		}
+		if err := k.Run(sim.Time(handshakes)*100*time.Millisecond + 10*time.Second); err != nil {
+			return err
+		}
+
+		succ := met.Successes.Value()
+		if succ == 0 {
+			return fmt.Errorf("E5: no successful handshakes for %s/%d", a.label, revoked)
+		}
+		bytesPer := float64(met.BytesSent.Value()) / float64(succ)
+		scansPer := float64(met.CRLScanned.Value()) / float64(succ)
+		anonymity, tracer := privacyRow(a.scheme, poolSize, ta)
+		p.addRow(a.label, fmt.Sprintf("%d", revoked),
+			metrics.Ms(met.Latency.Percentile(50)),
+			fmt.Sprintf("%.0f", bytesPer),
+			fmt.Sprintf("%.0f", scansPer),
+			anonymity, tracer)
+		key := fmt.Sprintf("%s/%d", a.label, revoked)
+		p.set(key+"/p50ms", met.Latency.Percentile(50))
+		p.set(key+"/bytes", bytesPer)
+		p.set(key+"/scans", scansPer)
+		p.tally(k)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{ID: "E5", Title: "authentication", Table: table, Values: values,
+		KernelEvents: events, KernelWall: wall}, nil
 }
 
 // privacyRow returns the analytic privacy characteristics of a scheme:
@@ -146,10 +161,24 @@ func privacyRow(s auth.Scheme, poolSize int, ta *pki.TA) (anonymity, tracer stri
 	}
 }
 
+// latencyBand buckets a measured per-decision latency into its
+// order-of-magnitude band relative to §III.C's milliseconds budget.
+func latencyBand(ns float64) string {
+	switch {
+	case ns < 1e3:
+		return "sub-µs"
+	case ns < 1e6:
+		return "sub-ms"
+	default:
+		return "ms+"
+	}
+}
+
 // E6AccessControl measures policy-decision latency against policy-set
 // size and the emergency-escalation path (§III.C's "milliseconds"
-// requirement). Decisions are real computations, so this experiment
-// reports wall-clock nanoseconds per decision.
+// requirement). Decisions are real computations measured in wall-clock
+// nanoseconds; the raw samples land in Values while the table prints
+// the deterministic budget band per point.
 func E6AccessControl(cfg Config) (*Result, error) {
 	policyCounts := []int{10, 100}
 	if !cfg.Quick {
@@ -159,12 +188,15 @@ func E6AccessControl(cfg Config) (*Result, error) {
 
 	table := metrics.NewTable(
 		"E6 — Access-control decision latency",
-		"policies", "ns/decision", "allowed", "emergency ns/decision",
+		"policies", "decision", "allowed", "emergency",
 	)
 	values := map[string]float64{}
-	rng := rand.New(rand.NewSource(cfg.Seed))
 
-	for _, n := range policyCounts {
+	events, wall, err := assemble(cfg, table, values, len(policyCounts), func(idx int, p *point) error {
+		n := policyCounts[idx]
+		// Per-point stream so the role draw is independent of sweep order
+		// (and of which worker runs the point).
+		rng := rand.New(rand.NewSource(cfg.Seed + int64(idx)))
 		policies := make([]access.Policy, n)
 		area := geo.NewRect(geo.Point{X: 0, Y: 0}, geo.Point{X: 1000, Y: 1000})
 		for i := range policies {
@@ -217,15 +249,24 @@ func E6AccessControl(cfg Config) (*Result, error) {
 		}
 		emPer := float64(time.Since(start).Nanoseconds()) / float64(iters)
 		if emAllowed == 0 {
-			return nil, fmt.Errorf("E6: emergency escalation never granted")
+			return fmt.Errorf("E6: emergency escalation never granted")
 		}
 
-		table.AddRow(fmt.Sprintf("%d", n),
-			fmt.Sprintf("%.0f", perDecision),
+		// The table prints the order-of-magnitude band against §III.C's
+		// milliseconds budget, not the raw sample: bands are stable
+		// run-to-run, so vcloudbench stdout is byte-identical at any
+		// parallelism. Raw measured ns stay in Values (and BENCH.json).
+		p.addRow(fmt.Sprintf("%d", n),
+			latencyBand(perDecision),
 			metrics.Pct(float64(allowed)/float64(iters)),
-			fmt.Sprintf("%.0f", emPer))
-		values[fmt.Sprintf("%d/ns", n)] = perDecision
-		values[fmt.Sprintf("%d/emergency-ns", n)] = emPer
+			latencyBand(emPer))
+		p.set(fmt.Sprintf("%d/ns", n), perDecision)
+		p.set(fmt.Sprintf("%d/emergency-ns", n), emPer)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return &Result{ID: "E6", Title: "access control", Table: table, Values: values}, nil
+	return &Result{ID: "E6", Title: "access control", Table: table, Values: values,
+		KernelEvents: events, KernelWall: wall}, nil
 }

@@ -43,17 +43,18 @@ func E7TaskHandover(cfg Config) (*Result, error) {
 		{"handover(route)", true, mobility.DwellRouteAware},
 		{"handover(speed)", true, mobility.DwellSpeedOnly},
 	}
-	for _, a := range arms {
+	events, wall, err := assemble(cfg, table, values, len(arms), func(i int, p *point) error {
+		a := arms[i]
 		net, err := roadnet.Highway(roadnet.HighwaySpec{LengthM: 3000, Segments: 3, SpeedLimit: 25, Lanes: 2})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		s, err := scenario.New(scenario.Spec{Seed: cfg.Seed, Network: net, NumVehicles: vehicles})
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if _, err := s.AddRSU(geo.Point{X: 1500, Y: 15}); err != nil {
-			return nil, err
+			return err
 		}
 		stats := &vcloud.Stats{}
 		dep, err := vcloud.Deploy(s, vcloud.Infrastructure, vcloud.DeployConfig{
@@ -62,13 +63,13 @@ func E7TaskHandover(cfg Config) (*Result, error) {
 			Controller: vcloud.ControllerConfig{RetryLimit: 5},
 		}, stats)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		if err := s.Start(); err != nil {
-			return nil, err
+			return err
 		}
 		if err := s.RunFor(10 * time.Second); err != nil {
-			return nil, err
+			return err
 		}
 		// Tasks of ~15 s compute against a ~24 s transit through RSU
 		// range: finishable when placed early in a transit, lost when
@@ -80,20 +81,26 @@ func E7TaskHandover(cfg Config) (*Result, error) {
 			})
 		}
 		if err := s.RunFor(runFor); err != nil {
-			return nil, err
+			return err
 		}
 		completion := float64(stats.Completed.Value()) / float64(tasks)
-		table.AddRow(a.name,
+		p.addRow(a.name,
 			metrics.Pct(completion),
 			fmt.Sprintf("%.1f", stats.WastedOps/1000),
 			fmt.Sprintf("%d", stats.Handovers.Value()),
 			fmt.Sprintf("%d", stats.Retries.Value()),
 			metrics.Ms(stats.Latency.Percentile(50)))
-		values[a.name+"/completion"] = completion
-		values[a.name+"/wasted"] = stats.WastedOps
-		values[a.name+"/handovers"] = float64(stats.Handovers.Value())
+		p.set(a.name+"/completion", completion)
+		p.set(a.name+"/wasted", stats.WastedOps)
+		p.set(a.name+"/handovers", float64(stats.Handovers.Value()))
+		p.tally(s.Kernel)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return &Result{ID: "E7", Title: "task handover", Table: table, Values: values}, nil
+	return &Result{ID: "E7", Title: "task handover", Table: table, Values: values,
+		KernelEvents: events, KernelWall: wall}, nil
 }
 
 // E8Replication sweeps the replication factor against member churn and
@@ -118,66 +125,82 @@ func E8Replication(cfg Config) (*Result, error) {
 	)
 	values := map[string]float64{}
 
+	type sweep struct {
+		k      int
+		churn  float64
+		retain bool
+	}
+	var sweeps []sweep
 	for _, k := range factors {
 		for _, churn := range churnRates {
 			for _, retain := range []bool{false, true} {
-				kern := sim.NewKernel(cfg.Seed)
-				rng := kern.NewStream("churn")
-				online := make(map[vnet.Addr]bool, members)
-				cands := make([]vnet.Addr, 0, members)
-				for i := 0; i < members; i++ {
-					a := vnet.Addr(i)
-					online[a] = true
-					cands = append(cands, a)
-				}
-				stats := &vcloud.ReplicaStats{}
-				rm, err := vcloud.NewReplicaManager(k, func(a vnet.Addr) bool { return online[a] }, stats)
-				if err != nil {
-					return nil, err
-				}
-				rm.SetRetainOffline(retain)
-				for f := 0; f < files; f++ {
-					// Spread initial placement across members.
-					rot := append(append([]vnet.Addr(nil), cands[f%members:]...), cands[:f%members]...)
-					rm.Store(vcloud.FileID(fmt.Sprintf("f%d", f)), 1<<20, rot)
-				}
-				// Churn process: every second members flip offline/online;
-				// reads and repairs run each tick.
-				if _, err := kern.Every(time.Second, func() {
-					for _, a := range cands {
-						if online[a] {
-							if rng.Float64() < churn {
-								online[a] = false
-							}
-						} else if rng.Float64() < 0.3 { // come back online
-							online[a] = true
-						}
-					}
-					for f := 0; f < 5; f++ {
-						rm.Read(vcloud.FileID(fmt.Sprintf("f%d", rng.Intn(files))))
-					}
-					rm.Repair(cands)
-				}); err != nil {
-					return nil, err
-				}
-				if err := kern.Run(sim.Time(ticks) * time.Second); err != nil {
-					return nil, err
-				}
-				avail := stats.Availability()
-				model := "departed"
-				key := fmt.Sprintf("k%d/churn%.2f", k, churn)
-				if retain {
-					model = "sleeping"
-					key += "/retain"
-				}
-				table.AddRow(fmt.Sprintf("%d", k), fmt.Sprintf("%.2f", churn), model,
-					metrics.Pct(avail),
-					fmt.Sprintf("%d", stats.ReReplicas.Value()),
-					fmt.Sprintf("%.0f", float64(stats.BytesMoved.Value())/(1<<20)))
-				values[key+"/availability"] = avail
-				values[key+"/rereplicas"] = float64(stats.ReReplicas.Value())
+				sweeps = append(sweeps, sweep{k, churn, retain})
 			}
 		}
 	}
-	return &Result{ID: "E8", Title: "replication", Table: table, Values: values}, nil
+	events, wall, err := assemble(cfg, table, values, len(sweeps), func(i int, p *point) error {
+		k, churn, retain := sweeps[i].k, sweeps[i].churn, sweeps[i].retain
+		kern := sim.NewKernel(cfg.Seed)
+		rng := kern.NewStream("churn")
+		online := make(map[vnet.Addr]bool, members)
+		cands := make([]vnet.Addr, 0, members)
+		for i := 0; i < members; i++ {
+			a := vnet.Addr(i)
+			online[a] = true
+			cands = append(cands, a)
+		}
+		stats := &vcloud.ReplicaStats{}
+		rm, err := vcloud.NewReplicaManager(k, func(a vnet.Addr) bool { return online[a] }, stats)
+		if err != nil {
+			return err
+		}
+		rm.SetRetainOffline(retain)
+		for f := 0; f < files; f++ {
+			// Spread initial placement across members.
+			rot := append(append([]vnet.Addr(nil), cands[f%members:]...), cands[:f%members]...)
+			rm.Store(vcloud.FileID(fmt.Sprintf("f%d", f)), 1<<20, rot)
+		}
+		// Churn process: every second members flip offline/online;
+		// reads and repairs run each tick.
+		if _, err := kern.Every(time.Second, func() {
+			for _, a := range cands {
+				if online[a] {
+					if rng.Float64() < churn {
+						online[a] = false
+					}
+				} else if rng.Float64() < 0.3 { // come back online
+					online[a] = true
+				}
+			}
+			for f := 0; f < 5; f++ {
+				rm.Read(vcloud.FileID(fmt.Sprintf("f%d", rng.Intn(files))))
+			}
+			rm.Repair(cands)
+		}); err != nil {
+			return err
+		}
+		if err := kern.Run(sim.Time(ticks) * time.Second); err != nil {
+			return err
+		}
+		avail := stats.Availability()
+		model := "departed"
+		key := fmt.Sprintf("k%d/churn%.2f", k, churn)
+		if retain {
+			model = "sleeping"
+			key += "/retain"
+		}
+		p.addRow(fmt.Sprintf("%d", k), fmt.Sprintf("%.2f", churn), model,
+			metrics.Pct(avail),
+			fmt.Sprintf("%d", stats.ReReplicas.Value()),
+			fmt.Sprintf("%.0f", float64(stats.BytesMoved.Value())/(1<<20)))
+		p.set(key+"/availability", avail)
+		p.set(key+"/rereplicas", float64(stats.ReReplicas.Value()))
+		p.tally(kern)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{ID: "E8", Title: "replication", Table: table, Values: values,
+		KernelEvents: events, KernelWall: wall}, nil
 }

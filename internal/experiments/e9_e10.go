@@ -51,8 +51,19 @@ func E9Trust(cfg Config) (*Result, error) {
 		{"reputation(stable)", nil, true, true},
 	}
 
+	type sweep struct {
+		a    arm
+		frac float64
+	}
+	var sweeps []sweep
 	for _, a := range arms {
 		for _, frac := range attackerFracs {
+			sweeps = append(sweeps, sweep{a, frac})
+		}
+	}
+	kernelEvents, wall, err := assemble(cfg, table, values, len(sweeps), func(idx int, p *point) error {
+		a, frac := sweeps[idx].a, sweeps[idx].frac
+		{
 			rng := rand.New(rand.NewSource(cfg.Seed))
 			var validator trust.Validator
 			var reput *trust.Reputation
@@ -130,17 +141,25 @@ func E9Trust(cfg Config) (*Result, error) {
 			}
 			acc := float64(correct) / float64(events)
 			und := float64(undecided) / float64(events)
-			table.AddRow(a.name, metrics.Pct(frac), metrics.Pct(acc), metrics.Pct(und))
+			p.addRow(a.name, metrics.Pct(frac), metrics.Pct(acc), metrics.Pct(und))
 			key := fmt.Sprintf("%s/%.1f", a.name, frac)
-			values[key+"/accuracy"] = acc
+			p.set(key+"/accuracy", acc)
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return &Result{ID: "E9", Title: "trust", Table: table, Values: values}, nil
+	return &Result{ID: "E9", Title: "trust", Table: table, Values: values,
+		KernelEvents: kernelEvents, KernelWall: wall}, nil
 }
 
 // E10Attacks is the security drill: each §III network-layer attack runs
 // against its defense and the table reports the attack's effect with and
-// without the defense in place.
+// without the defense in place. The four drills decompose into eight
+// independent runs (each with its own kernel), so they parallelize like
+// any other sweep; the table is assembled from the collected results in
+// drill order.
 func E10Attacks(cfg Config) (*Result, error) {
 	table := metrics.NewTable(
 		"E10 — Attack/defense drill (§III threat list)",
@@ -149,7 +168,7 @@ func E10Attacks(cfg Config) (*Result, error) {
 	values := map[string]float64{}
 
 	// --- Eavesdropping / tracking: beacon rate is the defense knob.
-	track := func(beaconPeriod sim.Time) float64 {
+	track := func(p *point, beaconPeriod sim.Time) float64 {
 		net, err := roadnet.Highway(roadnet.HighwaySpec{LengthM: 2000, Segments: 2, SpeedLimit: 25, Lanes: 2})
 		if err != nil {
 			return -1
@@ -171,21 +190,16 @@ func E10Attacks(cfg Config) (*Result, error) {
 		if err := s.RunFor(sim.Time(pick(cfg, 30, 90)) * time.Second); err != nil {
 			return -1
 		}
+		p.tally(s.Kernel)
 		acc, links := spy.TrackingAccuracy(30, 3*time.Second)
 		if links == 0 {
 			return 0
 		}
 		return acc
 	}
-	trackFast := track(200 * time.Millisecond) // aggressive beaconing
-	trackSlow := track(2 * time.Second)        // sparse beaconing (defense)
-	table.AddRow("eavesdrop/track", "link accuracy",
-		metrics.Pct(trackFast), metrics.Pct(trackSlow))
-	values["tracking/fast"] = trackFast
-	values["tracking/slow"] = trackSlow
 
 	// --- DoS flood: channel delivery share with and without the flood.
-	dos := func(flood bool) float64 {
+	dos := func(p *point, flood bool) float64 {
 		net, err := roadnet.Highway(roadnet.HighwaySpec{LengthM: 2000, Segments: 2, SpeedLimit: 25, Lanes: 2})
 		if err != nil {
 			return -1
@@ -205,6 +219,7 @@ func E10Attacks(cfg Config) (*Result, error) {
 		if err := s.RunFor(sim.Time(pick(cfg, 20, 60)) * time.Second); err != nil {
 			return -1
 		}
+		p.tally(s.Kernel)
 		st := s.Medium.Stats()
 		total := st.Delivered + st.LostLoad
 		if total == 0 {
@@ -212,14 +227,9 @@ func E10Attacks(cfg Config) (*Result, error) {
 		}
 		return float64(st.Delivered) / float64(total)
 	}
-	dosClean := dos(false)
-	dosFlood := dos(true)
-	table.AddRow("DoS flood", "delivery share", metrics.Pct(dosFlood), metrics.Pct(dosClean))
-	values["dos/clean"] = dosClean
-	values["dos/flooded"] = dosFlood
 
 	// --- Suppression: delivery through an honest vs compromised relay.
-	supp := func(compromised bool) float64 {
+	supp := func(p *point, compromised bool) float64 {
 		k := sim.NewKernel(cfg.Seed)
 		bounds := geo.NewRect(geo.Point{X: 0, Y: 0}, geo.Point{X: 1000, Y: 1000})
 		m, err := radio.NewMedium(k, bounds, radio.DefaultParams())
@@ -254,16 +264,12 @@ func E10Attacks(cfg Config) (*Result, error) {
 		if err := k.Run(time.Minute); err != nil {
 			return -1
 		}
+		p.tally(k)
 		return float64(got) / n
 	}
-	suppHonest := supp(false)
-	suppBad := supp(true)
-	table.AddRow("suppression", "relay delivery", metrics.Pct(suppBad), metrics.Pct(suppHonest))
-	values["suppression/honest"] = suppHonest
-	values["suppression/compromised"] = suppBad
 
 	// --- Sybil amplification vs path-diverse trust (analytic replay of
-	// the E9 mechanics at a fixed fraction).
+	// the E9 mechanics at a fixed fraction; pure computation, no kernel).
 	sybil := func(pathDiverse bool) float64 {
 		rng := rand.New(rand.NewSource(cfg.Seed))
 		var v trust.Validator = trust.MajorityVote{}
@@ -299,11 +305,45 @@ func E10Attacks(cfg Config) (*Result, error) {
 		}
 		return float64(correct) / float64(events)
 	}
-	sybVote := sybil(false)
-	sybDiverse := sybil(true)
+
+	// Eight independent runs, indexed in drill order.
+	jobs := []func(p *point) float64{
+		func(p *point) float64 { return track(p, 200*time.Millisecond) }, // aggressive beaconing
+		func(p *point) float64 { return track(p, 2*time.Second) },        // sparse beaconing (defense)
+		func(p *point) float64 { return dos(p, false) },
+		func(p *point) float64 { return dos(p, true) },
+		func(p *point) float64 { return supp(p, false) },
+		func(p *point) float64 { return supp(p, true) },
+		func(p *point) float64 { return sybil(false) },
+		func(p *point) float64 { return sybil(true) },
+	}
+	res := make([]float64, len(jobs))
+	kernelEvents, wall, err := assemble(cfg, table, values, len(jobs), func(i int, p *point) error {
+		res[i] = jobs[i](p)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	trackFast, trackSlow := res[0], res[1]
+	dosClean, dosFlood := res[2], res[3]
+	suppHonest, suppBad := res[4], res[5]
+	sybVote, sybDiverse := res[6], res[7]
+
+	table.AddRow("eavesdrop/track", "link accuracy",
+		metrics.Pct(trackFast), metrics.Pct(trackSlow))
+	values["tracking/fast"] = trackFast
+	values["tracking/slow"] = trackSlow
+	table.AddRow("DoS flood", "delivery share", metrics.Pct(dosFlood), metrics.Pct(dosClean))
+	values["dos/clean"] = dosClean
+	values["dos/flooded"] = dosFlood
+	table.AddRow("suppression", "relay delivery", metrics.Pct(suppBad), metrics.Pct(suppHonest))
+	values["suppression/honest"] = suppHonest
+	values["suppression/compromised"] = suppBad
 	table.AddRow("sybil", "decision accuracy", metrics.Pct(sybVote), metrics.Pct(sybDiverse))
 	values["sybil/voting"] = sybVote
 	values["sybil/diverse"] = sybDiverse
 
-	return &Result{ID: "E10", Title: "attacks", Table: table, Values: values}, nil
+	return &Result{ID: "E10", Title: "attacks", Table: table, Values: values,
+		KernelEvents: kernelEvents, KernelWall: wall}, nil
 }

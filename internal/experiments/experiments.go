@@ -13,8 +13,12 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"vcloud/internal/metrics"
+	"vcloud/internal/sim"
 )
 
 // Config tunes an experiment run.
@@ -24,6 +28,12 @@ type Config struct {
 	// Quick shrinks populations and durations for tests and benchmarks;
 	// the full-size runs back EXPERIMENTS.md.
 	Quick bool
+	// Parallel bounds how many of an experiment's sweep points run
+	// concurrently; zero or one means serial. Every sweep point builds
+	// its own kernel and scenario, and the table is assembled in sweep
+	// order after all points finish, so the rendered output is identical
+	// at any parallelism.
+	Parallel int
 }
 
 // Result is one experiment's output.
@@ -32,6 +42,127 @@ type Result struct {
 	Title  string
 	Table  *metrics.Table
 	Values map[string]float64
+	// KernelEvents and KernelWall aggregate the event count and the
+	// wall-clock dispatch time over every kernel the experiment built —
+	// the perf-telemetry feed for vcloudbench's BENCH.json.
+	KernelEvents uint64
+	KernelWall   time.Duration
+}
+
+// EventsPerSec is the experiment's aggregate kernel throughput.
+func (r *Result) EventsPerSec() float64 {
+	if r.KernelWall <= 0 {
+		return 0
+	}
+	return float64(r.KernelEvents) / r.KernelWall.Seconds()
+}
+
+// point collects one sweep point's finished output: its table rows, its
+// contribution to Values, and its kernel telemetry. Each point is written
+// by exactly one worker goroutine and read only after all workers join.
+type point struct {
+	rows   [][]string
+	values map[string]float64
+	events uint64
+	wall   time.Duration
+}
+
+// addRow buffers one table row.
+func (p *point) addRow(cells ...string) {
+	p.rows = append(p.rows, cells)
+}
+
+// set buffers one named value.
+func (p *point) set(key string, v float64) {
+	if p.values == nil {
+		p.values = make(map[string]float64)
+	}
+	p.values[key] = v
+}
+
+// tally accumulates a finished kernel's telemetry into the point.
+func (p *point) tally(k *sim.Kernel) {
+	p.events += k.Processed()
+	p.wall += k.WallTime()
+}
+
+// forEachPar runs fn(0..n-1), spreading the calls over up to cfg.Parallel
+// worker goroutines. With Parallel <= 1 it degenerates to a plain serial
+// loop. The first error stops new work and is returned after all workers
+// join; indices already started still run to completion.
+func forEachPar(cfg Config, n int, fn func(i int) error) error {
+	workers := cfg.Parallel
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		next     atomic.Int64
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				mu.Lock()
+				stop := firstErr != nil
+				mu.Unlock()
+				if stop {
+					return
+				}
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// assemble is the deterministic fan-out/fan-in at the heart of every
+// experiment: run n independent sweep points (in parallel when configured),
+// then fold their buffered rows, values and kernel tallies into the table
+// and value map in sweep order. Because each point owns its kernel and the
+// fold is serial and index-ordered, the assembled table is byte-identical
+// at any parallelism.
+func assemble(cfg Config, table *metrics.Table, values map[string]float64, n int, run func(i int, p *point) error) (uint64, time.Duration, error) {
+	pts := make([]point, n)
+	if err := forEachPar(cfg, n, func(i int) error { return run(i, &pts[i]) }); err != nil {
+		return 0, 0, err
+	}
+	var events uint64
+	var wall time.Duration
+	for i := range pts {
+		for _, row := range pts[i].rows {
+			table.AddRow(row...)
+		}
+		for k, v := range pts[i].values {
+			values[k] = v
+		}
+		events += pts[i].events
+		wall += pts[i].wall
+	}
+	return events, wall, nil
 }
 
 // String renders the result table.

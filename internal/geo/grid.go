@@ -10,6 +10,11 @@ import (
 // "which vehicles are within radio range R of position p". Cells are sized
 // close to the typical query radius so a query touches at most a 3×3 block.
 //
+// Cell membership is kept sorted by id, so range queries yield ids in a
+// stable (cell-major, id-minor) order that is independent of insertion and
+// removal history. Hot paths can therefore consume query results directly,
+// without re-sorting for determinism.
+//
 // GridIndex is not safe for concurrent use; the simulation kernel is
 // single-goroutine by design (see internal/sim).
 type GridIndex struct {
@@ -69,8 +74,7 @@ func (g *GridIndex) Update(id int32, p Point) {
 		}
 		g.removeFromCell(ok2, id)
 	}
-	k := g.cellKey(p)
-	g.cells[k] = append(g.cells[k], id)
+	g.insertIntoCell(g.cellKey(p), id)
 	g.pos[id] = p
 }
 
@@ -84,14 +88,38 @@ func (g *GridIndex) Remove(id int32) {
 	delete(g.pos, id)
 }
 
+// cellRank returns the position of id in the sorted cell list (or where
+// it would be inserted).
+func cellRank(ids []int32, id int32) int {
+	lo, hi := 0, len(ids)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ids[mid] < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// insertIntoCell adds id to the cell keeping the list sorted. The ordered
+// insert only runs when an entry changes cells, so its memmove cost is
+// paid per cell crossing, not per query.
+func (g *GridIndex) insertIntoCell(key int, id int32) {
+	ids := g.cells[key]
+	i := cellRank(ids, id)
+	ids = append(ids, 0)
+	copy(ids[i+1:], ids[i:])
+	ids[i] = id
+	g.cells[key] = ids
+}
+
 func (g *GridIndex) removeFromCell(key int, id int32) {
 	ids := g.cells[key]
-	for i, v := range ids {
-		if v == id {
-			ids[i] = ids[len(ids)-1]
-			ids = ids[:len(ids)-1]
-			break
-		}
+	i := cellRank(ids, id)
+	if i < len(ids) && ids[i] == id {
+		ids = append(ids[:i], ids[i+1:]...)
 	}
 	if len(ids) == 0 {
 		delete(g.cells, key)
@@ -111,10 +139,27 @@ func (g *GridIndex) Len() int { return len(g.pos) }
 
 // WithinRange appends to dst the ids of all entries within radius r of p
 // (excluding the id `exclude`, pass a negative value to exclude nothing)
-// and returns the extended slice. Results are unordered.
+// and returns the extended slice. Results come out in the stable
+// cell-major, id-minor order.
 func (g *GridIndex) WithinRange(dst []int32, p Point, r float64, exclude int32) []int32 {
+	dst, _ = g.withinRange(dst, nil, false, p, r, exclude)
+	return dst
+}
+
+// WithinRangePos appends the ids and positions of all entries within
+// radius r of p (excluding `exclude`) into the caller-owned buffers and
+// returns the extended slices; ids[i] is located at pos[i]. It exists for
+// the radio hot path: one query yields both the neighbor set and the
+// positions needed for the distance model, in the stable cell-major,
+// id-minor order, with no per-neighbor position re-lookup and no
+// allocation beyond (amortized) buffer growth.
+func (g *GridIndex) WithinRangePos(ids []int32, pos []Point, p Point, r float64, exclude int32) ([]int32, []Point) {
+	return g.withinRange(ids, pos, true, p, r, exclude)
+}
+
+func (g *GridIndex) withinRange(ids []int32, pos []Point, withPos bool, p Point, r float64, exclude int32) ([]int32, []Point) {
 	if r <= 0 {
-		return dst
+		return ids, pos
 	}
 	r2 := r * r
 	minCX := int((p.X - r - g.bounds.Min.X) / g.cellSize)
@@ -129,13 +174,17 @@ func (g *GridIndex) WithinRange(dst []int32, p Point, r float64, exclude int32) 
 				if id == exclude {
 					continue
 				}
-				if g.pos[id].DistSq(p) <= r2 {
-					dst = append(dst, id)
+				q := g.pos[id]
+				if q.DistSq(p) <= r2 {
+					ids = append(ids, id)
+					if withPos {
+						pos = append(pos, q)
+					}
 				}
 			}
 		}
 	}
-	return dst
+	return ids, pos
 }
 
 // clampRange clamps an inclusive cell range into [0, n-1]. Out-of-bounds

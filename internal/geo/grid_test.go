@@ -160,6 +160,88 @@ func TestGridZeroRadius(t *testing.T) {
 	}
 }
 
+// TestWithinRangePosMatchesWithinRange: the combined query must return
+// the same ids as WithinRange, with each id's indexed position.
+func TestWithinRangePosMatchesWithinRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := mustGrid(t, NewRect(Point{0, 0}, Point{2000, 2000}), 150)
+	for i := 0; i < 300; i++ {
+		g.Update(int32(i), Point{rng.Float64() * 2000, rng.Float64() * 2000})
+	}
+	for trial := 0; trial < 20; trial++ {
+		q := Point{rng.Float64() * 2000, rng.Float64() * 2000}
+		r := 50 + rng.Float64()*400
+		ids := g.WithinRange(nil, q, r, 5)
+		// Pass nil-backed scratch buffers, the hot-path calling convention.
+		var scratchIDs []int32
+		var scratchPos []Point
+		gotIDs, gotPos := g.WithinRangePos(scratchIDs[:0], scratchPos[:0], q, r, 5)
+		if !equalInt32(ids, gotIDs) {
+			t.Fatalf("trial %d: ids differ\n got %v\nwant %v", trial, gotIDs, ids)
+		}
+		if len(gotPos) != len(gotIDs) {
+			t.Fatalf("trial %d: %d positions for %d ids", trial, len(gotPos), len(gotIDs))
+		}
+		for i, id := range gotIDs {
+			want, _ := g.Position(id)
+			if gotPos[i] != want {
+				t.Fatalf("trial %d: pos[%d] = %v, want %v for id %d", trial, i, gotPos[i], want, id)
+			}
+		}
+	}
+}
+
+// TestWithinRangeStableOrder: query order must be a pure function of the
+// current positions — independent of the insertion/removal history — so
+// the radio layer can skip its per-broadcast sort.
+func TestWithinRangeStableOrder(t *testing.T) {
+	bounds := NewRect(Point{0, 0}, Point{1000, 1000})
+	build := func(order []int32) *GridIndex {
+		g := mustGrid(t, bounds, 100)
+		for _, id := range order {
+			g.Update(id, Point{500 + float64(id), 500})
+		}
+		// Churn: move one entry out and back, delete and re-add another.
+		g.Update(order[0], Point{50, 50})
+		g.Update(order[0], Point{500 + float64(order[0]), 500})
+		g.Remove(order[1])
+		g.Update(order[1], Point{500 + float64(order[1]), 500})
+		return g
+	}
+	a := build([]int32{4, 1, 3, 2, 0})
+	b := build([]int32{0, 1, 2, 3, 4})
+	ga := a.WithinRange(nil, Point{500, 500}, 50, -1)
+	gb := b.WithinRange(nil, Point{500, 500}, 50, -1)
+	if !equalInt32(ga, gb) {
+		t.Fatalf("order depends on history: %v vs %v", ga, gb)
+	}
+	// Within one cell the order is sorted by id.
+	for i := 1; i < len(ga); i++ {
+		if ga[i] < ga[i-1] {
+			t.Fatalf("cell order not sorted: %v", ga)
+		}
+	}
+}
+
+// TestWithinRangePosAllocFree: with warm caller-owned buffers the query
+// must not allocate.
+func TestWithinRangePosAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	g := mustGrid(t, NewRect(Point{0, 0}, Point{2000, 2000}), 300)
+	for i := 0; i < 500; i++ {
+		g.Update(int32(i), Point{rng.Float64() * 2000, rng.Float64() * 2000})
+	}
+	ids := make([]int32, 0, 600)
+	pos := make([]Point, 0, 600)
+	q := Point{1000, 1000}
+	allocs := testing.AllocsPerRun(100, func() {
+		ids, pos = g.WithinRangePos(ids[:0], pos[:0], q, 300, -1)
+	})
+	if allocs != 0 {
+		t.Errorf("WithinRangePos allocated %.1f times per query, want 0", allocs)
+	}
+}
+
 func sortInt32(s []int32) {
 	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
 }

@@ -123,7 +123,53 @@ type Medium struct {
 	nextBlocker int
 	// promiscuous nodes overhear every frame transmitted in their range,
 	// regardless of addressing — the §III eavesdropping threat model.
+	// spies mirrors the map's keys sorted by id, maintained at
+	// registration time so Send never sorts.
 	promiscuous map[NodeID]Handler
+	spies       []NodeID
+	// scratchIDs/scratchPos are the per-medium neighbor-query buffers
+	// reused across Send calls; together with the delivery freelist they
+	// make a broadcast to N neighbors cost O(N) work with O(1)
+	// steady-state allocations.
+	scratchIDs []int32
+	scratchPos []geo.Point
+	freeDeliv  []*delivery
+}
+
+// delivery carries one scheduled frame reception through the kernel.
+// Instances are pooled on the medium and scheduled via the kernel's
+// AfterArg, so a reception costs no closure or event allocation once the
+// pools are warm.
+type delivery struct {
+	m     *Medium
+	h     Handler
+	f     Frame
+	count bool // increment Stats.Delivered (false for promiscuous overhears)
+}
+
+// runDelivery is the single callback behind every scheduled reception.
+// The delivery is recycled before the handler runs: its fields are copied
+// out first, so a handler that immediately transmits reuses the slot.
+func runDelivery(a any) {
+	d := a.(*delivery)
+	m, h, f, count := d.m, d.h, d.f, d.count
+	d.h = nil
+	d.f = Frame{}
+	m.freeDeliv = append(m.freeDeliv, d)
+	if count {
+		m.stats.Delivered++
+	}
+	h(f)
+}
+
+func (m *Medium) getDelivery() *delivery {
+	if n := len(m.freeDeliv); n > 0 {
+		d := m.freeDeliv[n-1]
+		m.freeDeliv[n-1] = nil
+		m.freeDeliv = m.freeDeliv[:n-1]
+		return d
+	}
+	return &delivery{m: m}
 }
 
 // NewMedium creates a medium over the given bounds.
@@ -154,8 +200,20 @@ func NewMedium(kernel *sim.Kernel, bounds geo.Rect, params Params) (*Medium, err
 // The node must have a position (UpdatePosition) to overhear anything.
 func (m *Medium) SetPromiscuous(id NodeID, h Handler) {
 	if h == nil {
-		delete(m.promiscuous, id)
+		if _, ok := m.promiscuous[id]; ok {
+			delete(m.promiscuous, id)
+			for i, s := range m.spies {
+				if s == id {
+					m.spies = append(m.spies[:i], m.spies[i+1:]...)
+					break
+				}
+			}
+		}
 		return
+	}
+	if _, ok := m.promiscuous[id]; !ok {
+		m.spies = append(m.spies, id)
+		sortIDs(m.spies)
 	}
 	m.promiscuous[id] = h
 }
@@ -241,8 +299,8 @@ func (m *Medium) Neighbors(dst []NodeID, id NodeID) []NodeID {
 	if !ok {
 		return dst
 	}
-	raw := m.index.WithinRange(nil, p, m.params.RangeMax, int32(id))
-	for _, r := range raw {
+	m.scratchIDs = m.index.WithinRange(m.scratchIDs[:0], p, m.params.RangeMax, int32(id))
+	for _, r := range m.scratchIDs {
 		dst = append(dst, NodeID(r))
 	}
 	return dst
@@ -285,6 +343,51 @@ func (m *Medium) receptionProb(d float64) float64 {
 	return (1 - x) * (1 - x)
 }
 
+// deliver runs the reception decision for one destination and, on
+// success, schedules the handler callback through the pooled delivery
+// path. Shared by the unicast and broadcast arms of Send; broadcasts pass
+// retries == 0 (no ARQ on a real MAC).
+func (m *Medium) deliver(from, to, dst NodeID, src, dstPos geo.Point, size int, payload any, retries int, pCollide float64) {
+	if m.frameBlocked(from, dst) {
+		return
+	}
+	h, ok := m.handlers[dst]
+	if !ok {
+		return
+	}
+	d := src.Dist(dstPos)
+	pRecv := m.receptionProb(d)
+	// Link-layer ARQ: unicast frames get retries+1 attempts; each
+	// failed attempt costs one extra transmission slot of delay.
+	attempts := 0
+	ok = false
+	var lossKind *uint64
+	for try := 0; try <= retries; try++ {
+		attempts++
+		if m.rng.Float64() >= pRecv {
+			lossKind = &m.stats.LostRange
+			continue
+		}
+		if m.rng.Float64() < pCollide {
+			lossKind = &m.stats.LostLoad
+			continue
+		}
+		ok = true
+		break
+	}
+	if !ok {
+		*lossKind++
+		return
+	}
+	dl := m.getDelivery()
+	dl.h = h
+	dl.f = Frame{From: from, To: to, Size: size, Payload: payload, SentAt: m.kernel.Now()}
+	dl.count = true
+	// Transmission delay (per attempt) plus a small MAC access jitter.
+	jitter := sim.Time(m.rng.Int63n(int64(500 * time.Microsecond)))
+	m.kernel.AfterArg(sim.Time(attempts)*m.txDelay(size)+jitter, runDelivery, dl)
+}
+
 // Send transmits a frame. to == Broadcast delivers to every node in range;
 // otherwise only the addressed node (if in range) receives it. Send never
 // fails: lost frames are simply not delivered, as on a real channel.
@@ -308,77 +411,27 @@ func (m *Medium) Send(from, to NodeID, size int, payload any) {
 		pCollide = m.params.MaxCollisionLoss
 	}
 
-	deliver := func(dst NodeID, dstPos geo.Point, retries int) {
-		if m.frameBlocked(from, dst) {
-			return
-		}
-		h, ok := m.handlers[dst]
-		if !ok {
-			return
-		}
-		d := src.Dist(dstPos)
-		pRecv := m.receptionProb(d)
-		// Link-layer ARQ: unicast frames get retries+1 attempts; each
-		// failed attempt costs one extra transmission slot of delay.
-		attempts := 0
-		ok = false
-		var lossKind *uint64
-		for try := 0; try <= retries; try++ {
-			attempts++
-			if m.rng.Float64() >= pRecv {
-				lossKind = &m.stats.LostRange
-				continue
-			}
-			if m.rng.Float64() < pCollide {
-				lossKind = &m.stats.LostLoad
-				continue
-			}
-			ok = true
-			break
-		}
-		if !ok {
-			*lossKind++
-			return
-		}
-		f := Frame{From: from, To: to, Size: size, Payload: payload, SentAt: m.kernel.Now()}
-		// Transmission delay (per attempt) plus a small MAC access jitter.
-		jitter := sim.Time(m.rng.Int63n(int64(500 * time.Microsecond)))
-		m.kernel.After(sim.Time(attempts)*m.txDelay(size)+jitter, func() {
-			m.stats.Delivered++
-			h(f)
-		})
-	}
-
 	if to == Broadcast {
-		ids := m.index.WithinRange(nil, src, m.params.RangeMax, int32(from))
-		// Sort for determinism: map-free but index order depends on
-		// insertion; normalize.
-		sortNodeIDs(ids)
-		for _, raw := range ids {
-			dst := NodeID(raw)
-			if p, ok := m.index.Position(raw); ok {
-				deliver(dst, p, 0) // no ARQ for broadcast
-			}
+		// One query yields neighbors and their positions into the
+		// per-medium scratch buffers, already in the grid's stable order —
+		// no per-broadcast sort, no per-neighbor position re-lookup.
+		m.scratchIDs, m.scratchPos = m.index.WithinRangePos(
+			m.scratchIDs[:0], m.scratchPos[:0], src, m.params.RangeMax, int32(from))
+		for i, raw := range m.scratchIDs {
+			m.deliver(from, to, NodeID(raw), src, m.scratchPos[i], size, payload, 0, pCollide)
 		}
 	} else if p, ok := m.index.Position(int32(to)); ok {
 		retries := m.params.UnicastRetries
 		if retries < 0 {
 			retries = 0
 		}
-		deliver(to, p, retries)
+		m.deliver(from, to, to, src, p, size, payload, retries, pCollide)
 	}
 
 	// Eavesdroppers overhear whatever their radio can demodulate,
-	// without ARQ (they cannot request retransmissions).
-	if len(m.promiscuous) == 0 {
-		return
-	}
-	spies := make([]NodeID, 0, len(m.promiscuous))
-	for id := range m.promiscuous {
-		spies = append(spies, id)
-	}
-	sortPromiscuous(spies)
-	for _, id := range spies {
+	// without ARQ (they cannot request retransmissions). The spy list is
+	// kept sorted at registration time.
+	for _, id := range m.spies {
 		if id == from || id == to {
 			continue // the sender and the addressed node already have it
 		}
@@ -390,22 +443,17 @@ func (m *Medium) Send(from, to NodeID, size int, payload any) {
 		if m.rng.Float64() >= m.receptionProb(d) {
 			continue
 		}
-		h := m.promiscuous[id]
-		f := Frame{From: from, To: to, Size: size, Payload: payload, SentAt: m.kernel.Now()}
-		m.kernel.After(m.txDelay(size), func() { h(f) })
+		dl := m.getDelivery()
+		dl.h = m.promiscuous[id]
+		dl.f = Frame{From: from, To: to, Size: size, Payload: payload, SentAt: m.kernel.Now()}
+		dl.count = false
+		m.kernel.AfterArg(m.txDelay(size), runDelivery, dl)
 	}
 }
 
-func sortPromiscuous(ids []NodeID) {
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
-		}
-	}
-}
-
-func sortNodeIDs(ids []int32) {
-	// Insertion sort: neighbor lists are small and often nearly sorted.
+// sortIDs is the one insertion sort shared by every small id list in this
+// package (such lists are short and usually nearly sorted).
+func sortIDs[T ~int32](ids []T) {
 	for i := 1; i < len(ids); i++ {
 		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
 			ids[j], ids[j-1] = ids[j-1], ids[j]

@@ -389,6 +389,33 @@ func TestUplinkLoss(t *testing.T) {
 	}
 }
 
+// TestBroadcastAllocs guards the zero-allocation broadcast path: once the
+// medium's scratch buffers and delivery freelist are warm, a broadcast to
+// N registered neighbors must not allocate at all.
+func TestBroadcastAllocs(t *testing.T) {
+	k := sim.NewKernel(1)
+	m := newTestMedium(t, k)
+	for i := 0; i < 20; i++ {
+		id := NodeID(i)
+		m.UpdatePosition(id, geo.Point{X: float64(1000 + i*10), Y: 1000})
+		m.Register(id, func(Frame) {})
+	}
+	// Warm the scratch buffers, delivery freelist and kernel event pool.
+	for i := 0; i < 10; i++ {
+		m.Send(0, Broadcast, 100, nil)
+		if err := k.Run(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		m.Send(0, Broadcast, 100, nil)
+		k.Run(0)
+	})
+	if allocs != 0 {
+		t.Errorf("warm broadcast allocated %.1f times per Send+Run, want 0", allocs)
+	}
+}
+
 func BenchmarkBroadcast100Nodes(b *testing.B) {
 	k := sim.NewKernel(1)
 	m, err := NewMedium(k, testBounds(), DefaultParams())
@@ -400,6 +427,7 @@ func BenchmarkBroadcast100Nodes(b *testing.B) {
 		m.UpdatePosition(id, geo.Point{X: float64(1000 + i*5), Y: 1000})
 		m.Register(id, func(Frame) {})
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		m.Send(0, Broadcast, 300, nil)

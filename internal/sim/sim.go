@@ -7,7 +7,9 @@
 // The kernel is intentionally single-goroutine: all model code executes in
 // the caller's goroutine and no locking is required inside models. This is
 // the standard architecture for network simulators (ns-3, OMNeT++) and
-// keeps the hot path allocation-light.
+// keeps the hot path allocation-light: fired and cancelled events are
+// recycled through a freelist, and the AtArg/AfterArg variants let callers
+// schedule pooled callback state without allocating a closure per event.
 package sim
 
 import (
@@ -21,20 +23,33 @@ import (
 // Time is a virtual timestamp measured from the start of the simulation.
 type Time = time.Duration
 
-// Event is a scheduled callback.
+// Event is a scheduled callback. Events are recycled through the kernel's
+// freelist once fired or cancelled; gen disambiguates incarnations so a
+// stale EventID held across a recycle can never cancel the wrong event.
 type event struct {
 	at    Time
 	seq   uint64 // tie-breaker: FIFO among equal timestamps
 	fn    func()
-	index int // heap index, -1 when popped/cancelled
+	argFn func(any) // alternative callback form (AtArg); nil when fn is set
+	arg   any
+	index int    // heap index, -1 when popped/cancelled
+	gen   uint32 // incremented every time the event is recycled
 }
 
-// EventID identifies a scheduled event so it can be cancelled.
-type EventID struct{ ev *event }
+// EventID identifies a scheduled event so it can be cancelled. The
+// generation tag makes IDs safe to hold indefinitely: once the event fires
+// or is cancelled its slot may be reused for a new event, and the stale ID
+// simply stops matching.
+type EventID struct {
+	ev  *event
+	gen uint32
+}
 
 // Pending reports whether the event is still scheduled (not yet fired
 // and not cancelled).
-func (id EventID) Pending() bool { return id.ev != nil && id.ev.index >= 0 }
+func (id EventID) Pending() bool {
+	return id.ev != nil && id.ev.gen == id.gen && id.ev.index >= 0
+}
 
 // eventQueue implements heap.Interface ordered by (at, seq).
 type eventQueue []*event
@@ -75,11 +90,15 @@ type Kernel struct {
 	now     Time
 	seq     uint64
 	queue   eventQueue
+	free    []*event // recycled events; bounds allocation to peak concurrency
 	rng     *rand.Rand
 	seed    int64
 	stopped bool
 	// processed counts dispatched events, exposed for tests and reports.
 	processed uint64
+	// runWall accumulates real time spent inside Run/Step, so
+	// Throughput can report events per wall-clock second.
+	runWall time.Duration
 }
 
 // NewKernel creates a kernel whose random streams derive from seed.
@@ -101,6 +120,20 @@ func (k *Kernel) Processed() uint64 { return k.processed }
 
 // Pending returns the number of events currently scheduled.
 func (k *Kernel) Pending() int { return len(k.queue) }
+
+// WallTime returns the cumulative real time spent dispatching events
+// inside Run and Step.
+func (k *Kernel) WallTime() time.Duration { return k.runWall }
+
+// Throughput returns the kernel's event dispatch rate in events per
+// wall-clock second, aggregated over every Run/Step call so far. It
+// returns 0 before any wall time has been spent.
+func (k *Kernel) Throughput() float64 {
+	if k.runWall <= 0 {
+		return 0
+	}
+	return float64(k.processed) / k.runWall.Seconds()
+}
 
 // RNG returns the kernel's random source. Model code must draw all
 // randomness from here (or from streams derived via NewStream) so runs are
@@ -129,6 +162,48 @@ func fnv64(s string) uint64 {
 	return h
 }
 
+// alloc takes an event from the freelist (or allocates the first time) and
+// initializes it for scheduling at t. The (time, seq) ordering contract is
+// untouched by recycling: seq still increments once per scheduled event.
+func (k *Kernel) alloc(t Time, fn func(), argFn func(any), arg any) *event {
+	var ev *event
+	if n := len(k.free); n > 0 {
+		ev = k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+	} else {
+		ev = new(event)
+	}
+	ev.at = t
+	ev.seq = k.seq
+	ev.fn = fn
+	ev.argFn = argFn
+	ev.arg = arg
+	k.seq++
+	return ev
+}
+
+// recycle returns a fired or cancelled event to the freelist. Bumping gen
+// invalidates every EventID issued for the previous incarnation; clearing
+// the callback fields drops references so recycled events never pin model
+// state for the GC.
+func (k *Kernel) recycle(ev *event) {
+	ev.gen++
+	ev.fn = nil
+	ev.argFn = nil
+	ev.arg = nil
+	k.free = append(k.free, ev)
+}
+
+func (k *Kernel) schedule(t Time, fn func(), argFn func(any), arg any) EventID {
+	if t < k.now {
+		t = k.now
+	}
+	ev := k.alloc(t, fn, argFn, arg)
+	heap.Push(&k.queue, ev)
+	return EventID{ev: ev, gen: ev.gen}
+}
+
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // (t < Now) runs the event at the current time instead, preserving event
 // ordering. The returned EventID can be passed to Cancel.
@@ -136,18 +211,28 @@ func (k *Kernel) At(t Time, fn func()) EventID {
 	if fn == nil {
 		return EventID{}
 	}
-	if t < k.now {
-		t = k.now
+	return k.schedule(t, fn, nil, nil)
+}
+
+// AtArg schedules fn(arg) to run at absolute virtual time t. It is the
+// allocation-light form of At for hot paths: a caller that reuses a pooled
+// arg and a package-level fn schedules events with zero heap allocations,
+// where At would allocate a closure per call.
+func (k *Kernel) AtArg(t Time, fn func(any), arg any) EventID {
+	if fn == nil {
+		return EventID{}
 	}
-	ev := &event{at: t, seq: k.seq, fn: fn}
-	k.seq++
-	heap.Push(&k.queue, ev)
-	return EventID{ev: ev}
+	return k.schedule(t, nil, fn, arg)
 }
 
 // After schedules fn to run d from now.
 func (k *Kernel) After(d Time, fn func()) EventID {
 	return k.At(k.now+d, fn)
+}
+
+// AfterArg schedules fn(arg) to run d from now (see AtArg).
+func (k *Kernel) AfterArg(d Time, fn func(any), arg any) EventID {
+	return k.AtArg(k.now+d, fn, arg)
 }
 
 // Every schedules fn to run every period, starting after the first period.
@@ -173,16 +258,22 @@ type Ticker struct {
 	stopped bool
 }
 
+// tickerFire is the shared arg-carrying tick callback: scheduling via
+// AfterArg with the *Ticker as the argument keeps a steady-state ticker
+// allocation-free (a closure per tick would defeat the event freelist).
+func tickerFire(a any) {
+	t := a.(*Ticker)
+	if t.stopped {
+		return
+	}
+	t.fn()
+	if !t.stopped {
+		t.schedule()
+	}
+}
+
 func (t *Ticker) schedule() {
-	t.pending = t.k.After(t.period, func() {
-		if t.stopped {
-			return
-		}
-		t.fn()
-		if !t.stopped {
-			t.schedule()
-		}
-	})
+	t.pending = t.k.AfterArg(t.period, tickerFire, t)
 }
 
 // Stop halts the ticker. It is safe to call multiple times.
@@ -198,16 +289,32 @@ func (t *Ticker) Stop() {
 // already-cancelled event is a no-op. It reports whether the event was
 // actually removed.
 func (k *Kernel) Cancel(id EventID) bool {
-	if id.ev == nil || id.ev.index < 0 {
+	if !id.Pending() {
 		return false
 	}
 	heap.Remove(&k.queue, id.ev.index)
-	id.ev.index = -1
+	k.recycle(id.ev)
 	return true
 }
 
 // Stop makes Run return ErrStopped after the current event completes.
 func (k *Kernel) Stop() { k.stopped = true }
+
+// fire dispatches one popped event. The event is recycled before its
+// callback runs — it is already off the heap, the callback is copied out,
+// and recycling first keeps the freelist hot when callbacks schedule
+// follow-up events.
+func (k *Kernel) fire(ev *event) {
+	k.now = ev.at
+	k.processed++
+	fn, argFn, arg := ev.fn, ev.argFn, ev.arg
+	k.recycle(ev)
+	if argFn != nil {
+		argFn(arg)
+	} else {
+		fn()
+	}
+}
 
 // Run dispatches events until the queue is empty or the horizon is reached.
 // The clock is left at the time of the last dispatched event (or at horizon
@@ -215,6 +322,8 @@ func (k *Kernel) Stop() { k.stopped = true }
 // until the queue drains".
 func (k *Kernel) Run(horizon Time) error {
 	k.stopped = false
+	start := time.Now()
+	defer func() { k.runWall += time.Since(start) }()
 	for len(k.queue) > 0 {
 		if k.stopped {
 			return ErrStopped
@@ -225,9 +334,7 @@ func (k *Kernel) Run(horizon Time) error {
 			return nil
 		}
 		heap.Pop(&k.queue)
-		k.now = next.at
-		k.processed++
-		next.fn()
+		k.fire(next)
 	}
 	if horizon > 0 && k.now < horizon {
 		k.now = horizon
@@ -241,9 +348,9 @@ func (k *Kernel) Step() bool {
 	if len(k.queue) == 0 {
 		return false
 	}
+	start := time.Now()
 	next := heap.Pop(&k.queue).(*event)
-	k.now = next.at
-	k.processed++
-	next.fn()
+	k.fire(next)
+	k.runWall += time.Since(start)
 	return true
 }

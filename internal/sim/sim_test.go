@@ -331,6 +331,142 @@ func TestHeapOrderProperty(t *testing.T) {
 	}
 }
 
+// TestStaleEventIDAfterRecycle: once an event fires, its slot may be
+// recycled for a brand-new event. The stale EventID must neither report
+// Pending nor cancel the new incarnation.
+func TestStaleEventIDAfterRecycle(t *testing.T) {
+	k := NewKernel(1)
+	firstFired := false
+	stale := k.At(time.Second, func() { firstFired = true })
+	if !k.Step() {
+		t.Fatal("Step should dispatch")
+	}
+	if !firstFired {
+		t.Fatal("first event did not fire")
+	}
+	if stale.Pending() {
+		t.Error("fired event still reports Pending")
+	}
+	// The freelist hands the same slot to the next event.
+	secondFired := false
+	fresh := k.At(2*time.Second, func() { secondFired = true })
+	if stale.ev != fresh.ev {
+		t.Fatalf("freelist did not recycle the event slot")
+	}
+	if stale.Pending() {
+		t.Error("stale EventID reports Pending for the recycled slot")
+	}
+	if k.Cancel(stale) {
+		t.Error("stale EventID cancelled the recycled event")
+	}
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !secondFired {
+		t.Error("recycled event lost its callback: second event never fired")
+	}
+}
+
+// TestCancelledEventIsRecycled: Cancel must return events to the freelist
+// too, so cancelled timers (the common vnet/vcloud timeout pattern) do not
+// leak allocations.
+func TestCancelledEventIsRecycled(t *testing.T) {
+	k := NewKernel(1)
+	id := k.At(time.Second, func() {})
+	if !k.Cancel(id) {
+		t.Fatal("Cancel failed")
+	}
+	fresh := k.At(time.Second, func() {})
+	if id.ev != fresh.ev {
+		t.Error("cancelled event was not recycled")
+	}
+	if id.Pending() {
+		t.Error("stale EventID for cancelled event reports Pending")
+	}
+}
+
+func TestAtArgDispatchesWithArgument(t *testing.T) {
+	k := NewKernel(1)
+	var got []int
+	record := func(a any) { got = append(got, a.(int)) }
+	k.AtArg(2*time.Second, record, 2)
+	k.AtArg(1*time.Second, record, 1)
+	k.AfterArg(3*time.Second, record, 3)
+	if k.AtArg(time.Second, nil, 9).Pending() {
+		t.Error("nil argFn should not schedule")
+	}
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("AtArg order = %v, want [1 2 3]", got)
+	}
+}
+
+// TestAtArgOrderingSharedWithAt: At and AtArg events interleave in one
+// (time, seq) order — the freelist refactor must not fork the contract.
+func TestAtArgOrderingSharedWithAt(t *testing.T) {
+	k := NewKernel(1)
+	var got []int
+	record := func(a any) { got = append(got, a.(int)) }
+	k.At(time.Second, func() { got = append(got, 0) })
+	k.AtArg(time.Second, record, 1)
+	k.At(time.Second, func() { got = append(got, 2) })
+	k.AtArg(time.Second, record, 3)
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("mixed At/AtArg FIFO violated: %v", got)
+		}
+	}
+}
+
+// TestScheduleFireCancelAllocFree is the perf regression guard for the
+// freelist: once warm, scheduling, firing and cancelling events must not
+// allocate at all.
+func TestScheduleFireCancelAllocFree(t *testing.T) {
+	k := NewKernel(1)
+	fn := func() {}
+	argFn := func(any) {}
+	// Warm the freelist and the heap's backing array.
+	for i := 0; i < 64; i++ {
+		k.After(time.Millisecond, fn)
+	}
+	for k.Step() {
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		k.Cancel(k.After(time.Millisecond, fn))
+		k.After(time.Millisecond, fn)
+		k.AfterArg(time.Millisecond, argFn, nil)
+		k.Step()
+		k.Step()
+	})
+	if allocs != 0 {
+		t.Errorf("schedule/fire/cancel allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestThroughputCounter(t *testing.T) {
+	k := NewKernel(1)
+	for i := 0; i < 1000; i++ {
+		k.At(Time(i)*time.Millisecond, func() {})
+	}
+	if k.Throughput() != 0 {
+		t.Errorf("Throughput before Run = %v, want 0", k.Throughput())
+	}
+	if err := k.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if k.WallTime() <= 0 {
+		t.Error("WallTime not accumulated by Run")
+	}
+	if k.Throughput() <= 0 {
+		t.Errorf("Throughput = %v, want > 0 after dispatching %d events", k.Throughput(), k.Processed())
+	}
+}
+
 func BenchmarkKernelScheduleAndRun(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		k := NewKernel(1)
@@ -341,5 +477,23 @@ func BenchmarkKernelScheduleAndRun(b *testing.B) {
 		if err := k.Run(0); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkKernelHotLoop measures the steady-state schedule+fire cycle on
+// a warm kernel — the path the freelist optimizes.
+func BenchmarkKernelHotLoop(b *testing.B) {
+	k := NewKernel(1)
+	fn := func() {}
+	for i := 0; i < 64; i++ {
+		k.After(time.Millisecond, fn)
+	}
+	for k.Step() {
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.After(time.Millisecond, fn)
+		k.Step()
 	}
 }

@@ -2,6 +2,7 @@ package trust_test
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 	"time"
 
@@ -123,16 +124,25 @@ func TestLateReportsExcluded(t *testing.T) {
 	evState, _ := r.s.Mobility.State(r.s.VehicleIDs()[0])
 	eventPos := evState.Pos
 	eventAt := r.s.Kernel.Now()
-	// One early true report, then a burst of false reports after the
-	// deadline: the decision must reflect only the early evidence.
+	// Early true reports from the two witnesses nearest the evaluator
+	// (in radio range, and two so a single fade loss cannot erase the
+	// evidence), then a burst of false reports after the deadline: the
+	// decision must reflect only the early evidence.
+	ids := r.s.VehicleIDs()
 	keys := make([]int, 0, len(r.reporters))
 	for i := range r.reporters {
 		keys = append(keys, i)
 	}
-	first := r.reporters[minInt(keys)]
-	var tok trust.Token
-	tok[0] = 1
-	first.Report("crash", eventPos, eventAt, true, tok)
+	sort.Slice(keys, func(a, b int) bool {
+		sa, _ := r.s.Mobility.State(ids[keys[a]])
+		sb, _ := r.s.Mobility.State(ids[keys[b]])
+		return sa.Pos.DistSq(eventPos) < sb.Pos.DistSq(eventPos)
+	})
+	for n, i := range keys[:2] {
+		var tok trust.Token
+		tok[0] = byte(1 + n)
+		r.reporters[i].Report("crash", eventPos, eventAt, true, tok)
+	}
 	r.s.Kernel.After(3*time.Second, func() {
 		for i, rep := range r.reporters {
 			var tk trust.Token
@@ -226,16 +236,6 @@ func TestReportsRelayBeyondOneHop(t *testing.T) {
 	if !decisions[0].EventReal {
 		t.Error("relayed report mis-decided")
 	}
-}
-
-func minInt(xs []int) int {
-	m := xs[0]
-	for _, x := range xs[1:] {
-		if x < m {
-			m = x
-		}
-	}
-	return m
 }
 
 func TestSignedReportsGateSybil(t *testing.T) {

@@ -255,4 +255,3 @@ func TestRetryAfterWorkerDeathIsDeterministic(t *testing.T) {
 			a.Latency, b.Latency, a.Retries, b.Retries, a.Value, b.Value)
 	}
 }
-

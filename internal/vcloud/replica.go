@@ -2,7 +2,7 @@ package vcloud
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"vcloud/internal/metrics"
 	"vcloud/internal/vnet"
@@ -47,6 +47,20 @@ type ReplicaManager struct {
 	// fenced writes below it are refused (split-brain protection for the
 	// placement table, mirroring the task-dispatch fence).
 	highWater uint64
+	// scratch buffers reused across Store/Repair calls: the repair tick
+	// is a hot path (every controller, every tick) and must not copy and
+	// reflect-sort the candidate list per call.
+	candScratch   []vnet.Addr
+	holderScratch []vnet.Addr
+}
+
+// sortedCandidates copies candidates into the reusable scratch buffer
+// and sorts it ascending. The returned slice is only valid until the
+// next call.
+func (r *ReplicaManager) sortedCandidates(candidates []vnet.Addr) []vnet.Addr {
+	r.candScratch = append(r.candScratch[:0], candidates...)
+	slices.Sort(r.candScratch)
+	return r.candScratch
 }
 
 // Accept fences a write from a controller at the given epoch counter:
@@ -121,9 +135,7 @@ func (r *ReplicaManager) SetRetainOffline(retain bool) { r.retainOffline = retai
 func (r *ReplicaManager) Store(id FileID, size int, candidates []vnet.Addr) int {
 	fs := &fileState{size: size, replicas: make(map[vnet.Addr]struct{})}
 	r.files[id] = fs
-	sorted := append([]vnet.Addr(nil), candidates...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	for _, a := range sorted {
+	for _, a := range r.sortedCandidates(candidates) {
 		if len(fs.replicas) >= r.k {
 			break
 		}
@@ -159,8 +171,7 @@ func (r *ReplicaManager) Read(id FileID) bool {
 // repair only helps while at least one live replica remains to copy
 // from.
 func (r *ReplicaManager) Repair(candidates []vnet.Addr) int {
-	sorted := append([]vnet.Addr(nil), candidates...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	sorted := r.sortedCandidates(candidates)
 	created := 0
 	for _, fs := range r.files {
 		live := 0
@@ -190,16 +201,26 @@ func (r *ReplicaManager) Repair(candidates []vnet.Addr) int {
 		// Returned sleepers can leave the file over-replicated: trim
 		// surplus, dropping offline holders first (deterministically).
 		if r.retainOffline && len(fs.replicas) > r.k {
-			holders := make([]vnet.Addr, 0, len(fs.replicas))
+			holders := r.holderScratch[:0]
 			for a := range fs.replicas {
 				holders = append(holders, a)
 			}
-			sort.Slice(holders, func(i, j int) bool {
-				oi, oj := r.onLine(holders[i]), r.onLine(holders[j])
-				if oi != oj {
-					return !oi // offline first
+			r.holderScratch = holders
+			slices.SortFunc(holders, func(x, y vnet.Addr) int {
+				ox, oy := r.onLine(x), r.onLine(y)
+				if ox != oy {
+					if ox {
+						return 1 // offline first
+					}
+					return -1
 				}
-				return holders[i] > holders[j]
+				switch {
+				case x > y:
+					return -1
+				case x < y:
+					return 1
+				}
+				return 0
 			})
 			for _, a := range holders {
 				if len(fs.replicas) <= r.k {
