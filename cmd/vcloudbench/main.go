@@ -25,6 +25,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -57,7 +58,7 @@ func main() {
 	os.Exit(run())
 }
 
-func run() int {
+func run() (code int) {
 	var (
 		seed       = flag.Int64("seed", 42, "random seed; equal seeds reproduce runs exactly")
 		quick      = flag.Bool("quick", false, "shrink populations and durations")
@@ -68,19 +69,14 @@ func run() int {
 		benchjson  = flag.String("benchjson", "", "write a JSON perf report (wall time, kernel events/sec, headline metrics) to this file")
 	)
 	flag.Parse()
-
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "vcloudbench:", err)
-			return 1
-		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "vcloudbench:", err)
-			return 1
-		}
-		defer pprof.StopCPUProfile()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "vcloudbench: unexpected positional arguments: %v\n", flag.Args())
+		flag.Usage()
+		return 2
+	}
+	if *parallel < 1 {
+		fmt.Fprintf(os.Stderr, "vcloudbench: -parallel must be at least 1, got %d\n", *parallel)
+		return 2
 	}
 
 	want := map[string]bool{}
@@ -89,11 +85,48 @@ func run() int {
 			want[strings.TrimSpace(strings.ToUpper(id))] = true
 		}
 	}
+	wantAll := len(want) == 0
 	var runners []experiments.Runner
 	for _, r := range experiments.All() {
-		if len(want) == 0 || want[r.ID] {
+		if wantAll || want[r.ID] {
 			runners = append(runners, r)
+			delete(want, r.ID)
 		}
+	}
+	if len(want) > 0 {
+		unknown := make([]string, 0, len(want))
+		for id := range want {
+			unknown = append(unknown, id)
+		}
+		sort.Strings(unknown)
+		fmt.Fprintf(os.Stderr, "vcloudbench: unknown experiment ids in -only: %s\n", strings.Join(unknown, ","))
+		return 2
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vcloudbench:", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "vcloudbench:", err)
+			if cerr := f.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "vcloudbench: closing cpu profile:", cerr)
+			}
+			return 1
+		}
+		// A truncated or unflushed profile is worse than no profile, so a
+		// failed close turns an otherwise-clean run into a failure.
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "vcloudbench: closing cpu profile:", err)
+				if code == 0 {
+					code = 1
+				}
+			}
+		}()
 	}
 
 	cfg := experiments.Config{Seed: *seed, Quick: *quick, Parallel: *parallel}
@@ -175,14 +208,7 @@ func run() int {
 		}
 	}
 	if *memprofile != "" {
-		f, err := os.Create(*memprofile)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "vcloudbench:", err)
-			return 1
-		}
-		defer f.Close()
-		runtime.GC()
-		if err := pprof.WriteHeapProfile(f); err != nil {
+		if err := writeMemProfile(*memprofile); err != nil {
 			fmt.Fprintln(os.Stderr, "vcloudbench:", err)
 			return 1
 		}
@@ -191,4 +217,23 @@ func run() int {
 		return 1
 	}
 	return 0
+}
+
+// writeMemProfile snapshots the heap to path, reporting write and close
+// errors alike — a heap profile missing its tail is silently misleading.
+func writeMemProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	werr := pprof.WriteHeapProfile(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
+	}
+	if cerr != nil {
+		return fmt.Errorf("closing heap profile: %w", cerr)
+	}
+	return nil
 }

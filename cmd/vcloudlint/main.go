@@ -1,0 +1,140 @@
+// Command vcloudlint statically enforces the simulator's determinism and
+// fencing contracts (DESIGN.md, "Determinism contract"). It runs five
+// analyzers over the module's production sources:
+//
+//	nowallclock   no time.Now/Sleep/After/Since in sim-driven packages
+//	noglobalrand  no global math/rand source, no unseeded rand.New
+//	nomaporder    no map-iteration-ordered appends/sends/writes
+//	nogoroutine   no go statements or sync primitives in kernel code
+//	epochstamp    no Epoch-carrying message literals with Epoch unset
+//
+// Usage:
+//
+//	go run ./cmd/vcloudlint ./...
+//	go run ./cmd/vcloudlint -only nowallclock,epochstamp ./...
+//	go run ./cmd/vcloudlint -list
+//
+// A finding can be suppressed at the call site with a justification:
+//
+//	start := time.Now() //vcloudlint:allow nowallclock profiling telemetry
+//
+// The directive covers its own line and the line below; the reason is
+// mandatory and a missing one is itself reported. Exit status: 0 clean,
+// 1 findings, 2 usage or load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"vcloud/internal/analysis/loader"
+	"vcloud/internal/analysis/suite"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("vcloudlint", flag.ContinueOnError)
+	var (
+		only = fs.String("only", "", "comma-separated analyzer names to run; empty = all")
+		list = fs.Bool("list", false, "list analyzers and exit")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: vcloudlint [-only a,b] [-list] [packages]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, e := range suite.Suite() {
+			fmt.Printf("%-14s %s\n", e.Analyzer.Name, e.Analyzer.Doc)
+		}
+		return 0
+	}
+
+	keep, err := parseOnly(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vcloudlint:", err)
+		return 2
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	fset := token.NewFileSet()
+	pkgs, err := loader.Load(fset, ".", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vcloudlint:", err)
+		return 2
+	}
+	findings, err := suite.Run(fset, pkgs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vcloudlint:", err)
+		return 2
+	}
+
+	wd, _ := os.Getwd()
+	n := 0
+	for _, f := range findings {
+		if keep != nil && !keep[f.Analyzer] {
+			continue
+		}
+		n++
+		fmt.Printf("%s:%d:%d: [%s] %s\n", relPath(wd, f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+	}
+	if n > 0 {
+		fmt.Fprintf(os.Stderr, "vcloudlint: %d finding(s)\n", n)
+		return 1
+	}
+	return 0
+}
+
+// parseOnly validates -only against the suite's analyzer names (plus
+// "allow", the malformed-directive pseudo-analyzer).
+func parseOnly(only string) (map[string]bool, error) {
+	if only == "" {
+		return nil, nil
+	}
+	valid := map[string]bool{"allow": true}
+	for _, e := range suite.Suite() {
+		valid[e.Analyzer.Name] = true
+	}
+	keep := make(map[string]bool)
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if !valid[name] {
+			names := make([]string, 0, len(valid))
+			for n := range valid {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			return nil, fmt.Errorf("unknown analyzer %q (have %s)", name, strings.Join(names, ", "))
+		}
+		keep[name] = true
+	}
+	return keep, nil
+}
+
+func relPath(wd, path string) string {
+	if wd == "" {
+		return path
+	}
+	if rel, err := filepath.Rel(wd, path); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return path
+}

@@ -53,6 +53,14 @@ import (
 )
 
 func main() {
+	os.Exit(cliMain())
+}
+
+// cliMain returns the process exit code instead of calling os.Exit, so
+// the CPU-profile teardown below always runs and its errors are
+// reported — the earlier os.Exit error paths silently truncated the
+// profile file.
+func cliMain() int {
 	var (
 		scen     = flag.String("scenario", "highway", "highway | city | parkinglot")
 		arch     = flag.String("arch", "dynamic", "stationary | infrastructure | dynamic")
@@ -71,32 +79,75 @@ func main() {
 		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	)
 	flag.Parse()
-
-	if *cpuprof != "" {
-		f, err := os.Create(*cpuprof)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "vcloudsim:", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintln(os.Stderr, "vcloudsim:", err)
-			os.Exit(1)
-		}
-		defer pprof.StopCPUProfile()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "vcloudsim: unexpected positional arguments: %v\n", flag.Args())
+		flag.Usage()
+		return 2
 	}
-
-	if *soak {
-		if err := runSoak(*seed, *vehicles, *duration, *byz, *split); err != nil {
-			fmt.Fprintln(os.Stderr, "vcloudsim:", err)
-			os.Exit(1)
-		}
-		return
-	}
-	if err := run(*scen, *arch, *vehicles, *tasks, *duration, *seed, *secure, *traceN, *faultStr, *replicas, *retries); err != nil {
+	if err := validateFlags(*vehicles, *tasks, *duration, *replicas, *retries, *byz); err != nil {
 		fmt.Fprintln(os.Stderr, "vcloudsim:", err)
-		os.Exit(1)
+		return 2
 	}
+
+	body := func() int {
+		if *soak {
+			if err := runSoak(*seed, *vehicles, *duration, *byz, *split); err != nil {
+				fmt.Fprintln(os.Stderr, "vcloudsim:", err)
+				return 1
+			}
+			return 0
+		}
+		if err := run(*scen, *arch, *vehicles, *tasks, *duration, *seed, *secure, *traceN, *faultStr, *replicas, *retries); err != nil {
+			fmt.Fprintln(os.Stderr, "vcloudsim:", err)
+			return 1
+		}
+		return 0
+	}
+	if *cpuprof == "" {
+		return body()
+	}
+
+	f, err := os.Create(*cpuprof)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vcloudsim:", err)
+		return 1
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		fmt.Fprintln(os.Stderr, "vcloudsim:", err)
+		if cerr := f.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "vcloudsim: closing cpu profile:", cerr)
+		}
+		return 1
+	}
+	code := body()
+	pprof.StopCPUProfile()
+	if err := f.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "vcloudsim: closing cpu profile:", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	return code
+}
+
+// validateFlags rejects flag values that would otherwise fail deep inside
+// a run (or silently distort it, like a negative task count).
+func validateFlags(vehicles, tasks int, duration float64, replicas, retries int, byz float64) error {
+	switch {
+	case vehicles <= 0:
+		return fmt.Errorf("-vehicles must be positive, got %d", vehicles)
+	case tasks < 0:
+		return fmt.Errorf("-tasks must be non-negative, got %d", tasks)
+	case duration <= 0:
+		return fmt.Errorf("-duration must be positive, got %g", duration)
+	case replicas < 0:
+		return fmt.Errorf("-replicas must be non-negative, got %d", replicas)
+	case retries < 0:
+		return fmt.Errorf("-retries must be non-negative, got %d", retries)
+	case byz < 0 || byz > 1:
+		return fmt.Errorf("-byz must be in [0, 1], got %g", byz)
+	}
+	return nil
 }
 
 // runSoak executes the chaos soak harness and prints its report. A

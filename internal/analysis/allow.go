@@ -1,0 +1,98 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strconv"
+	"strings"
+)
+
+// AllowDirective is the parsed form of one
+//
+//	//vcloudlint:allow <analyzer>[,<analyzer>...] <reason>
+//
+// comment. A directive suppresses diagnostics from the named analyzers on
+// its own line and on the line immediately below it, so it works both as a
+// trailing comment and as a standalone comment above the offending
+// statement. The reason is mandatory: an allowlist entry without a
+// recorded justification is itself a lint error.
+type AllowDirective struct {
+	Pos       token.Pos
+	Analyzers []string
+	Reason    string
+}
+
+const allowPrefix = "//vcloudlint:allow"
+
+// AllowSet indexes every well-formed allow directive in a set of files and
+// remembers the malformed ones so the driver can report them.
+type AllowSet struct {
+	// byLine maps "filename:line" to the analyzer names allowed there.
+	byLine map[string]map[string]bool
+	// Malformed collects directives missing an analyzer name or a reason.
+	Malformed []Diagnostic
+}
+
+// ParseAllows scans the comments of files for vcloudlint:allow directives.
+func ParseAllows(fset *token.FileSet, files []*ast.File) *AllowSet {
+	as := &AllowSet{byLine: make(map[string]map[string]bool)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, allowPrefix) {
+					continue
+				}
+				rest := c.Text[len(allowPrefix):]
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //vcloudlint:allowance — not ours
+				}
+				names, reason := splitDirective(rest)
+				if len(names) == 0 || reason == "" {
+					as.Malformed = append(as.Malformed, Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: "allow",
+						Message:  "malformed directive: want //vcloudlint:allow <analyzer>[,<analyzer>] <reason>",
+					})
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, line := range []int{pos.Line, pos.Line + 1} {
+					key := lineKey(pos.Filename, line)
+					if as.byLine[key] == nil {
+						as.byLine[key] = make(map[string]bool)
+					}
+					for _, n := range names {
+						as.byLine[key][n] = true
+					}
+				}
+			}
+		}
+	}
+	return as
+}
+
+// splitDirective parses " nowallclock,nogoroutine reason text" into the
+// analyzer list and the reason.
+func splitDirective(rest string) (names []string, reason string) {
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return nil, ""
+	}
+	for _, n := range strings.Split(fields[0], ",") {
+		if n != "" {
+			names = append(names, n)
+		}
+	}
+	return names, strings.Join(fields[1:], " ")
+}
+
+// Allowed reports whether a diagnostic from analyzer at pos is suppressed
+// by a directive on the same line or the line above.
+func (as *AllowSet) Allowed(fset *token.FileSet, analyzer string, pos token.Pos) bool {
+	p := fset.Position(pos)
+	return as.byLine[lineKey(p.Filename, p.Line)][analyzer]
+}
+
+func lineKey(file string, line int) string {
+	return file + ":" + strconv.Itoa(line)
+}

@@ -1,0 +1,128 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func parse(t *testing.T, src string) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f
+}
+
+// posAtLine fabricates a Pos on the given 1-based line of the parsed file.
+func posAtLine(fset *token.FileSet, line int) token.Pos {
+	var pos token.Pos
+	fset.Iterate(func(f *token.File) bool {
+		pos = f.LineStart(line)
+		return false
+	})
+	return pos
+}
+
+func TestAllowScopeAndNames(t *testing.T) {
+	src := `package p
+
+func f() {
+	_ = 1 //vcloudlint:allow nowallclock trailing directive
+	_ = 2
+	//vcloudlint:allow noglobalrand,nomaporder standalone covers next line
+	_ = 3
+	_ = 4
+}
+`
+	fset, f := parse(t, src)
+	as := ParseAllows(fset, []*ast.File{f})
+	if len(as.Malformed) != 0 {
+		t.Fatalf("unexpected malformed directives: %v", as.Malformed)
+	}
+	cases := []struct {
+		analyzer string
+		line     int
+		want     bool
+	}{
+		{"nowallclock", 4, true},  // own line
+		{"nowallclock", 5, true},  // line below
+		{"nowallclock", 6, false}, // two lines below
+		{"noglobalrand", 7, true}, // standalone, next line
+		{"nomaporder", 7, true},   // comma list
+		{"nowallclock", 7, false}, // unnamed analyzer
+		{"noglobalrand", 8, false},
+	}
+	for _, c := range cases {
+		if got := as.Allowed(fset, c.analyzer, posAtLine(fset, c.line)); got != c.want {
+			t.Errorf("Allowed(%s, line %d) = %v, want %v", c.analyzer, c.line, got, c.want)
+		}
+	}
+}
+
+func TestAllowMalformed(t *testing.T) {
+	src := `package p
+
+//vcloudlint:allow nowallclock
+func f() {}
+
+//vcloudlint:allow
+func g() {}
+`
+	fset, f := parse(t, src)
+	as := ParseAllows(fset, []*ast.File{f})
+	if len(as.Malformed) != 2 {
+		t.Fatalf("got %d malformed directives, want 2", len(as.Malformed))
+	}
+	// A malformed directive must not suppress anything.
+	if as.Allowed(fset, "nowallclock", posAtLine(fset, 4)) {
+		t.Error("reason-less directive suppressed a diagnostic")
+	}
+}
+
+func TestAllowIgnoresOtherDirectives(t *testing.T) {
+	src := `package p
+
+//go:generate echo hi
+//vcloudlint:allowance not ours either
+func f() {}
+`
+	fset, f := parse(t, src)
+	as := ParseAllows(fset, []*ast.File{f})
+	if len(as.Malformed) != 0 {
+		t.Fatalf("foreign directives misparsed: %v", as.Malformed)
+	}
+}
+
+func TestFuncKey(t *testing.T) {
+	src := `package p
+
+func plain() {}
+
+type T struct{}
+
+func (t T) Value() {}
+func (t *T) Pointer() {}
+`
+	_, f := parse(t, src)
+	want := map[string]string{
+		"plain":   "pkg.plain",
+		"Value":   "pkg.T.Value",
+		"Pointer": "pkg.T.Pointer",
+	}
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		if got := FuncKey("pkg", fd); got != want[fd.Name.Name] {
+			t.Errorf("FuncKey(%s) = %q, want %q", fd.Name.Name, got, want[fd.Name.Name])
+		}
+	}
+	if got := FuncKey("pkg", nil); got != "" {
+		t.Errorf("FuncKey(nil) = %q, want empty", got)
+	}
+}

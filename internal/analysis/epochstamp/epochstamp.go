@@ -1,0 +1,81 @@
+// Package epochstamp guards the split-brain fencing contract (PR 3):
+// every protocol message or checkpoint that carries an Epoch field must be
+// constructed with the field set. A keyed composite literal that fills in
+// other fields but omits Epoch almost certainly ships an unfenced (zero)
+// epoch, which members treat as "stale by definition" the moment any real
+// epoch exists — the bug surfaces as silently dropped dispatches.
+//
+// Rules:
+//   - keyed literals with at least one field but no Epoch key are flagged;
+//   - empty literals (T{}) are deliberate zero values (codec error
+//     returns) and pass;
+//   - positional literals must be exhaustive by Go's own rules, so they
+//     always set Epoch and pass.
+package epochstamp
+
+import (
+	"go/ast"
+	"go/types"
+
+	"vcloud/internal/analysis"
+)
+
+// Analyzer is the epochstamp check.
+var Analyzer = &analysis.Analyzer{
+	Name: "epochstamp",
+	Doc:  "flag keyed composite literals of Epoch-carrying message types that leave the Epoch field unset",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.InspectWithStack(func(n ast.Node, stack []ast.Node) bool {
+		lit, ok := n.(*ast.CompositeLit)
+		if !ok || len(lit.Elts) == 0 {
+			return true
+		}
+		t := pass.TypeOf(lit)
+		if t == nil {
+			return true
+		}
+		named, ok := t.(*types.Named)
+		if !ok {
+			return true
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok || !hasEpochField(st) {
+			return true
+		}
+		keyed, hasEpoch := literalFields(lit)
+		if !keyed || hasEpoch {
+			return true
+		}
+		pass.Reportf(lit.Pos(), "composite literal of fenced type %s does not set Epoch; unfenced messages are rejected once any epoch exists", named.Obj().Name())
+		return true
+	})
+	return nil
+}
+
+func hasEpochField(st *types.Struct) bool {
+	for i := 0; i < st.NumFields(); i++ {
+		if st.Field(i).Name() == "Epoch" {
+			return true
+		}
+	}
+	return false
+}
+
+// literalFields reports whether the literal uses keyed elements and, if
+// so, whether one of the keys is Epoch.
+func literalFields(lit *ast.CompositeLit) (keyed, hasEpoch bool) {
+	for _, e := range lit.Elts {
+		kv, ok := e.(*ast.KeyValueExpr)
+		if !ok {
+			return false, false // positional: exhaustive by construction
+		}
+		keyed = true
+		if id, ok := kv.Key.(*ast.Ident); ok && id.Name == "Epoch" {
+			hasEpoch = true
+		}
+	}
+	return keyed, hasEpoch
+}

@@ -1,0 +1,16 @@
+package epochstamp_test
+
+import (
+	"testing"
+
+	"vcloud/internal/analysis/analysistest"
+	"vcloud/internal/analysis/epochstamp"
+)
+
+func TestUnstampedLiterals(t *testing.T) {
+	analysistest.Run(t, epochstamp.Analyzer, "testdata", "a")
+}
+
+func TestAllowDirective(t *testing.T) {
+	analysistest.Run(t, epochstamp.Analyzer, "testdata", "allowdir")
+}

@@ -1,0 +1,47 @@
+// Package a exercises the epochstamp analyzer against local stand-ins
+// for the fenced protocol messages of internal/vcloud.
+package a
+
+type Epoch uint64
+
+type taskMsg struct {
+	ID      int
+	Replica int
+	Epoch   Epoch
+}
+
+type checkpoint struct {
+	Controller int
+	Epoch      Epoch
+}
+
+// plain has no Epoch field; its literals are never the analyzer's
+// business.
+type plain struct {
+	A, B int
+}
+
+func violations() []any {
+	return []any{
+		taskMsg{ID: 1, Replica: -1}, // want `composite literal of fenced type taskMsg does not set Epoch`
+		&taskMsg{ID: 2},             // want `composite literal of fenced type taskMsg does not set Epoch`
+		checkpoint{Controller: 3},   // want `composite literal of fenced type checkpoint does not set Epoch`
+	}
+}
+
+func nested() []taskMsg {
+	return []taskMsg{
+		{ID: 1, Epoch: 4},
+		{ID: 2}, // want `composite literal of fenced type taskMsg does not set Epoch`
+	}
+}
+
+func fine(e Epoch) []any {
+	return []any{
+		taskMsg{ID: 1, Replica: -1, Epoch: e}, // keyed, stamped
+		taskMsg{},                             // deliberate zero value (codec error returns)
+		taskMsg{7, -1, e},                     // positional literals are exhaustive by construction
+		checkpoint{Epoch: e},
+		plain{A: 1},
+	}
+}

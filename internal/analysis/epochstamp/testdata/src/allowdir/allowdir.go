@@ -1,0 +1,16 @@
+// Package allowdir regression-tests the escape hatch for epochstamp:
+// a pre-fencing replay fixture may construct unfenced messages on
+// purpose, with the justification recorded at the site.
+package allowdir
+
+type Epoch uint64
+
+type taskMsg struct {
+	ID    int
+	Epoch Epoch
+}
+
+func legacyReplay() taskMsg {
+	//vcloudlint:allow epochstamp replaying a pre-fencing capture where epoch zero is the point
+	return taskMsg{ID: 1}
+}

@@ -1,0 +1,50 @@
+package loader_test
+
+import (
+	"go/token"
+	"testing"
+
+	"vcloud/internal/analysis/loader"
+)
+
+// TestLoadTypesAndOrder loads a package with in-module dependencies and
+// checks that cross-package and stdlib types resolved.
+func TestLoadTypesAndOrder(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := loader.Load(fset, ".", "vcloud/internal/vnet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPath := map[string]int{}
+	for i, p := range pkgs {
+		byPath[p.Path] = i
+		if p.Types == nil || len(p.Files) == 0 {
+			t.Fatalf("%s: incomplete package", p.Path)
+		}
+		if len(p.Info.Uses) == 0 {
+			t.Fatalf("%s: no use information recorded", p.Path)
+		}
+	}
+	vnetIdx, ok := byPath["vcloud/internal/vnet"]
+	if !ok {
+		t.Fatal("vcloud/internal/vnet not loaded")
+	}
+	// vnet depends on sim and radio; the loader must order and include
+	// them ahead of it.
+	for _, dep := range []string{"vcloud/internal/sim", "vcloud/internal/radio"} {
+		depIdx, ok := byPath[dep]
+		if !ok {
+			t.Fatalf("dependency %s not loaded", dep)
+		}
+		if depIdx > vnetIdx {
+			t.Errorf("%s loaded after its importer", dep)
+		}
+	}
+}
+
+func TestLoadBadPattern(t *testing.T) {
+	fset := token.NewFileSet()
+	if _, err := loader.Load(fset, ".", "vcloud/internal/does-not-exist"); err == nil {
+		t.Fatal("expected error for unknown package pattern")
+	}
+}

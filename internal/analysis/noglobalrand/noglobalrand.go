@@ -1,0 +1,93 @@
+// Package noglobalrand bans the process-global math/rand source. The
+// simulator's reproducibility contract says every random draw flows from a
+// seed the caller controls — the kernel's RNG, a NewStream derivative, or
+// an explicit rand.New(rand.NewSource(seed)). The global source (rand.Intn
+// and friends) is shared mutable state: any draw from it perturbs every
+// other draw in the process, and under math/rand/v2 it is auto-seeded and
+// unreproducible by construction.
+package noglobalrand
+
+import (
+	"go/ast"
+	"go/types"
+
+	"vcloud/internal/analysis"
+)
+
+// constructors are the math/rand package-level functions that build
+// explicit generators rather than touching the global source. Everything
+// else exported at package level is either a global-source draw or Seed.
+var constructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+// Analyzer is the noglobalrand check.
+var Analyzer = &analysis.Analyzer{
+	Name: "noglobalrand",
+	Doc:  "ban math/rand global-source functions and rand.New with a source other than rand.NewSource(seed)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.InspectWithStack(func(n ast.Node, stack []ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, name, ok := pass.UsedPkgFunc(sel)
+		if !ok || (pkg != "math/rand" && pkg != "math/rand/v2") {
+			return true
+		}
+		if obj := pass.Info.Uses[sel.Sel]; obj != nil {
+			if _, isFunc := obj.(*types.Func); !isFunc {
+				return true // types and constants (rand.Rand, rand.Source) are fine
+			}
+		}
+		if !constructors[name] {
+			pass.Reportf(sel.Pos(), "rand.%s draws from the process-global source; use a seeded *rand.Rand (kernel RNG, NewStream, or rand.New(rand.NewSource(seed)))", name)
+			return true
+		}
+		if name == "New" {
+			if call := enclosingCall(stack, sel); call != nil && !seededSource(pass, call) {
+				pass.Reportf(sel.Pos(), "rand.New with a source other than rand.NewSource(seed) is not reproducibly seeded")
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+// enclosingCall returns the call expression whose Fun is sel, if any.
+func enclosingCall(stack []ast.Node, sel *ast.SelectorExpr) *ast.CallExpr {
+	if len(stack) == 0 {
+		return nil
+	}
+	if call, ok := stack[len(stack)-1].(*ast.CallExpr); ok && call.Fun == sel {
+		return call
+	}
+	return nil
+}
+
+// seededSource reports whether the first argument of rand.New(...) is a
+// direct rand.NewSource / rand.NewPCG / rand.NewChaCha8 call, i.e. an
+// explicitly seeded source built at the call site.
+func seededSource(pass *analysis.Pass, call *ast.CallExpr) bool {
+	if len(call.Args) != 1 {
+		return false
+	}
+	argCall, ok := call.Args[0].(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	argSel, ok := argCall.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	pkg, name, ok := pass.UsedPkgFunc(argSel)
+	return ok && (pkg == "math/rand" || pkg == "math/rand/v2") &&
+		(name == "NewSource" || name == "NewPCG" || name == "NewChaCha8")
+}

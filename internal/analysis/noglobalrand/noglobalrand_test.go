@@ -1,0 +1,20 @@
+package noglobalrand_test
+
+import (
+	"testing"
+
+	"vcloud/internal/analysis/analysistest"
+	"vcloud/internal/analysis/noglobalrand"
+)
+
+func TestGlobalSourceDraws(t *testing.T) {
+	analysistest.Run(t, noglobalrand.Analyzer, "testdata", "a")
+}
+
+func TestRandV2(t *testing.T) {
+	analysistest.Run(t, noglobalrand.Analyzer, "testdata", "v2")
+}
+
+func TestAllowDirective(t *testing.T) {
+	analysistest.Run(t, noglobalrand.Analyzer, "testdata", "allowdir")
+}

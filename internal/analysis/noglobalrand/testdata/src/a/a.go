@@ -1,0 +1,37 @@
+// Package a exercises the noglobalrand analyzer: global-source draws and
+// unseeded generators are flagged; explicit seeded plumbing is not.
+package a
+
+import (
+	"math/rand"
+)
+
+func violations() {
+	_ = rand.Intn(10)    // want `rand.Intn draws from the process-global source`
+	_ = rand.Float64()   // want `rand.Float64 draws from the process-global source`
+	rand.Shuffle(3, nil) // want `rand.Shuffle draws from the process-global source`
+	rand.Seed(1)         // want `rand.Seed draws from the process-global source`
+	_ = rand.Perm(4)     // want `rand.Perm draws from the process-global source`
+}
+
+// funcValue leaks the global source as a function value.
+func funcValue() func() float64 {
+	return rand.Float64 // want `rand.Float64 draws from the process-global source`
+}
+
+// unseeded builds a generator from a source the analyzer cannot see a
+// seed for.
+func unseeded(src rand.Source) *rand.Rand {
+	return rand.New(src) // want `rand.New with a source other than rand.NewSource`
+}
+
+// fine is the sanctioned plumbing: explicit seeds, per-instance state,
+// and type references.
+func fine(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	var alias *rand.Rand = rng
+	_ = alias.Float64()
+	z := rand.NewZipf(rng, 1.1, 1, 100)
+	_ = z.Uint64()
+	return rng.Intn(10)
+}

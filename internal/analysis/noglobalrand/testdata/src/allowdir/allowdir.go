@@ -1,0 +1,15 @@
+// Package allowdir regression-tests the escape hatch for noglobalrand.
+package allowdir
+
+import "math/rand"
+
+func sanctioned() {
+	_ = rand.Intn(10) //vcloudlint:allow noglobalrand demo code outside any experiment path
+}
+
+func missingReason() {
+	// A directive without a reason must not suppress; the suite reports
+	// it as malformed separately.
+	//vcloudlint:allow noglobalrand
+	_ = rand.Intn(10) // want `rand.Intn draws from the process-global source`
+}

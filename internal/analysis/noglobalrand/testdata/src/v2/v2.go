@@ -1,0 +1,16 @@
+// Package v2 covers math/rand/v2, whose global source is auto-seeded and
+// therefore never reproducible.
+package v2
+
+import randv2 "math/rand/v2"
+
+func violations() {
+	_ = randv2.IntN(10)  // want `rand.IntN draws from the process-global source`
+	_ = randv2.Uint64()  // want `rand.Uint64 draws from the process-global source`
+	_ = randv2.Float64() // want `rand.Float64 draws from the process-global source`
+}
+
+func fine(seed uint64) int {
+	rng := randv2.New(randv2.NewPCG(seed, seed))
+	return rng.IntN(10)
+}

@@ -1,0 +1,64 @@
+// Package nogoroutine flags concurrency primitives in kernel-driven code.
+// The simulation kernel is single-goroutine by design (see internal/sim):
+// every model callback runs on the caller's goroutine, in (time, seq)
+// order, with no locking. A `go` statement or a sync primitive inside that
+// world either races the event loop or silently reorders it — both break
+// determinism.
+//
+// The one sanctioned concurrency site is the experiment harness's bounded
+// worker pool (forEachPar), which runs whole kernels in parallel and folds
+// results serially; it is allowlisted by function.
+package nogoroutine
+
+import (
+	"go/ast"
+
+	"vcloud/internal/analysis"
+)
+
+// Allowlist names functions (analysis.FuncKey form) that may spawn
+// goroutines and use sync primitives: the fan-out/fan-in harness that runs
+// independent kernels, never code inside one kernel.
+var Allowlist = map[string]bool{
+	"vcloud/internal/experiments.forEachPar": true,
+}
+
+// Analyzer is the nogoroutine check.
+var Analyzer = &analysis.Analyzer{
+	Name: "nogoroutine",
+	Doc:  "flag go statements and sync/sync/atomic usage in kernel-driven code (the event loop is single-threaded)",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.InspectWithStack(func(n ast.Node, stack []ast.Node) bool {
+		allowed := func() bool {
+			return Allowlist[analysis.FuncKey(pass.Path, analysis.EnclosingFunc(stack))]
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			if !allowed() {
+				pass.Reportf(n.Pos(), "go statement in kernel-driven code: model callbacks must run on the kernel's single event loop")
+			}
+		case *ast.SelectorExpr:
+			pkg, name, ok := pass.UsedPkgFunc(n)
+			if !ok {
+				return true
+			}
+			if (pkg == "sync" || pkg == "sync/atomic") && !allowed() {
+				pass.Reportf(n.Pos(), "%s.%s in kernel-driven code: the event loop is single-threaded and needs no locking", pathBase(pkg), name)
+			}
+		}
+		return true
+	})
+	return nil
+}
+
+func pathBase(p string) string {
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] == '/' {
+			return p[i+1:]
+		}
+	}
+	return p
+}

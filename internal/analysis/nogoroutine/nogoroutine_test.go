@@ -1,0 +1,29 @@
+package nogoroutine_test
+
+import (
+	"testing"
+
+	"vcloud/internal/analysis/analysistest"
+	"vcloud/internal/analysis/nogoroutine"
+)
+
+func TestViolations(t *testing.T) {
+	analysistest.Run(t, nogoroutine.Analyzer, "testdata", "a")
+}
+
+func TestFunctionAllowlist(t *testing.T) {
+	nogoroutine.Allowlist["allowfn.pool"] = true
+	defer delete(nogoroutine.Allowlist, "allowfn.pool")
+	analysistest.Run(t, nogoroutine.Analyzer, "testdata", "allowfn")
+}
+
+// TestRealAllowlistEntries pins the production allowlist to the
+// experiment harness's worker pool and nothing else.
+func TestRealAllowlistEntries(t *testing.T) {
+	if !nogoroutine.Allowlist["vcloud/internal/experiments.forEachPar"] {
+		t.Error("Allowlist missing vcloud/internal/experiments.forEachPar")
+	}
+	if len(nogoroutine.Allowlist) != 1 {
+		t.Errorf("Allowlist has %d entries, want 1: new concurrency sites need a design note", len(nogoroutine.Allowlist))
+	}
+}

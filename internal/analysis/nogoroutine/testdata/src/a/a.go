@@ -1,0 +1,40 @@
+// Package a exercises the nogoroutine analyzer: goroutines and sync
+// primitives have no place on the kernel's single-threaded event loop.
+package a
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+func spawn() {
+	go func() {}() // want `go statement in kernel-driven code`
+}
+
+type guarded struct {
+	mu sync.Mutex // want `sync.Mutex in kernel-driven code`
+	n  int
+}
+
+func (g *guarded) bump() {
+	g.mu.Lock() // method call on a field: the declaration above is the finding
+	g.n++
+	g.mu.Unlock()
+}
+
+func waits() {
+	var wg sync.WaitGroup // want `sync.WaitGroup in kernel-driven code`
+	wg.Wait()
+}
+
+func counts(n *int64) {
+	atomic.AddInt64(n, 1) // want `atomic.AddInt64 in kernel-driven code`
+}
+
+// fine: plain single-threaded model code, including channel-free
+// callback scheduling.
+func fine(fns []func()) {
+	for _, fn := range fns {
+		fn()
+	}
+}

@@ -1,0 +1,23 @@
+// Package allowfn regression-tests the function allowlist: pool mirrors
+// experiments.forEachPar, the sanctioned fan-out/fan-in harness that runs
+// whole kernels in parallel. The test registers allowfn.pool; spawnElse
+// stays flagged.
+package allowfn
+
+import "sync"
+
+func pool(n int, fn func(int)) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn(i)
+		}()
+	}
+	wg.Wait()
+}
+
+func spawnElse() {
+	go func() {}() // want `go statement in kernel-driven code`
+}

@@ -1,0 +1,23 @@
+package nomaporder_test
+
+import (
+	"testing"
+
+	"vcloud/internal/analysis/analysistest"
+	"vcloud/internal/analysis/nomaporder"
+)
+
+func TestViolations(t *testing.T) {
+	analysistest.Run(t, nomaporder.Analyzer, "testdata", "a")
+}
+
+// TestFalsePositiveRegressions pins the idioms the analyzer must keep
+// accepting: collect-then-sort, alias sorts, loop-local slices and
+// writers, map-to-map copies and scalar folds.
+func TestFalsePositiveRegressions(t *testing.T) {
+	analysistest.Run(t, nomaporder.Analyzer, "testdata", "ok")
+}
+
+func TestAllowDirective(t *testing.T) {
+	analysistest.Run(t, nomaporder.Analyzer, "testdata", "allowdir")
+}

@@ -1,0 +1,69 @@
+// Package nowallclock forbids wall-clock reads in simulation-driven
+// packages. Model code must take time from the kernel's virtual clock
+// (sim.Kernel.Now); a single time.Now or time.Sleep makes a run depend on
+// the host machine and breaks bit-for-bit reproducibility.
+//
+// The kernel's own wall-clock telemetry (the runWall accumulation behind
+// Kernel.WallTime, used by vcloudbench's events/sec reporting) is the one
+// sanctioned exception and is allowlisted by function; other legitimate
+// profiling sites use a //vcloudlint:allow nowallclock directive with a
+// reason.
+package nowallclock
+
+import (
+	"go/ast"
+
+	"vcloud/internal/analysis"
+)
+
+// banned are the package-level time functions that read or wait on the
+// host clock. Constructors of pure values (time.Duration arithmetic,
+// time.Date for fixed timestamps) are fine.
+var banned = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Since":     true,
+	"Until":     true,
+	"Tick":      true,
+	"NewTicker": true,
+	"NewTimer":  true,
+}
+
+// Allowlist names functions (as "pkgpath.Func" or "pkgpath.Recv.Method",
+// see analysis.FuncKey) that may read the wall clock: the kernel's
+// dispatch-time telemetry that feeds Kernel.WallTime and Throughput. Keep
+// this list short — everything else goes through an explicit
+// //vcloudlint:allow directive so the justification lives next to the
+// call site.
+var Allowlist = map[string]bool{
+	"vcloud/internal/sim.Kernel.Run":  true,
+	"vcloud/internal/sim.Kernel.Step": true,
+}
+
+// Analyzer is the nowallclock check.
+var Analyzer = &analysis.Analyzer{
+	Name: "nowallclock",
+	Doc:  "forbid time.Now/Sleep/After/Since and friends in sim-driven packages; use the kernel's virtual clock",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.InspectWithStack(func(n ast.Node, stack []ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, name, ok := pass.UsedPkgFunc(sel)
+		if !ok || pkg != "time" || !banned[name] {
+			return true
+		}
+		if Allowlist[analysis.FuncKey(pass.Path, analysis.EnclosingFunc(stack))] {
+			return true
+		}
+		pass.Reportf(sel.Pos(), "time.%s reads the wall clock; sim-driven code must use the kernel's virtual clock (sim.Kernel.Now)", name)
+		return true
+	})
+	return nil
+}

@@ -1,0 +1,39 @@
+package nowallclock_test
+
+import (
+	"testing"
+
+	"vcloud/internal/analysis/analysistest"
+	"vcloud/internal/analysis/nowallclock"
+)
+
+func TestViolationsAndValueUses(t *testing.T) {
+	analysistest.Run(t, nowallclock.Analyzer, "testdata", "a")
+}
+
+func TestAllowDirective(t *testing.T) {
+	analysistest.Run(t, nowallclock.Analyzer, "testdata", "allowdir")
+}
+
+func TestFunctionAllowlist(t *testing.T) {
+	nowallclock.Allowlist["allowfn.Kernel.Run"] = true
+	defer delete(nowallclock.Allowlist, "allowfn.Kernel.Run")
+	analysistest.Run(t, nowallclock.Analyzer, "testdata", "allowfn")
+}
+
+// TestRealAllowlistEntries pins the production allowlist: the kernel's
+// wall-time telemetry and nothing else.
+func TestRealAllowlistEntries(t *testing.T) {
+	want := []string{
+		"vcloud/internal/sim.Kernel.Run",
+		"vcloud/internal/sim.Kernel.Step",
+	}
+	for _, k := range want {
+		if !nowallclock.Allowlist[k] {
+			t.Errorf("Allowlist missing %q", k)
+		}
+	}
+	if len(nowallclock.Allowlist) != len(want) {
+		t.Errorf("Allowlist has %d entries, want %d: new wall-clock exceptions need a design note", len(nowallclock.Allowlist), len(want))
+	}
+}

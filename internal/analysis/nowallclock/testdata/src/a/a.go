@@ -1,0 +1,30 @@
+// Package a exercises the nowallclock analyzer: every banned wall-clock
+// read is flagged, pure time-value arithmetic is not.
+package a
+
+import "time"
+
+func violations() {
+	_ = time.Now()              // want `time.Now reads the wall clock`
+	time.Sleep(time.Second)     // want `time.Sleep reads the wall clock`
+	_ = time.Since(time.Time{}) // want `time.Since reads the wall clock`
+	<-time.After(time.Second)   // want `time.After reads the wall clock`
+	_ = time.NewTicker(1)       // want `time.NewTicker reads the wall clock`
+	_ = time.NewTimer(1)        // want `time.NewTimer reads the wall clock`
+	_ = time.Until(time.Time{}) // want `time.Until reads the wall clock`
+}
+
+// funcValue passes a banned function as a value — still a wall-clock
+// dependency.
+func funcValue() func() time.Time {
+	return time.Now // want `time.Now reads the wall clock`
+}
+
+// fine uses time only for values and durations: the virtual clock is
+// time.Duration-typed, so this must stay silent.
+func fine(d time.Duration) time.Duration {
+	deadline := d + 3*time.Second
+	_ = time.Date(2019, time.July, 1, 0, 0, 0, 0, time.UTC)
+	_ = time.Millisecond
+	return deadline
+}

@@ -1,0 +1,27 @@
+// Package allowdir regression-tests the //vcloudlint:allow escape hatch:
+// a directive with a reason suppresses the named analyzer on its line and
+// the next, and nothing else.
+package allowdir
+
+import "time"
+
+func sanctioned() {
+	start := time.Now() //vcloudlint:allow nowallclock profiling telemetry with a recorded reason
+	_ = start
+
+	//vcloudlint:allow nowallclock standalone directive covers the next line
+	end := time.Now()
+	_ = end
+}
+
+func wrongAnalyzer() {
+	// A directive for a different analyzer must not suppress this one.
+	//vcloudlint:allow noglobalrand wrong analyzer named
+	_ = time.Now() // want `time.Now reads the wall clock`
+}
+
+func tooFarAway() {
+	//vcloudlint:allow nowallclock directive two lines up does not reach
+
+	_ = time.Now() // want `time.Now reads the wall clock`
+}

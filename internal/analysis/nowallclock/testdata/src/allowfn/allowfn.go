@@ -1,0 +1,19 @@
+// Package allowfn regression-tests the baked-in function allowlist: the
+// test registers allowfn.Kernel.Run as sanctioned wall-clock telemetry
+// (mirroring vcloud/internal/sim.Kernel.Run), so only Step is flagged.
+package allowfn
+
+import "time"
+
+type Kernel struct {
+	wall time.Duration
+}
+
+func (k *Kernel) Run() {
+	start := time.Now()
+	defer func() { k.wall += time.Since(start) }()
+}
+
+func (k *Kernel) Step() {
+	k.wall += time.Since(time.Time{}) // want `time.Since reads the wall clock`
+}

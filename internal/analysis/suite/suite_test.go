@@ -1,0 +1,78 @@
+package suite_test
+
+import (
+	"go/token"
+	"testing"
+
+	"vcloud/internal/analysis/loader"
+	"vcloud/internal/analysis/suite"
+)
+
+// TestTreeIsClean is the linter's own determinism gate in tier-1 form:
+// the whole module must be free of vcloudlint findings. CI additionally
+// runs `go run ./cmd/vcloudlint ./...`, but this test makes a violation
+// fail `go test ./...` too, so it cannot slip past a contributor who
+// only runs the tests.
+func TestTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module type-check is slow; covered by the non-short run and the CI vcloudlint step")
+	}
+	fset := token.NewFileSet()
+	pkgs, err := loader.Load(fset, ".", "vcloud/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("loaded only %d packages; loader is missing the tree", len(pkgs))
+	}
+	findings, err := suite.Run(fset, pkgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+	}
+}
+
+// TestSimDriven pins the package-classification boundary.
+func TestSimDriven(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"vcloud", true},
+		{"vcloud/internal/sim", true},
+		{"vcloud/internal/vcloud", true},
+		{"vcloud/internal/experiments", true},
+		{"vcloud/internal/chaos", true},
+		{"vcloud/internal/analysis", false},
+		{"vcloud/internal/analysis/loader", false},
+		{"vcloud/cmd/vcloudbench", false},
+		{"vcloud/cmd/vcloudsim", false},
+		{"vcloud/examples/quickstart", false},
+		{"othermodule/internal/sim", false},
+	}
+	for _, c := range cases {
+		if got := suite.SimDriven(c.path); got != c.want {
+			t.Errorf("SimDriven(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}
+
+// TestSuiteShape pins the analyzer roster: five checks, stable order,
+// distinct names.
+func TestSuiteShape(t *testing.T) {
+	want := []string{"nowallclock", "noglobalrand", "nomaporder", "nogoroutine", "epochstamp"}
+	entries := suite.Suite()
+	if len(entries) != len(want) {
+		t.Fatalf("suite has %d analyzers, want %d", len(entries), len(want))
+	}
+	for i, e := range entries {
+		if e.Analyzer.Name != want[i] {
+			t.Errorf("suite[%d] = %s, want %s", i, e.Analyzer.Name, want[i])
+		}
+		if e.Analyzer.Doc == "" || e.Analyzer.Run == nil || e.Applies == nil {
+			t.Errorf("suite[%d] (%s) incomplete", i, e.Analyzer.Name)
+		}
+	}
+}

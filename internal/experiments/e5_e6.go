@@ -229,25 +229,25 @@ func E6AccessControl(cfg Config) (*Result, error) {
 
 		// Normal decisions.
 		allowed := 0
-		start := time.Now()
+		start := time.Now() //vcloudlint:allow nowallclock profiling telemetry: raw ns go to Values/BENCH.json, the table prints stable bands
 		for i := 0; i < iters; i++ {
 			p := &policies[i%n]
 			if d := access.Evaluate(p, attrs, access.Read, ctx); d.Allowed {
 				allowed++
 			}
 		}
-		perDecision := float64(time.Since(start).Nanoseconds()) / float64(iters)
+		perDecision := float64(time.Since(start).Nanoseconds()) / float64(iters) //vcloudlint:allow nowallclock profiling telemetry: raw ns go to Values/BENCH.json, the table prints stable bands
 
 		// Emergency escalations.
 		emAllowed := 0
-		start = time.Now()
+		start = time.Now() //vcloudlint:allow nowallclock profiling telemetry: raw ns go to Values/BENCH.json, the table prints stable bands
 		for i := 0; i < iters; i++ {
 			p := &policies[i%n]
 			if d := access.Evaluate(p, emergencyAttrs, access.Read, emCtx); d.Allowed {
 				emAllowed++
 			}
 		}
-		emPer := float64(time.Since(start).Nanoseconds()) / float64(iters)
+		emPer := float64(time.Since(start).Nanoseconds()) / float64(iters) //vcloudlint:allow nowallclock profiling telemetry: raw ns go to Values/BENCH.json, the table prints stable bands
 		if emAllowed == 0 {
 			return fmt.Errorf("E6: emergency escalation never granted")
 		}

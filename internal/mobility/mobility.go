@@ -260,12 +260,17 @@ func (m *Manager) Profile(id VehicleID) (Profile, bool) {
 	return v.profile, true
 }
 
-// IDs appends all live vehicle IDs to dst in unspecified order and
-// returns it.
+// IDs appends all live vehicle IDs to dst in ascending order and returns
+// it. Sorting here (rather than at each caller) keeps map iteration order
+// out of every downstream consumer: creation order, RNG draw sequences
+// and tie-breaks all follow this slice.
 func (m *Manager) IDs(dst []VehicleID) []VehicleID {
+	start := len(dst)
 	for id := range m.vehicles {
 		dst = append(dst, id)
 	}
+	added := dst[start:]
+	sort.Slice(added, func(i, j int) bool { return added[i] < added[j] })
 	return dst
 }
 

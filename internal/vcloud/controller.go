@@ -621,8 +621,10 @@ func (c *Controller) pickMember(ts *taskState) (vnet.Addr, bool) {
 			cd.hasDwell = true
 		}
 		if cd.hasDwell {
+			//vcloudlint:allow nomaporder pool order is immaterial: the best-pick below totally orders on (finish, addr)
 			ok = append(ok, cd)
 		} else {
+			//vcloudlint:allow nomaporder pool order is immaterial: the best-pick below totally orders on (finish, addr)
 			short = append(short, cd)
 		}
 	}
