@@ -1,5 +1,5 @@
 // Benchmarks regenerating every experiment of the paper reproduction
-// (one per DESIGN.md experiment row, E1–E11). Each iteration executes a
+// (one per DESIGN.md experiment row, E1–E14). Each iteration executes a
 // full quick-size experiment run on the deterministic kernel and
 // reports the headline values via b.ReportMetric, so
 //
@@ -156,6 +156,20 @@ func BenchmarkE13SplitBrain(b *testing.B) {
 		"fenced-duplicates":   "fenced/duplicates",
 		"fenced-exposure-s":   "fenced/exposure_s",
 		"fenced-reconcile-s":  "fenced/reconcile_s",
+	})
+}
+
+// BenchmarkE14Storage regenerates the storage-durability drill: acked
+// writes lost at the fastest churn for the unreplicated strawman vs the
+// quorum and erasure-coded arms, plus the erasure-coded read latency
+// advantage over whole-copy transfer.
+func BenchmarkE14Storage(b *testing.B) {
+	runExperiment(b, experiments.E14Storage, map[string]string{
+		"unrepl-lost-frac": "unreplicated/churn=2s/lost_frac",
+		"quorum3-lost":     "quorum n=3/churn=2s/lost_frac",
+		"ec42-lost":        "ec 4+2/churn=2s/lost_frac",
+		"ec42-p50ms":       "ec 4+2/churn=2s/p50ms",
+		"quorum3-p50ms":    "quorum n=3/churn=2s/p50ms",
 	})
 }
 

@@ -1,5 +1,5 @@
 // Command vcloudbench runs the paper-reproduction experiment suite
-// (E1–E13) and prints the result tables that back EXPERIMENTS.md.
+// (E1–E14) and prints the result tables that back EXPERIMENTS.md.
 //
 // Usage:
 //
@@ -9,6 +9,7 @@
 //	vcloudbench -seed 7         # different seed (results reproduce per seed)
 //	vcloudbench -parallel 8     # worker-pool width (default: GOMAXPROCS)
 //	vcloudbench -benchjson BENCH.json      # machine-readable perf report
+//	vcloudbench -compare BENCH_seed.json   # fail on >25% normalized events/sec regression
 //	vcloudbench -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Experiments and their per-configuration sweep points run across a
@@ -67,6 +68,7 @@ func run() (code int) {
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		benchjson  = flag.String("benchjson", "", "write a JSON perf report (wall time, kernel events/sec, headline metrics) to this file")
+		compare    = flag.String("compare", "", "compare this run's kernel events/sec against a baseline -benchjson report; fail on a >25% normalized regression")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -213,10 +215,90 @@ func run() (code int) {
 			return 1
 		}
 	}
+	if *compare != "" {
+		if err := compareBaseline(*compare, &report); err != nil {
+			fmt.Fprintln(os.Stderr, "vcloudbench:", err)
+			return 1
+		}
+	}
 	if failed > 0 {
 		return 1
 	}
 	return 0
+}
+
+// regressionTolerance is how far below the fleet-normalized baseline an
+// experiment's kernel events/sec may fall before -compare fails.
+const regressionTolerance = 0.25
+
+// minCompareWallMs is the least measured kernel wall time (baseline and
+// current both) an experiment needs before its events/sec is worth
+// comparing: below this, scheduler noise dwarfs any real regression.
+const minCompareWallMs = 50
+
+// compareBaseline checks this run's per-experiment kernel throughput
+// against a baseline -benchjson report. Absolute events/sec depends on
+// the machine, so each experiment's current/baseline ratio is divided by
+// the fleet-wide mean ratio first: a uniformly slower box cancels out,
+// while one experiment regressing relative to the rest does not. A
+// normalized ratio below 1 - regressionTolerance fails the run.
+func compareBaseline(path string, cur *benchReport) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base benchReport
+	if err := json.Unmarshal(buf, &base); err != nil {
+		return fmt.Errorf("parsing baseline %s: %w", path, err)
+	}
+	baseline := make(map[string]benchExperiment, len(base.Experiments))
+	for _, e := range base.Experiments {
+		if e.Error == "" && e.EventsPerSec > 0 {
+			baseline[e.ID] = e
+		}
+	}
+	type pair struct {
+		id    string
+		ratio float64
+	}
+	var pairs []pair
+	mean := 0.0
+	for _, e := range cur.Experiments {
+		b, ok := baseline[e.ID]
+		if !ok || e.Error != "" || e.EventsPerSec <= 0 {
+			continue
+		}
+		if e.KernelWallMs < minCompareWallMs || b.KernelWallMs < minCompareWallMs {
+			fmt.Fprintf(os.Stderr, "compare %-4s skipped (kernel wall %.0fms vs %.0fms: too short to time)\n",
+				e.ID, e.KernelWallMs, b.KernelWallMs)
+			continue
+		}
+		r := e.EventsPerSec / b.EventsPerSec
+		pairs = append(pairs, pair{e.ID, r})
+		mean += r
+	}
+	if len(pairs) == 0 {
+		return fmt.Errorf("no experiments in common with baseline %s", path)
+	}
+	mean /= float64(len(pairs))
+	regressed := 0
+	for _, p := range pairs {
+		norm := p.ratio / mean
+		status := "ok"
+		if norm < 1-regressionTolerance {
+			status = "REGRESSED"
+			regressed++
+		}
+		fmt.Fprintf(os.Stderr, "compare %-4s events/sec ratio %.2f (normalized %.2f) %s\n",
+			p.id, p.ratio, norm, status)
+	}
+	if regressed > 0 {
+		return fmt.Errorf("%d experiment(s) regressed >%.0f%% vs %s (normalized by fleet mean ratio %.2f)",
+			regressed, regressionTolerance*100, path, mean)
+	}
+	fmt.Fprintf(os.Stderr, "compare: all %d experiments within %.0f%% of %s (fleet mean ratio %.2f)\n",
+		len(pairs), regressionTolerance*100, path, mean)
+	return nil
 }
 
 // writeMemProfile snapshots the heap to path, reporting write and close

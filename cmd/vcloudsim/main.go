@@ -34,6 +34,16 @@
 // applied twice) and the epoch/abdication/merge counters:
 //
 //	vcloudsim -soak -splitbrain -duration 300 -vehicles 16 -seed 7
+//
+// -store runs the soak with the vehicular data-storage service: a
+// session-consistent KV workload over the chosen backend (replicated =
+// 3-way strict quorums, ec = 4+2 erasure coding), a permanent-departure
+// churn clock (a vehicle drives away and its disk leaves with it), and
+// the two storage invariants — no acked write lost while a quorum of
+// its replicas survives, and no session client ever reads backwards:
+//
+//	vcloudsim -soak -store replicated -duration 300 -vehicles 16 -seed 7
+//	vcloudsim -soak -store ec -splitbrain -duration 300 -seed 7
 package main
 
 import (
@@ -76,6 +86,7 @@ func cliMain() int {
 		soak     = flag.Bool("soak", false, "run the chaos soak harness (uses -seed, -vehicles, -duration, -byz)")
 		byz      = flag.Float64("byz", 0, "fraction of workers returning wrong results (soak mode)")
 		split    = flag.Bool("splitbrain", false, "with -soak: fence epochs and add controller-isolating split-brain storms")
+		storeB   = flag.String("store", "", "with -soak: run the storage workload on this backend (replicated | ec)")
 		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	)
 	flag.Parse()
@@ -88,10 +99,20 @@ func cliMain() int {
 		fmt.Fprintln(os.Stderr, "vcloudsim:", err)
 		return 2
 	}
+	switch *storeB {
+	case "", "replicated", "ec":
+	default:
+		fmt.Fprintf(os.Stderr, "vcloudsim: -store must be replicated or ec, got %q\n", *storeB)
+		return 2
+	}
+	if *storeB != "" && !*soak {
+		fmt.Fprintln(os.Stderr, "vcloudsim: -store requires -soak")
+		return 2
+	}
 
 	body := func() int {
 		if *soak {
-			if err := runSoak(*seed, *vehicles, *duration, *byz, *split); err != nil {
+			if err := runSoak(*seed, *vehicles, *duration, *byz, *split, *storeB); err != nil {
 				fmt.Fprintln(os.Stderr, "vcloudsim:", err)
 				return 1
 			}
@@ -153,18 +174,23 @@ func validateFlags(vehicles, tasks int, duration float64, replicas, retries int,
 // runSoak executes the chaos soak harness and prints its report. A
 // non-empty violation list is a process failure: the soak is the
 // executable form of the dependability invariants.
-func runSoak(seed int64, vehicles int, duration float64, byz float64, split bool) error {
+func runSoak(seed int64, vehicles int, duration float64, byz float64, split bool, storeB string) error {
 	rep, err := root.RunSoak(root.SoakConfig{
 		Seed:        seed,
 		Vehicles:    vehicles,
 		Duration:    root.Seconds(duration),
 		ByzFraction: byz,
 		SplitBrain:  split,
+		Storage:     storeB,
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("soak: seed=%d vehicles=%d duration=%.0fs byz=%.2f splitbrain=%v\n", seed, vehicles, duration, byz, split)
+	fmt.Printf("soak: seed=%d vehicles=%d duration=%.0fs byz=%.2f splitbrain=%v", seed, vehicles, duration, byz, split)
+	if storeB != "" {
+		fmt.Printf(" store=%s", storeB)
+	}
+	fmt.Println()
 	fmt.Printf("tasks: submitted=%d completed=%d failed=%d refused=%d correct=%d wrong=%d unchecked=%d\n",
 		rep.Submitted, rep.Completed, rep.Failed, rep.Refused, rep.Correct, rep.Wrong, rep.Unchecked)
 	fmt.Printf("storm: %d fault(s) injected, %d failover(s), %d invariant sweep(s)\n",
@@ -172,6 +198,11 @@ func runSoak(seed int64, vehicles int, duration float64, byz float64, split bool
 	if split {
 		fmt.Printf("fencing: %d split(s), highest epoch %d, %d abdication(s), %d merge(s), %d task(s) adopted, %d outcome(s) deduped, %d stale msg(s) rejected\n",
 			rep.SplitBrains, rep.Epochs, rep.Abdications, rep.Merges, rep.Adopted, rep.Deduped, rep.StaleRejected)
+	}
+	if storeB != "" {
+		fmt.Printf("storage: writes=%d acked=%d reads=%d served=%d lost=%d repaired=%d departures=%d\n",
+			rep.StorageWrites, rep.StorageAcked, rep.StorageReads, rep.StorageReadsOK,
+			rep.StorageLost, rep.StorageRepaired, rep.Departures)
 	}
 	for _, f := range rep.FaultLog {
 		fmt.Printf("  %s\n", f)

@@ -21,11 +21,38 @@ type plain struct {
 	A, B int
 }
 
+// The storage service's fenced request types (internal/store) carry the
+// epoch as a plain uint64 counter rather than the named Epoch type; the
+// analyzer keys on the field name alone, so these stand-ins pin that.
+type writeReq struct {
+	Client string
+	Key    string
+	Size   int
+	Epoch  uint64
+}
+
+type readReq struct {
+	Client string
+	Key    string
+	Epoch  uint64
+}
+
+type repairReq struct {
+	Epoch uint64
+}
+
 func violations() []any {
 	return []any{
 		taskMsg{ID: 1, Replica: -1}, // want `composite literal of fenced type taskMsg does not set Epoch`
 		&taskMsg{ID: 2},             // want `composite literal of fenced type taskMsg does not set Epoch`
 		checkpoint{Controller: 3},   // want `composite literal of fenced type checkpoint does not set Epoch`
+	}
+}
+
+func storageViolations() []any {
+	return []any{
+		writeReq{Client: "c", Key: "k", Size: 64}, // want `composite literal of fenced type writeReq does not set Epoch`
+		&readReq{Client: "c", Key: "k"},           // want `composite literal of fenced type readReq does not set Epoch`
 	}
 }
 
@@ -43,5 +70,9 @@ func fine(e Epoch) []any {
 		taskMsg{7, -1, e},                     // positional literals are exhaustive by construction
 		checkpoint{Epoch: e},
 		plain{A: 1},
+		writeReq{Client: "c", Key: "k", Epoch: 7}, // keyed, stamped
+		readReq{Client: "c", Key: "k", Epoch: 7},
+		repairReq{Epoch: 7},
+		repairReq{}, // deliberate zero value: the unfenced repair path
 	}
 }

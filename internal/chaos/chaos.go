@@ -27,6 +27,12 @@
 //     controllers, not by a promotee replaying its checkpoint, not by a
 //     later voting round.
 //
+// In Storage mode a replicated or erasure-coded data service soaks
+// alongside the task workload (see storage.go): the storm gains a
+// permanent-departure branch, and two storage invariants arm — no
+// acknowledged write is lost while a quorum of its placed replicas
+// survives, and a session client never reads backwards.
+//
 // "Possibly Byzantine" is a deliberate over-approximation: a voter
 // counts as Byzantine for a task if any of its lying intervals
 // overlapped the task's lifetime. Over-counting can only skip a check,
@@ -92,6 +98,24 @@ type SoakConfig struct {
 	// It also arms two extra invariants: at most one controller accepted
 	// per epoch, and no task outcome applied twice across epochs.
 	SplitBrain bool
+	// Storage arms the data-service workload: "" (off), "replicated"
+	// (strict-quorum whole copies, N=3 W=2 R=2) or "ec" (a (4, 2)
+	// erasure code). See storage.go for the workload, the departure
+	// storm branch, and the two storage invariants it arms.
+	Storage string
+	// StorageKeys is the rotating key-space size. Default 50.
+	StorageKeys int
+	// StorageEvery is the KV workload period (one write plus one read
+	// per beat). Default 500 ms.
+	StorageEvery sim.Time
+	// StorageRepairEvery is the harness's repair period (the controller
+	// adds churn-driven passes on top). Default 2 s.
+	StorageRepairEvery sim.Time
+	// StorageDepartEvery is the permanent-departure churn period: every
+	// beat one vehicle drives away for good, its disk with it (and the
+	// longest-departed returns wiped once a third of the fleet is out).
+	// Default 15 s.
+	StorageDepartEvery sim.Time
 }
 
 func (c SoakConfig) withDefaults() SoakConfig {
@@ -125,6 +149,18 @@ func (c SoakConfig) withDefaults() SoakConfig {
 	if c.Policy == nil {
 		c.Policy = &vcloud.DependabilityPolicy{Replicas: 3, MaxRetries: 3}
 	}
+	if c.StorageKeys == 0 {
+		c.StorageKeys = 50
+	}
+	if c.StorageEvery == 0 {
+		c.StorageEvery = 500 * time.Millisecond
+	}
+	if c.StorageRepairEvery == 0 {
+		c.StorageRepairEvery = 2 * time.Second
+	}
+	if c.StorageDepartEvery == 0 {
+		c.StorageDepartEvery = 15 * time.Second
+	}
 	return c
 }
 
@@ -133,9 +169,17 @@ func (c SoakConfig) Validate() error {
 	if c.Vehicles < 0 || c.ByzFraction < 0 || c.ByzFraction > 1 {
 		return fmt.Errorf("chaos: vehicles must be >= 0 and byz fraction in [0,1]")
 	}
-	if c.Duration < 0 || c.Warmup < 0 || c.Drain < 0 ||
-		c.TaskEvery < 0 || c.FaultEvery < 0 || c.CheckEvery < 0 {
+	if c.Duration < 0 || c.Warmup < 0 || c.Drain < 0 || c.TaskEvery < 0 ||
+		c.FaultEvery < 0 || c.CheckEvery < 0 || c.StorageEvery < 0 || c.StorageRepairEvery < 0 || c.StorageDepartEvery < 0 {
 		return fmt.Errorf("chaos: durations must be >= 0")
+	}
+	switch c.Storage {
+	case "", "replicated", "ec":
+	default:
+		return fmt.Errorf(`chaos: storage must be "", "replicated" or "ec", got %q`, c.Storage)
+	}
+	if c.StorageKeys < 0 {
+		return fmt.Errorf("chaos: storage keys must be >= 0")
 	}
 	if c.TaskOps < 0 || math.IsNaN(c.TaskOps) || math.IsInf(c.TaskOps, 0) {
 		return fmt.Errorf("chaos: task ops must be finite and >= 0")
@@ -180,6 +224,18 @@ type Report struct {
 	Adopted       uint64
 	Deduped       uint64
 	StaleRejected uint64
+	// Storage workload counters (meaningful when Storage is set).
+	// StorageLost counts acked writes that became unreconstructible
+	// below the survivor threshold — the regime the service is allowed
+	// to lose data in; a loss at or above the threshold is a violation
+	// instead. Departures counts permanent departures injected.
+	StorageWrites   int
+	StorageAcked    int
+	StorageReads    int
+	StorageReadsOK  int
+	StorageLost     int
+	StorageRepaired uint64
+	Departures      int
 	// Violations holds every invariant breach, deduplicated. Empty is
 	// the passing state.
 	Violations []string
@@ -213,6 +269,11 @@ type soak struct {
 
 	byz        map[vnet.Addr]*attack.ByzantineWorker
 	byzWindows map[vnet.Addr][]byzWindow
+
+	// st is the storage workload state (nil unless cfg.Storage is set);
+	// rsu is the coordinator vantage its reachability view probes from.
+	st  *storageState
+	rsu vnet.Addr
 
 	tasks      []*soakTask
 	report     *Report
@@ -283,6 +344,14 @@ func Soak(cfg SoakConfig) (*Report, error) {
 		dcfg.OnApply = sk.onApply
 		dcfg.OnAccept = sk.onAccept
 	}
+	if cfg.Storage != "" {
+		if err := sk.setupStorage(); err != nil {
+			return nil, err
+		}
+		// The deployment drives the same backend: expiry, leave and
+		// partition-heal merges add fenced repair passes to the storm.
+		dcfg.Storage = sk.st.backend
+	}
 	d, err := vcloud.Deploy(s, vcloud.Stationary, dcfg, stats)
 	if err != nil {
 		return nil, err
@@ -298,6 +367,7 @@ func Soak(cfg SoakConfig) (*Report, error) {
 		}
 	})
 	sk.d, sk.stats, sk.inj = d, stats, inj
+	sk.rsu = d.Controllers[0].Addr()
 	if err := sk.byzantify(); err != nil {
 		return nil, err
 	}
@@ -320,6 +390,21 @@ func Soak(cfg SoakConfig) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	var storeT, repairT, departT *sim.Ticker
+	if cfg.Storage != "" {
+		if storeT, err = s.Kernel.Every(cfg.StorageEvery, sk.storageTick); err != nil {
+			return nil, err
+		}
+		if repairT, err = s.Kernel.Every(cfg.StorageRepairEvery, sk.storageRepair); err != nil {
+			return nil, err
+		}
+		// Departures are their own deterministic churn clock, not a storm
+		// roll: every soak exercises the loss-and-repair cycle the storage
+		// invariants exist to audit, at a controlled rate.
+		if departT, err = s.Kernel.Every(cfg.StorageDepartEvery, func() { sk.depart(s.Kernel.Now()) }); err != nil {
+			return nil, err
+		}
+	}
 	if err := s.RunFor(cfg.Duration); err != nil {
 		return nil, err
 	}
@@ -327,6 +412,11 @@ func Soak(cfg SoakConfig) (*Report, error) {
 	// settle, then audit one last time.
 	taskT.Stop()
 	faultT.Stop()
+	if storeT != nil {
+		storeT.Stop()
+		repairT.Stop()
+		departT.Stop()
+	}
 	if err := s.RunFor(cfg.Drain); err != nil {
 		return nil, err
 	}
@@ -607,6 +697,9 @@ type applyRecord struct {
 // monotonicity and accounting.
 func (sk *soak) check() {
 	sk.report.Checks++
+	if sk.st != nil {
+		sk.checkStorage()
+	}
 	for _, c := range sk.d.Controllers {
 		if c.Stopped() {
 			continue // a crashed controller's task table is dead, not stuck
@@ -665,6 +758,9 @@ func (sk *soak) finalize() {
 	sk.report.Adopted = sk.stats.Adopted.Value()
 	sk.report.Deduped = sk.stats.Deduped.Value()
 	sk.report.StaleRejected = sk.stats.StaleRejected.Value()
+	if sk.st != nil {
+		sk.report.StorageRepaired = sk.st.backend.Stats().ReReplicas.Value()
+	}
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211

@@ -165,3 +165,86 @@ func TestSoakConfigValidate(t *testing.T) {
 		}
 	}
 }
+
+// storageCfg is the CI-sized churn-storm soak over the data service.
+func storageCfg(seed int64, mode string) SoakConfig {
+	return SoakConfig{
+		Seed:     seed,
+		Vehicles: 16,
+		Duration: 90 * time.Second,
+		Storage:  mode,
+	}
+}
+
+func TestStorageSoakShort(t *testing.T) {
+	for _, mode := range []string{"replicated", "ec"} {
+		t.Run(mode, func(t *testing.T) {
+			rep, err := Soak(storageCfg(1, mode))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range rep.Violations {
+				t.Errorf("invariant violation: %s", v)
+			}
+			if rep.StorageWrites == 0 || rep.StorageAcked == 0 {
+				t.Errorf("storage workload idle: writes=%d acked=%d", rep.StorageWrites, rep.StorageAcked)
+			}
+			if rep.StorageReadsOK == 0 {
+				t.Error("no storage read ever served")
+			}
+			if rep.Departures == 0 {
+				t.Error("no permanent departures injected: not a churn storm")
+			}
+			t.Logf("writes=%d acked=%d reads=%d readsOK=%d lost=%d repaired=%d departures=%d checksum=%x",
+				rep.StorageWrites, rep.StorageAcked, rep.StorageReads, rep.StorageReadsOK,
+				rep.StorageLost, rep.StorageRepaired, rep.Departures, rep.Checksum)
+		})
+	}
+}
+
+// TestStorageSoakSeeds is the acceptance sweep: five seeds of churn
+// storm per backend, zero storage-invariant violations.
+func TestStorageSoakSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: TestStorageSoakShort covers one seed")
+	}
+	for _, mode := range []string{"replicated", "ec"} {
+		var departures int
+		for seed := int64(1); seed <= 5; seed++ {
+			rep, err := Soak(storageCfg(seed, mode))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range rep.Violations {
+				t.Errorf("%s seed %d: invariant violation: %s", mode, seed, v)
+			}
+			departures += rep.Departures
+			t.Logf("%s seed %d: acked=%d readsOK=%d lost=%d repaired=%d departures=%d",
+				mode, seed, rep.StorageAcked, rep.StorageReadsOK, rep.StorageLost,
+				rep.StorageRepaired, rep.Departures)
+		}
+		if departures == 0 {
+			t.Errorf("%s: no seed injected a departure", mode)
+		}
+	}
+}
+
+func TestStorageSoakReproducible(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: single soak is enough")
+	}
+	a, err := Soak(storageCfg(4, "ec"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Soak(storageCfg(4, "ec"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Checksum != b.Checksum {
+		t.Fatalf("same seed, different checksums: %x vs %x", a.Checksum, b.Checksum)
+	}
+	if a.StorageAcked != b.StorageAcked || a.StorageLost != b.StorageLost || a.Departures != b.Departures {
+		t.Errorf("same seed, different storage counts: %+v vs %+v", a, b)
+	}
+}

@@ -1,5 +1,5 @@
 // Package experiments contains the runnable reproductions of every
-// figure and load-bearing claim of the paper, indexed E1–E13 (see
+// figure and load-bearing claim of the paper, indexed E1–E14 (see
 // DESIGN.md for the mapping). Each experiment builds its scenario from
 // the substrate packages, runs it on the deterministic kernel, and
 // returns both a printable table (the paper-style rows) and a map of
@@ -193,6 +193,7 @@ func All() []Runner {
 		{"E11", "controller failover under crash", E11Failover},
 		{"E12", "dependable execution under Byzantine workers", E12Dependability},
 		{"E13", "split-brain fencing vs failover-only", E13SplitBrain},
+		{"E14", "storage durability under churn", E14Storage},
 	}
 }
 

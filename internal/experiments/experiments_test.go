@@ -24,8 +24,8 @@ func quick(t *testing.T, run func(Config) (*Result, error)) *Result {
 
 func TestAllRegistered(t *testing.T) {
 	runners := All()
-	if len(runners) != 13 {
-		t.Fatalf("runners = %d, want 13", len(runners))
+	if len(runners) != 14 {
+		t.Fatalf("runners = %d, want 14", len(runners))
 	}
 	seen := map[string]bool{}
 	for _, r := range runners {
@@ -289,6 +289,44 @@ func TestE12Shape(t *testing.T) {
 	}
 	if v["baseline/byz0.2/wrong"] == 0 {
 		t.Error("baseline accepted no wrong results at 20% Byzantine: attack not wired")
+	}
+}
+
+func TestE14Shape(t *testing.T) {
+	r := quick(t, E14Storage)
+	v := r.Values
+	// The issue's acceptance criterion: at the fastest churn the
+	// unreplicated strawman loses >30% of acked writes while every
+	// redundant arm — quorum or erasure-coded — loses none.
+	if v["unreplicated/churn=2s/lost_frac"] <= 0.3 {
+		t.Errorf("unreplicated lost %.0f%% at 2s churn, want >30%%",
+			v["unreplicated/churn=2s/lost_frac"]*100)
+	}
+	for _, arm := range []string{"quorum n=3", "quorum n=5", "ec 4+2", "ec 8+4"} {
+		for _, churn := range []string{"20s", "5s", "2s"} {
+			key := arm + "/churn=" + churn + "/lost_frac"
+			if v[key] != 0 {
+				t.Errorf("%s lost %.0f%% of acked writes, want 0", key, v[key]*100)
+			}
+		}
+	}
+	// Every arm must actually ack a workload.
+	for _, arm := range []string{"unreplicated", "quorum n=3", "quorum n=5", "ec 4+2", "ec 8+4"} {
+		if v[arm+"/churn=2s/acked"] == 0 {
+			t.Errorf("%s acked no writes", arm)
+		}
+	}
+	// Erasure-coded reads fetch K smaller fragments in parallel, so their
+	// median read beats whole-copy transfer.
+	if v["ec 4+2/churn=2s/p50ms"] >= v["quorum n=3/churn=2s/p50ms"] {
+		t.Errorf("ec p50 %.1fms should undercut whole-copy %.1fms",
+			v["ec 4+2/churn=2s/p50ms"], v["quorum n=3/churn=2s/p50ms"])
+	}
+	// And EC pays less write amplification than n-way replication for
+	// comparable durability.
+	if v["ec 4+2/churn=2s/amplification"] >= v["quorum n=3/churn=2s/amplification"] {
+		t.Errorf("ec amplification %.1fx should undercut 3-way %.1fx",
+			v["ec 4+2/churn=2s/amplification"], v["quorum n=3/churn=2s/amplification"])
 	}
 }
 

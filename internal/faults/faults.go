@@ -397,6 +397,25 @@ func (in *Injector) StartIsolation(center radio.NodeID, keep []radio.NodeID) (he
 	return func() { delete(in.isolations, id) }
 }
 
+// Cut reports whether frames between from and to are currently severed
+// by a deterministic fault — a crash on either end, an isolation or a
+// partition boundary between them. Unlike the frame filter it never
+// draws from the loss stream, so layers above (the storage service's
+// membership view, invariant checkers) can probe reachability without
+// perturbing the reproducible loss sequence.
+func (in *Injector) Cut(from, to radio.NodeID) bool {
+	if in.dead[from] || in.dead[to] {
+		return true
+	}
+	if len(in.isolations) > 0 && in.isolationCut(from, to) {
+		return true
+	}
+	if len(in.partitions) > 0 && in.partitionCut(from, to) {
+		return true
+	}
+	return false
+}
+
 // blocked is the frame filter: crash silences, isolations and partitions
 // cut boundary crossings, loss bursts drop at random. Checks run in a
 // fixed order so the loss stream's draws stay reproducible.

@@ -276,3 +276,95 @@ func TestCloseDisarms(t *testing.T) {
 		t.Error("closed injector still blocks frames")
 	}
 }
+
+// TestCutTracksDeterministicFaults: Cut mirrors the deterministic frame
+// filter — crashes on either end, isolations and partition boundaries —
+// while loss bursts, being probabilistic, never register.
+func TestCutTracksDeterministicFaults(t *testing.T) {
+	s := testScenario(t, 11, 6)
+	in, err := NewInjector(s)
+	if err != nil {
+		t.Fatalf("injector: %v", err)
+	}
+	ids := s.VehicleIDs()
+	a, _ := s.Node(ids[0])
+	b, _ := s.Node(ids[1])
+	c, _ := s.Node(ids[2])
+
+	if in.Cut(a.Addr(), b.Addr()) {
+		t.Error("healthy pair reported cut")
+	}
+
+	in.CrashNode(b.Addr())
+	if !in.Cut(a.Addr(), b.Addr()) || !in.Cut(b.Addr(), a.Addr()) {
+		t.Error("crash on either end must cut both directions")
+	}
+	if in.Cut(a.Addr(), c.Addr()) {
+		t.Error("uninvolved pair cut by crash")
+	}
+	in.RecoverNode(b.Addr())
+	if in.Cut(a.Addr(), b.Addr()) {
+		t.Error("recovered pair still cut")
+	}
+
+	healIso := in.StartIsolation(a.Addr(), nil)
+	if !in.Cut(a.Addr(), b.Addr()) {
+		t.Error("isolation boundary not cut")
+	}
+	if in.Cut(b.Addr(), c.Addr()) {
+		t.Error("pair outside the isolation cut")
+	}
+	healIso()
+	if in.Cut(a.Addr(), b.Addr()) {
+		t.Error("healed isolation still cut")
+	}
+
+	// A tight partition around a cuts only boundary crossings.
+	healPart := in.StartPartition(a.Position(), 1)
+	if !in.Cut(a.Addr(), b.Addr()) {
+		t.Error("partition boundary not cut")
+	}
+	if in.Cut(b.Addr(), c.Addr()) {
+		t.Error("pair wholly outside the partition cut")
+	}
+	healPart()
+	if in.Cut(a.Addr(), b.Addr()) {
+		t.Error("healed partition still cut")
+	}
+
+	// Certain loss drops every frame, but Cut is about deterministic
+	// faults only: reachability probes must not see — or perturb — it.
+	in.SetLoss(1.0)
+	if in.Cut(a.Addr(), b.Addr()) {
+		t.Error("loss burst reported as cut")
+	}
+}
+
+// TestCutDoesNotPerturbLossStream: two injectors with the same seed must
+// drop the same frames even when one of them answers Cut probes between
+// draws — Cut never consumes from the loss stream.
+func TestCutDoesNotPerturbLossStream(t *testing.T) {
+	drops := func(probe bool) []bool {
+		s := testScenario(t, 12, 4)
+		in, err := NewInjector(s)
+		if err != nil {
+			t.Fatalf("injector: %v", err)
+		}
+		ids := s.VehicleIDs()
+		a, _ := s.Node(ids[0])
+		b, _ := s.Node(ids[1])
+		in.SetLoss(0.5)
+		seq := make([]bool, 0, 64)
+		for i := 0; i < 64; i++ {
+			if probe {
+				in.Cut(a.Addr(), b.Addr())
+				in.Cut(b.Addr(), a.Addr())
+			}
+			seq = append(seq, in.blocked(a.Addr(), b.Addr()))
+		}
+		return seq
+	}
+	if !reflect.DeepEqual(drops(false), drops(true)) {
+		t.Error("Cut probes changed the loss stream's drop sequence")
+	}
+}

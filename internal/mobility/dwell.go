@@ -35,6 +35,26 @@ func (d DwellMode) String() string {
 	}
 }
 
+// DwellTier buckets a dwell estimate (seconds, as returned by
+// EstimateDwell) into coarse placement tiers for reliability-weighted
+// replica placement: 3 for parked or long stayers (>= 10 min,
+// including +Inf), 2 for >= 2 min, 1 for >= 30 s, and 0 for short or
+// unknown (0) dwell. Coarse buckets keep placement stable under
+// estimator jitter — a vehicle sliding from 601 s to 599 s of
+// predicted dwell should not reshuffle every fragment.
+func DwellTier(seconds float64) int {
+	switch {
+	case seconds >= 600:
+		return 3
+	case seconds >= 120:
+		return 2
+	case seconds >= 30:
+		return 1
+	default:
+		return 0
+	}
+}
+
 // EstimateDwell predicts how many seconds vehicle id will remain within
 // radius of center. It returns +Inf when the estimator predicts the
 // vehicle never leaves (e.g. parked), and 0 when the vehicle is already

@@ -370,6 +370,42 @@ func TestDwellModeString(t *testing.T) {
 	}
 }
 
+// TestDwellTier pins the placement buckets: boundaries land exactly on
+// 30 s / 2 min / 10 min, +Inf (parked) is the top tier, and short or
+// unknown (0) dwell is the bottom.
+func TestDwellTier(t *testing.T) {
+	cases := []struct {
+		seconds float64
+		want    int
+	}{
+		{math.Inf(1), 3},
+		{3600, 3},
+		{600, 3},
+		{599.9, 2},
+		{120, 2},
+		{119.9, 1},
+		{30, 1},
+		{29.9, 0},
+		{1, 0},
+		{0, 0},
+		{-5, 0},
+	}
+	for _, c := range cases {
+		if got := DwellTier(c.seconds); got != c.want {
+			t.Errorf("DwellTier(%v) = %d, want %d", c.seconds, got, c.want)
+		}
+	}
+	// Tiers are monotone in dwell: more predicted time never demotes.
+	prev := 0
+	for s := 0.0; s <= 700; s += 0.5 {
+		tier := DwellTier(s)
+		if tier < prev {
+			t.Fatalf("DwellTier not monotone at %gs: %d after %d", s, tier, prev)
+		}
+		prev = tier
+	}
+}
+
 func TestManyVehiclesStayOnNetwork(t *testing.T) {
 	net := gridNet(t)
 	m := newTestManager(t, net, 12)

@@ -1,0 +1,264 @@
+// Reed–Solomon-style systematic erasure code over GF(2^8), stdlib
+// only. An object is split into K data shards; M parity shards are
+// derived through a Cauchy matrix, so ANY K of the K+M shards
+// reconstruct the original bytes exactly. Everything is deterministic:
+// the same (K, M, data) always yields the same shards.
+//
+// The field is GF(2^8) with the AES-adjacent primitive polynomial
+// x^8+x^4+x^3+x^2+1 (0x11d) and generator 2; multiplication goes
+// through exp/log tables built once at init. The encode matrix is the
+// identity stacked on the Cauchy block C[i][j] = 1/(x_i ⊕ y_j) with
+// x_i = K+i and y_j = j — all x distinct from all y, so every square
+// submatrix of the Cauchy block is invertible, which is exactly the
+// MDS property the "any K shards" guarantee needs. Decoding picks the
+// first K surviving rows, inverts that K×K submatrix with Gaussian
+// elimination, and multiplies back.
+package store
+
+import "fmt"
+
+// gfExp and gfLog are the GF(2^8) exponent/log tables for generator 2
+// modulo 0x11d. gfExp is doubled so gfMul can skip the mod-255 fold.
+var (
+	gfExp [510]byte
+	gfLog [256]byte
+)
+
+func init() {
+	x := 1
+	for i := 0; i < 255; i++ {
+		gfExp[i] = byte(x)
+		gfExp[i+255] = byte(x)
+		gfLog[x] = byte(i)
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= 0x11d
+		}
+	}
+}
+
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gfExp[int(gfLog[a])+int(gfLog[b])]
+}
+
+// gfInv inverts a nonzero field element.
+func gfInv(a byte) byte { return gfExp[255-int(gfLog[a])] }
+
+// encodeRow returns row r (0 <= r < k+m) of the systematic encode
+// matrix into dst: identity for the first k rows, Cauchy below.
+func encodeRow(dst []byte, k, r int) []byte {
+	dst = dst[:0]
+	for j := 0; j < k; j++ {
+		switch {
+		case r < k:
+			if r == j {
+				dst = append(dst, 1)
+			} else {
+				dst = append(dst, 0)
+			}
+		default:
+			// Cauchy: 1 / (x ⊕ y), x = k + (r-k) = r, y = j.
+			dst = append(dst, gfInv(byte(r)^byte(j)))
+		}
+	}
+	return dst
+}
+
+// validateKM rejects erasure parameters outside GF(2^8)'s reach.
+func validateKM(k, m int) error {
+	if k < 1 || m < 0 || k+m > 255 {
+		return fmt.Errorf("store: erasure code needs 1 <= k, 0 <= m, k+m <= 255 (k=%d m=%d)", k, m)
+	}
+	return nil
+}
+
+// Encode splits data into k data shards plus m parity shards, each
+// ceil(len(data)/k) bytes (data is zero-padded). Reassemble with Join;
+// reconstruct missing shards with Decode.
+func Encode(k, m int, data []byte) ([][]byte, error) {
+	if err := validateKM(k, m); err != nil {
+		return nil, err
+	}
+	shardLen := (len(data) + k - 1) / k
+	shards := make([][]byte, k+m)
+	for i := 0; i < k; i++ {
+		s := make([]byte, shardLen)
+		copy(s, data[min(i*shardLen, len(data)):])
+		shards[i] = s
+	}
+	row := make([]byte, 0, k)
+	for i := 0; i < m; i++ {
+		row = encodeRow(row, k, k+i)
+		p := make([]byte, shardLen)
+		for j := 0; j < k; j++ {
+			c := row[j]
+			if c == 0 {
+				continue
+			}
+			src := shards[j]
+			for b := range p {
+				p[b] ^= gfMul(c, src[b])
+			}
+		}
+		shards[k+i] = p
+	}
+	return shards, nil
+}
+
+// Decode reconstructs every nil shard in place. shards must have
+// length k+m; at least k entries must be non-nil and equally sized.
+func Decode(k, m int, shards [][]byte) error {
+	if err := validateKM(k, m); err != nil {
+		return err
+	}
+	if len(shards) != k+m {
+		return fmt.Errorf("store: Decode needs %d shard slots, got %d", k+m, len(shards))
+	}
+	present := make([]int, 0, k)
+	shardLen := -1
+	for i, s := range shards {
+		if s == nil {
+			continue
+		}
+		if shardLen == -1 {
+			shardLen = len(s)
+		} else if len(s) != shardLen {
+			return fmt.Errorf("store: shard %d has length %d, want %d", i, len(s), shardLen)
+		}
+		if len(present) < k {
+			present = append(present, i)
+		}
+	}
+	if len(present) < k {
+		return fmt.Errorf("store: only %d of %d shards survive, need %d", len(present), k+m, k)
+	}
+	// Fast path: all data shards present — only parity can be missing.
+	dataIntact := true
+	for i := 0; i < k; i++ {
+		if shards[i] == nil {
+			dataIntact = false
+			break
+		}
+	}
+	if !dataIntact {
+		// Invert the submatrix of encode rows for the surviving shards,
+		// then data = inv × survivors.
+		sub := make([][]byte, k)
+		for t, r := range present {
+			sub[t] = encodeRow(make([]byte, 0, k), k, r)
+		}
+		inv, err := invertMatrix(sub)
+		if err != nil {
+			return err
+		}
+		rebuilt := make([][]byte, k)
+		for i := 0; i < k; i++ {
+			if shards[i] != nil {
+				rebuilt[i] = shards[i]
+				continue
+			}
+			out := make([]byte, shardLen)
+			for t, r := range present {
+				c := inv[i][t]
+				if c == 0 {
+					continue
+				}
+				src := shards[r]
+				for b := range out {
+					out[b] ^= gfMul(c, src[b])
+				}
+			}
+			rebuilt[i] = out
+		}
+		copy(shards, rebuilt)
+	}
+	// Re-derive any missing parity from the (now complete) data shards.
+	row := make([]byte, 0, k)
+	for i := 0; i < m; i++ {
+		if shards[k+i] != nil {
+			continue
+		}
+		row = encodeRow(row, k, k+i)
+		p := make([]byte, shardLen)
+		for j := 0; j < k; j++ {
+			c := row[j]
+			if c == 0 {
+				continue
+			}
+			src := shards[j]
+			for b := range p {
+				p[b] ^= gfMul(c, src[b])
+			}
+		}
+		shards[k+i] = p
+	}
+	return nil
+}
+
+// invertMatrix returns the inverse of the square matrix a over GF(2^8)
+// by Gauss–Jordan elimination. a is consumed as scratch.
+func invertMatrix(a [][]byte) ([][]byte, error) {
+	n := len(a)
+	inv := make([][]byte, n)
+	for i := range inv {
+		inv[i] = make([]byte, n)
+		inv[i][i] = 1
+	}
+	for col := 0; col < n; col++ {
+		// Find a pivot at or below the diagonal.
+		pivot := -1
+		for r := col; r < n; r++ {
+			if a[r][col] != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot == -1 {
+			return nil, fmt.Errorf("store: singular decode matrix (column %d)", col)
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		inv[col], inv[pivot] = inv[pivot], inv[col]
+		// Scale the pivot row to 1.
+		if p := a[col][col]; p != 1 {
+			pi := gfInv(p)
+			for j := 0; j < n; j++ {
+				a[col][j] = gfMul(a[col][j], pi)
+				inv[col][j] = gfMul(inv[col][j], pi)
+			}
+		}
+		// Eliminate the column everywhere else.
+		for r := 0; r < n; r++ {
+			if r == col || a[r][col] == 0 {
+				continue
+			}
+			c := a[r][col]
+			for j := 0; j < n; j++ {
+				a[r][j] ^= gfMul(c, a[col][j])
+				inv[r][j] ^= gfMul(c, inv[col][j])
+			}
+		}
+	}
+	return inv, nil
+}
+
+// Join reassembles the original length-byte object from the first k
+// (data) shards.
+func Join(k int, shards [][]byte, length int) ([]byte, error) {
+	if k < 1 || len(shards) < k {
+		return nil, fmt.Errorf("store: Join needs the %d data shards, got %d slots", k, len(shards))
+	}
+	out := make([]byte, 0, length)
+	for i := 0; i < k && len(out) < length; i++ {
+		if shards[i] == nil {
+			return nil, fmt.Errorf("store: data shard %d missing (Decode first)", i)
+		}
+		out = append(out, shards[i]...)
+	}
+	if len(out) < length {
+		return nil, fmt.Errorf("store: shards hold %d bytes, want %d", len(out), length)
+	}
+	return out[:length], nil
+}

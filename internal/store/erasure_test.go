@@ -1,0 +1,126 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+)
+
+func mustEncode(t *testing.T, k, m int, data []byte) [][]byte {
+	t.Helper()
+	shards, err := Encode(k, m, data)
+	if err != nil {
+		t.Fatalf("Encode(%d,%d,%d bytes): %v", k, m, len(data), err)
+	}
+	if len(shards) != k+m {
+		t.Fatalf("Encode returned %d shards, want %d", len(shards), k+m)
+	}
+	return shards
+}
+
+func TestErasureRoundTripAllErasures(t *testing.T) {
+	data := []byte("the vehicular cloud stores this object across churning members")
+	for _, km := range [][2]int{{1, 0}, {1, 3}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 4}} {
+		k, m := km[0], km[1]
+		orig := mustEncode(t, k, m, data)
+		// Erase every possible single shard, and for m >= 2 a sliding
+		// window of m shards — the worst legal loss.
+		for lo := 0; lo <= k+m-m || lo == 0; lo++ {
+			shards := make([][]byte, k+m)
+			for i := range shards {
+				shards[i] = bytes.Clone(orig[i])
+			}
+			for i := lo; i < lo+m && i < k+m; i++ {
+				shards[i] = nil
+			}
+			if err := Decode(k, m, shards); err != nil {
+				t.Fatalf("(%d,%d) erasing [%d,%d): %v", k, m, lo, lo+m, err)
+			}
+			for i := range shards {
+				if !bytes.Equal(shards[i], orig[i]) {
+					t.Fatalf("(%d,%d) erasing [%d,%d): shard %d differs after decode", k, m, lo, lo+m, i)
+				}
+			}
+			got, err := Join(k, shards, len(data))
+			if err != nil {
+				t.Fatalf("Join: %v", err)
+			}
+			if !bytes.Equal(got, data) {
+				t.Fatalf("(%d,%d): joined data differs", k, m)
+			}
+			if m == 0 {
+				break
+			}
+		}
+	}
+}
+
+func TestErasureTooManyLosses(t *testing.T) {
+	shards := mustEncode(t, 4, 2, []byte("abcdefgh"))
+	shards[0], shards[2], shards[5] = nil, nil, nil // 3 losses > m=2
+	if err := Decode(4, 2, shards); err == nil {
+		t.Fatal("Decode reconstructed from fewer than k shards")
+	}
+}
+
+func TestErasureDeterministic(t *testing.T) {
+	data := []byte{0, 1, 2, 3, 255, 254, 100, 7, 7, 7, 9}
+	a := mustEncode(t, 3, 2, data)
+	b := mustEncode(t, 3, 2, data)
+	for i := range a {
+		if !bytes.Equal(a[i], b[i]) {
+			t.Fatalf("shard %d differs between identical encodes", i)
+		}
+	}
+}
+
+func TestErasureEmptyAndTiny(t *testing.T) {
+	for _, data := range [][]byte{nil, {}, {42}, {1, 2}} {
+		shards := mustEncode(t, 4, 2, data)
+		shards[1] = nil
+		shards[4] = nil
+		if err := Decode(4, 2, shards); err != nil {
+			t.Fatalf("%d bytes: %v", len(data), err)
+		}
+		got, err := Join(4, shards, len(data))
+		if err != nil {
+			t.Fatalf("Join %d bytes: %v", len(data), err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("%d bytes: round trip differs", len(data))
+		}
+	}
+}
+
+func TestErasureParamValidation(t *testing.T) {
+	if _, err := Encode(0, 2, []byte("x")); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := Encode(1, -1, []byte("x")); err == nil {
+		t.Error("m=-1 accepted")
+	}
+	if _, err := Encode(200, 100, []byte("x")); err == nil {
+		t.Error("k+m>255 accepted")
+	}
+	if err := Decode(4, 2, make([][]byte, 3)); err == nil {
+		t.Error("wrong shard-slot count accepted")
+	}
+	shards := mustEncode(t, 2, 1, []byte("abcd"))
+	shards[1] = shards[1][:1]
+	if err := Decode(2, 1, shards); err == nil {
+		t.Error("ragged shard lengths accepted")
+	}
+}
+
+func TestGFTables(t *testing.T) {
+	// Field sanity: a·inv(a) == 1 for every nonzero a, and
+	// multiplication distributes over a spot-check triple.
+	for a := 1; a < 256; a++ {
+		if got := gfMul(byte(a), gfInv(byte(a))); got != 1 {
+			t.Fatalf("a*inv(a) = %d for a=%d", got, a)
+		}
+	}
+	x, y, z := byte(0x53), byte(0xca), byte(0x11)
+	if gfMul(x, y^z) != gfMul(x, y)^gfMul(x, z) {
+		t.Error("multiplication does not distribute over addition")
+	}
+}

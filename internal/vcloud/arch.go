@@ -88,6 +88,12 @@ type DeployConfig struct {
 	// OnAccept observes every fenced advertisement members accept — the
 	// chaos harness's "at most one controller per epoch" probe.
 	OnAccept func(controller vnet.Addr, e Epoch)
+	// Storage, when non-nil, is the vehicular data-storage backend every
+	// controller drives (see storage.go): membership churn and
+	// partition-heal merges trigger fenced repair passes, and promoted
+	// failover successors re-attach it so the service keeps repairing
+	// across controller generations.
+	Storage storageBackend
 
 	// Unexported wiring installed by DeploySecure.
 	memberAuthorize func(id mobility.VehicleID) func(vnet.Addr, func(bool))
@@ -193,7 +199,12 @@ func (d *Deployment) newController(node *vnet.Node) (*Controller, error) {
 	if d.cfg.acceptJoinFor != nil {
 		cc.AcceptJoin = d.cfg.acceptJoinFor(node.Addr())
 	}
-	return NewController(node, cc, d.Stats)
+	c, err := NewController(node, cc, d.Stats)
+	if err != nil {
+		return nil, err
+	}
+	c.AttachStorage(d.cfg.Storage)
+	return c, nil
 }
 
 func (d *Deployment) attachMember(id mobility.VehicleID) error {
@@ -224,6 +235,7 @@ func (d *Deployment) attachMember(id mobility.VehicleID) error {
 		if c.cfg.Fencing {
 			c.cfg.OnAbdicate = d.onAbdicate
 		}
+		c.AttachStorage(d.cfg.Storage)
 		d.Controllers = append(d.Controllers, c)
 	}
 	if d.cfg.attachAuth != nil {

@@ -246,6 +246,9 @@ type Controller struct {
 	// violations accumulates internal-consistency breaches (double
 	// finish, stuck task) for the chaos soak to assert empty.
 	violations []string
+	// storage is the attached data-service backend (nil when none); see
+	// storage.go for the churn-driven repair wiring.
+	storage storageBackend
 
 	// standby is the designated failover successor (-1 when none).
 	standby  vnet.Addr
@@ -445,6 +448,11 @@ func (c *Controller) tick() {
 	for _, a := range expired {
 		c.reassignOrphans(a)
 	}
+	if len(expired) > 0 {
+		// Expired members may hold storage copies the service can no
+		// longer reach: re-replicate from the survivors right away.
+		c.repairStorage()
+	}
 	// (Re)designate the standby before advertising so the advertisement
 	// carries the current designation.
 	if c.cfg.Failover {
@@ -542,6 +550,9 @@ func (c *Controller) onLeave(msg vnet.Message, _ vnet.Addr) {
 		return
 	}
 	delete(c.members, msg.Origin)
+	// A graceful leave is permanent departure: the leaver's storage goes
+	// with it — forget its copies and repair from the survivors.
+	c.forgetStorage(msg.Origin)
 }
 
 // Submit enters a task into the cloud on the controller's own account.

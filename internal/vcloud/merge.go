@@ -494,5 +494,9 @@ func (c *Controller) onMerge(msg vnet.Message, _ vnet.Addr) {
 	c.cfg.Trace.Emit(now, trace.CatCloud, int32(self),
 		"merged rival %v from %d: %d members, %d tasks adopted, now %v",
 		mm.Epoch, msg.Origin, len(mm.Members), adopted, c.epoch)
+	// Partition heal is when storage placements are most skewed: both
+	// sides churned independently. Repair under the merged epoch — the
+	// anti-entropy pass for data, mirroring the task-table merge above.
+	c.repairStorage()
 	c.advertise()
 }

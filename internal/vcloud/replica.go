@@ -5,6 +5,7 @@ import (
 	"slices"
 
 	"vcloud/internal/metrics"
+	"vcloud/internal/store"
 	"vcloud/internal/vnet"
 )
 
@@ -28,39 +29,77 @@ func (s *ReplicaStats) Availability() float64 {
 }
 
 // ReplicaManager keeps each file on K members, re-replicating as members
-// depart — the §III.A file-availability problem. It runs at the
-// controller and tracks placements; actual byte movement is charged as
-// counters (the radio cost of re-replication is exercised by the
-// experiments through task traffic; duplicating it here would
-// double-count).
+// depart — the §III.A file-availability problem. It is the legacy,
+// availability-oriented face of the storage service: internally it is a
+// store.Replicated backend in Sloppy mode (read-one, lowest-address
+// placement, no quorum intersection), kept for the E8 experiment and
+// callers that want exactly the "k replicas, serve from any survivor"
+// model. New code should use internal/store directly.
 type ReplicaManager struct {
-	k      int
-	stats  *ReplicaStats
-	files  map[FileID]*fileState
-	onLine func(vnet.Addr) bool
-	// retainOffline models battery-saving sleep ([9]) instead of
-	// permanent departure: an offline holder keeps its replica and
-	// serves again when it returns. Repair still tops live replicas up
-	// to k, trimming surplus holders when sleepers return.
-	retainOffline bool
-	// highWater is the highest epoch counter a writer has presented;
-	// fenced writes below it are refused (split-brain protection for the
-	// placement table, mirroring the task-dispatch fence).
-	highWater uint64
-	// scratch buffers reused across Store/Repair calls: the repair tick
-	// is a hot path (every controller, every tick) and must not copy and
-	// reflect-sort the candidate list per call.
-	candScratch   []vnet.Addr
-	holderScratch []vnet.Addr
+	k     int
+	stats *ReplicaStats
+	inner *store.Replicated
+	sstat *store.Stats
+	// members backs the inner backend's view: each Store/Repair call
+	// swaps in its sorted candidate list.
+	members []vnet.Addr
+	// candScratch is reused across calls: the repair tick is a hot path
+	// (every controller, every tick) and must not allocate per call.
+	candScratch []vnet.Addr
 }
 
-// sortedCandidates copies candidates into the reusable scratch buffer
-// and sorts it ascending. The returned slice is only valid until the
-// next call.
-func (r *ReplicaManager) sortedCandidates(candidates []vnet.Addr) []vnet.Addr {
+// NewReplicaManager creates a manager with replication factor k. onLine
+// reports whether a member currently holds its replicas reachable (in
+// range, powered); the controller wires this to its membership view.
+func NewReplicaManager(k int, onLine func(vnet.Addr) bool, stats *ReplicaStats) (*ReplicaManager, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("vcloud: replication factor must be >= 1, got %d", k)
+	}
+	if onLine == nil {
+		return nil, fmt.Errorf("vcloud: onLine predicate must not be nil")
+	}
+	if stats == nil {
+		return nil, fmt.Errorf("vcloud: stats must not be nil")
+	}
+	r := &ReplicaManager{k: k, stats: stats, sstat: &store.Stats{}}
+	view := store.FuncView{
+		MembersFn: func() []vnet.Addr { return r.members },
+		OnlineFn:  onLine,
+	}
+	inner, err := store.NewReplicated(store.Config{
+		N: k, W: 1, R: 1,
+		Sloppy:      true,
+		Placement:   store.PlaceLowestAddr,
+		TrimSurplus: true,
+	}, view, r.sstat)
+	if err != nil {
+		return nil, err
+	}
+	r.inner = inner
+	return r, nil
+}
+
+// sortedCandidates copies candidates into the reusable scratch buffer,
+// sorts it ascending, and installs it as the inner view's member list.
+func (r *ReplicaManager) sortedCandidates(candidates []vnet.Addr) {
 	r.candScratch = append(r.candScratch[:0], candidates...)
 	slices.Sort(r.candScratch)
-	return r.candScratch
+	r.members = r.candScratch
+}
+
+// sync mirrors the inner backend's counters into the legacy stats.
+func (r *ReplicaManager) sync() {
+	syncCounter(&r.stats.Reads, r.sstat.Reads.Value())
+	syncCounter(&r.stats.ReadsServed, r.sstat.ReadsOK.Value())
+	syncCounter(&r.stats.ReReplicas, r.sstat.ReReplicas.Value())
+	syncCounter(&r.stats.BytesMoved, r.sstat.BytesMoved.Value())
+	syncCounter(&r.stats.StaleWrites, r.sstat.StaleWrites.Value())
+}
+
+// syncCounter raises c to value (counters are monotonic and only
+// written through the manager, so value never trails c).
+func syncCounter(c *metrics.Counter, value uint64) {
+	c.Add(int(value - c.Value()))
 }
 
 // Accept fences a write from a controller at the given epoch counter:
@@ -69,15 +108,9 @@ func (r *ReplicaManager) sortedCandidates(candidates []vnet.Addr) []vnet.Addr {
 // mutate placements. Counter zero is the legacy unfenced path and is
 // always accepted.
 func (r *ReplicaManager) Accept(epoch uint64) bool {
-	if epoch == 0 {
-		return true
-	}
-	if epoch < r.highWater {
-		r.stats.StaleWrites.Inc()
-		return false
-	}
-	r.highWater = epoch
-	return true
+	ok := r.inner.Accept(epoch)
+	r.sync()
+	return ok
 }
 
 // StoreFenced is Store gated by epoch fencing: a stale-epoch writer's
@@ -98,71 +131,29 @@ func (r *ReplicaManager) RepairFenced(epoch uint64, candidates []vnet.Addr) int 
 	return r.Repair(candidates)
 }
 
-type fileState struct {
-	size     int
-	replicas map[vnet.Addr]struct{}
-}
-
-// NewReplicaManager creates a manager with replication factor k. onLine
-// reports whether a member currently holds its replicas reachable (in
-// range, powered); the controller wires this to its membership view.
-func NewReplicaManager(k int, onLine func(vnet.Addr) bool, stats *ReplicaStats) (*ReplicaManager, error) {
-	if k < 1 {
-		return nil, fmt.Errorf("vcloud: replication factor must be >= 1, got %d", k)
-	}
-	if onLine == nil {
-		return nil, fmt.Errorf("vcloud: onLine predicate must not be nil")
-	}
-	if stats == nil {
-		return nil, fmt.Errorf("vcloud: stats must not be nil")
-	}
-	return &ReplicaManager{
-		k:      k,
-		stats:  stats,
-		files:  make(map[FileID]*fileState),
-		onLine: onLine,
-	}, nil
-}
-
 // SetRetainOffline switches the churn model: when true, offline members
 // are asleep (battery saving) and keep their replicas; when false (the
 // default), offline means departed and the replica is lost.
-func (r *ReplicaManager) SetRetainOffline(retain bool) { r.retainOffline = retain }
+func (r *ReplicaManager) SetRetainOffline(retain bool) { r.inner.SetRetainOffline(retain) }
 
 // Store places a file on up to k of the given candidate members
-// (deterministically: lowest addresses first). It returns how many
-// replicas were placed.
+// (deterministically: lowest addresses first). Re-storing an existing
+// file replaces its placement outright. It returns how many replicas
+// were placed.
 func (r *ReplicaManager) Store(id FileID, size int, candidates []vnet.Addr) int {
-	fs := &fileState{size: size, replicas: make(map[vnet.Addr]struct{})}
-	r.files[id] = fs
-	for _, a := range r.sortedCandidates(candidates) {
-		if len(fs.replicas) >= r.k {
-			break
-		}
-		if !r.onLine(a) {
-			continue
-		}
-		fs.replicas[a] = struct{}{}
-		r.stats.BytesMoved.Add(size)
-	}
-	return len(fs.replicas)
+	r.sortedCandidates(candidates)
+	r.inner.Delete(store.Key(id))
+	ack := r.inner.Write(store.WriteReq{Key: store.Key(id), Size: size, Epoch: 0})
+	r.sync()
+	return len(ack.Placed)
 }
 
 // Read attempts to fetch the file: it succeeds when at least one replica
 // holder is online.
 func (r *ReplicaManager) Read(id FileID) bool {
-	r.stats.Reads.Inc()
-	fs, ok := r.files[id]
-	if !ok {
-		return false
-	}
-	for a := range fs.replicas {
-		if r.onLine(a) {
-			r.stats.ReadsServed.Inc()
-			return true
-		}
-	}
-	return false
+	_, ok := r.inner.Read(store.ReadReq{Key: store.Key(id), Epoch: 0})
+	r.sync()
+	return ok
 }
 
 // Repair drops offline holders and re-replicates onto online candidates
@@ -171,78 +162,13 @@ func (r *ReplicaManager) Read(id FileID) bool {
 // repair only helps while at least one live replica remains to copy
 // from.
 func (r *ReplicaManager) Repair(candidates []vnet.Addr) int {
-	sorted := r.sortedCandidates(candidates)
-	created := 0
-	for _, fs := range r.files {
-		live := 0
-		for a := range fs.replicas {
-			if r.onLine(a) {
-				live++
-			} else if !r.retainOffline {
-				delete(fs.replicas, a)
-			}
-		}
-		if live == 0 {
-			continue // nothing reachable to copy from
-		}
-		for _, a := range sorted {
-			if live >= r.k {
-				break
-			}
-			if _, has := fs.replicas[a]; has || !r.onLine(a) {
-				continue
-			}
-			fs.replicas[a] = struct{}{}
-			live++
-			created++
-			r.stats.ReReplicas.Inc()
-			r.stats.BytesMoved.Add(fs.size)
-		}
-		// Returned sleepers can leave the file over-replicated: trim
-		// surplus, dropping offline holders first (deterministically).
-		if r.retainOffline && len(fs.replicas) > r.k {
-			holders := r.holderScratch[:0]
-			for a := range fs.replicas {
-				holders = append(holders, a)
-			}
-			r.holderScratch = holders
-			slices.SortFunc(holders, func(x, y vnet.Addr) int {
-				ox, oy := r.onLine(x), r.onLine(y)
-				if ox != oy {
-					if ox {
-						return 1 // offline first
-					}
-					return -1
-				}
-				switch {
-				case x > y:
-					return -1
-				case x < y:
-					return 1
-				}
-				return 0
-			})
-			for _, a := range holders {
-				if len(fs.replicas) <= r.k {
-					break
-				}
-				if live > r.k || !r.onLine(a) {
-					if r.onLine(a) {
-						live--
-					}
-					delete(fs.replicas, a)
-				}
-			}
-		}
-	}
+	r.sortedCandidates(candidates)
+	created := r.inner.Repair(store.RepairReq{Epoch: 0})
+	r.sync()
 	return created
 }
 
 // Replicas returns the current holder count of a file.
 func (r *ReplicaManager) Replicas(id FileID) int {
-	fs, ok := r.files[id]
-	if !ok {
-		return 0
-	}
-	return len(fs.replicas)
+	return len(r.inner.Holders(store.Key(id)))
 }

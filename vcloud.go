@@ -18,7 +18,7 @@
 //     control with sticky data–policy packages, and real-time message
 //     trustworthiness validation;
 //   - the adversary models of the paper's §III threat list, and the
-//     E1–E13 experiment suite that operationalizes every figure and
+//     E1–E14 experiment suite that operationalizes every figure and
 //     claim (see DESIGN.md and EXPERIMENTS.md).
 //
 // This root package is the public facade: it re-exports the library's
@@ -44,6 +44,7 @@ import (
 	"vcloud/internal/roadnet"
 	"vcloud/internal/scenario"
 	"vcloud/internal/sim"
+	"vcloud/internal/store"
 	"vcloud/internal/vcloud"
 )
 
@@ -122,6 +123,34 @@ func ParseFaultPlan(text string) (FaultPlan, error) { return faults.Parse(text) 
 // NewFaultInjector creates a fault injector over the scenario; schedule
 // plans on it before or during the run.
 func NewFaultInjector(s *Scenario) (*FaultInjector, error) { return faults.NewInjector(s) }
+
+// Storage-service types (the §III.A data-storage service over churn;
+// see internal/store).
+type (
+	// StorageBackend is the quorum storage contract: replicated or
+	// erasure-coded objects over cluster members.
+	StorageBackend = store.Backend
+	// StorageConfig tunes replication/erasure factors, quorum sizes,
+	// consistency level and placement policy.
+	StorageConfig = store.Config
+	// StorageView is the membership/reachability view a backend places
+	// against (wire a controller's StorageView or a FuncView).
+	StorageView = store.View
+	// StorageStats counts writes, reads, repairs and bytes moved.
+	StorageStats = store.Stats
+)
+
+// NewReplicatedStore builds a whole-copy quorum backend (W+R>N strict
+// intersection unless cfg.Sloppy).
+func NewReplicatedStore(cfg StorageConfig, v StorageView, st *StorageStats) (StorageBackend, error) {
+	return store.NewReplicated(cfg, v, st)
+}
+
+// NewErasureCodedStore builds a (K, M) Reed–Solomon backend: any K of
+// K+M fragments reconstruct an object.
+func NewErasureCodedStore(cfg StorageConfig, v StorageView, st *StorageStats) (StorageBackend, error) {
+	return store.NewErasureCoded(cfg, v, st)
+}
 
 // Experiment types.
 type (
@@ -267,14 +296,14 @@ func DeploySecureCloud(s *Scenario, arch Architecture, ta *TrustedAuthority, met
 }
 
 // RunExperiment executes one of the paper-reproduction experiments
-// (E1–E13) and returns its table and named values.
+// (E1–E14) and returns its table and named values.
 func RunExperiment(id string, cfg ExperimentConfig) (*ExperimentResult, error) {
 	for _, r := range experiments.All() {
 		if r.ID == id {
 			return r.Run(cfg)
 		}
 	}
-	return nil, fmt.Errorf("vcloud: unknown experiment %q (valid: E1..E13)", id)
+	return nil, fmt.Errorf("vcloud: unknown experiment %q (valid: E1..E14)", id)
 }
 
 // Chaos-soak types (the long-horizon invariant harness; see
