@@ -1,5 +1,5 @@
 // Benchmarks regenerating every experiment of the paper reproduction
-// (one per DESIGN.md experiment row, E1–E14). Each iteration executes a
+// (one per DESIGN.md experiment row, E1–E15). Each iteration executes a
 // full quick-size experiment run on the deterministic kernel and
 // reports the headline values via b.ReportMetric, so
 //
@@ -170,6 +170,20 @@ func BenchmarkE14Storage(b *testing.B) {
 		"ec42-lost":        "ec 4+2/churn=2s/lost_frac",
 		"ec42-p50ms":       "ec 4+2/churn=2s/p50ms",
 		"quorum3-p50ms":    "quorum n=3/churn=2s/p50ms",
+	})
+}
+
+// BenchmarkE15DAGExecution regenerates the DAG-under-churn drill:
+// completion rate at storm churn for naive whole-job restart vs
+// critical-path replication, plus the crit-path arm's wasted-work edge
+// over replicating every stage.
+func BenchmarkE15DAGExecution(b *testing.B) {
+	runExperiment(b, experiments.E15DAGExecution, map[string]string{
+		"naive-rate":  "naive restart/churn=2s x2/rate",
+		"crit-rate":   "crit-path/churn=2s x2/rate",
+		"crit-wasted": "crit-path/churn=2s x2/wasted",
+		"all-wasted":  "replicate-all/churn=2s x2/wasted",
+		"rsu-p50s":    "crit+RSU/churn=2s x2/p50s",
 	})
 }
 

@@ -44,6 +44,14 @@
 //
 //	vcloudsim -soak -store replicated -duration 300 -vehicles 16 -seed 7
 //	vcloudsim -soak -store ec -splitbrain -duration 300 -seed 7
+//
+// -dag runs the soak with the dependent-stage job workload: randomly
+// shaped DAG jobs with critical-path replication flow alongside the
+// task storm, the storm gains kill-member process deaths, and the DAG
+// invariants arm (no stage outcome applied twice, completed job implies
+// ancestor completeness, replica budget never exceeded):
+//
+//	vcloudsim -soak -dag -duration 300 -vehicles 16 -seed 7
 package main
 
 import (
@@ -86,6 +94,7 @@ func cliMain() int {
 		soak     = flag.Bool("soak", false, "run the chaos soak harness (uses -seed, -vehicles, -duration, -byz)")
 		byz      = flag.Float64("byz", 0, "fraction of workers returning wrong results (soak mode)")
 		split    = flag.Bool("splitbrain", false, "with -soak: fence epochs and add controller-isolating split-brain storms")
+		dag      = flag.Bool("dag", false, "with -soak: run the DAG job workload with kill-member storms and the DAG invariants")
 		storeB   = flag.String("store", "", "with -soak: run the storage workload on this backend (replicated | ec)")
 		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	)
@@ -109,10 +118,14 @@ func cliMain() int {
 		fmt.Fprintln(os.Stderr, "vcloudsim: -store requires -soak")
 		return 2
 	}
+	if *dag && !*soak {
+		fmt.Fprintln(os.Stderr, "vcloudsim: -dag requires -soak")
+		return 2
+	}
 
 	body := func() int {
 		if *soak {
-			if err := runSoak(*seed, *vehicles, *duration, *byz, *split, *storeB); err != nil {
+			if err := runSoak(*seed, *vehicles, *duration, *byz, *split, *storeB, *dag); err != nil {
 				fmt.Fprintln(os.Stderr, "vcloudsim:", err)
 				return 1
 			}
@@ -174,7 +187,7 @@ func validateFlags(vehicles, tasks int, duration float64, replicas, retries int,
 // runSoak executes the chaos soak harness and prints its report. A
 // non-empty violation list is a process failure: the soak is the
 // executable form of the dependability invariants.
-func runSoak(seed int64, vehicles int, duration float64, byz float64, split bool, storeB string) error {
+func runSoak(seed int64, vehicles int, duration float64, byz float64, split bool, storeB string, dag bool) error {
 	rep, err := root.RunSoak(root.SoakConfig{
 		Seed:        seed,
 		Vehicles:    vehicles,
@@ -182,6 +195,7 @@ func runSoak(seed int64, vehicles int, duration float64, byz float64, split bool
 		ByzFraction: byz,
 		SplitBrain:  split,
 		Storage:     storeB,
+		DAG:         dag,
 	})
 	if err != nil {
 		return err
@@ -189,6 +203,9 @@ func runSoak(seed int64, vehicles int, duration float64, byz float64, split bool
 	fmt.Printf("soak: seed=%d vehicles=%d duration=%.0fs byz=%.2f splitbrain=%v", seed, vehicles, duration, byz, split)
 	if storeB != "" {
 		fmt.Printf(" store=%s", storeB)
+	}
+	if dag {
+		fmt.Printf(" dag=on")
 	}
 	fmt.Println()
 	fmt.Printf("tasks: submitted=%d completed=%d failed=%d refused=%d correct=%d wrong=%d unchecked=%d\n",
@@ -203,6 +220,12 @@ func runSoak(seed int64, vehicles int, duration float64, byz float64, split bool
 		fmt.Printf("storage: writes=%d acked=%d reads=%d served=%d lost=%d repaired=%d departures=%d\n",
 			rep.StorageWrites, rep.StorageAcked, rep.StorageReads, rep.StorageReadsOK,
 			rep.StorageLost, rep.StorageRepaired, rep.Departures)
+	}
+	if dag {
+		fmt.Printf("jobs: submitted=%d completed=%d partial=%d failed=%d refused=%d resumed=%d\n",
+			rep.JobsSubmitted, rep.JobsCompleted, rep.JobsPartial, rep.JobsFailed, rep.JobsRefused, rep.JobsResumed)
+		fmt.Printf("stages: retries=%d relays=%d handoffs=%d member-kills=%d\n",
+			rep.StageRetries, rep.StageRelays, rep.StageHandoffs, rep.MemberKills)
 	}
 	for _, f := range rep.FaultLog {
 		fmt.Printf("  %s\n", f)
@@ -305,6 +328,12 @@ func run(scen, archName string, vehicles, tasks int, duration float64, seed int6
 				ctls[idx].Crash()
 			}
 		})
+		inj.OnMemberKill(func(id int) {
+			if m, ok := c.Members[root.VehicleID(id)]; ok {
+				m.Stop()
+				delete(c.Members, root.VehicleID(id))
+			}
+		})
 		if err := inj.Schedule(plan); err != nil {
 			return err
 		}
@@ -347,7 +376,7 @@ func run(scen, archName string, vehicles, tasks int, duration float64, seed int6
 		for _, r := range results {
 			outcome := "ok"
 			if !r.OK {
-				outcome = "failed: " + r.Reason
+				outcome = "failed: " + string(r.Reason)
 			}
 			tbl.AddRow(fmt.Sprintf("%d", r.ID), outcome,
 				fmt.Sprintf("%d", r.Retries), fmt.Sprintf("%d", r.Replicas),

@@ -48,7 +48,7 @@ func main() {
 			func(r vcloud.TaskResult) {
 				status := "completed"
 				if !r.OK {
-					status = "FAILED (" + r.Reason + ")"
+					status = "FAILED (" + string(r.Reason) + ")"
 				}
 				fmt.Printf("  task %2d %s in %v (handovers=%d retries=%d)\n",
 					id, status, r.Latency.Round(time.Millisecond), r.Handovers, r.Retries)

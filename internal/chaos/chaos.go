@@ -116,6 +116,15 @@ type SoakConfig struct {
 	// longest-departed returns wiped once a third of the fleet is out).
 	// Default 15 s.
 	StorageDepartEvery sim.Time
+	// DAG arms the dependent-stage job workload: a stream of randomly-
+	// shaped DAG jobs soaks alongside the task workload, the storm gains
+	// a kill-member branch (member-process death, not just radio
+	// silence), and the DAG invariants arm — no stage outcome applied
+	// twice, completed job implies ancestor completeness, replica budget
+	// never exceeded. See dag.go.
+	DAG bool
+	// DAGEvery is the DAG job submission period. Default 3 s.
+	DAGEvery sim.Time
 }
 
 func (c SoakConfig) withDefaults() SoakConfig {
@@ -161,6 +170,9 @@ func (c SoakConfig) withDefaults() SoakConfig {
 	if c.StorageDepartEvery == 0 {
 		c.StorageDepartEvery = 15 * time.Second
 	}
+	if c.DAGEvery == 0 {
+		c.DAGEvery = 3 * time.Second
+	}
 	return c
 }
 
@@ -170,7 +182,8 @@ func (c SoakConfig) Validate() error {
 		return fmt.Errorf("chaos: vehicles must be >= 0 and byz fraction in [0,1]")
 	}
 	if c.Duration < 0 || c.Warmup < 0 || c.Drain < 0 || c.TaskEvery < 0 ||
-		c.FaultEvery < 0 || c.CheckEvery < 0 || c.StorageEvery < 0 || c.StorageRepairEvery < 0 || c.StorageDepartEvery < 0 {
+		c.FaultEvery < 0 || c.CheckEvery < 0 || c.StorageEvery < 0 || c.StorageRepairEvery < 0 ||
+		c.StorageDepartEvery < 0 || c.DAGEvery < 0 {
 		return fmt.Errorf("chaos: durations must be >= 0")
 	}
 	switch c.Storage {
@@ -236,6 +249,22 @@ type Report struct {
 	StorageLost     int
 	StorageRepaired uint64
 	Departures      int
+	// DAG workload counters (meaningful when DAG is on). JobsResumed
+	// counts jobs a failover successor picked up from a checkpoint (their
+	// callbacks are lost, so completed+failed may undercount submitted by
+	// exactly the resumed jobs still finishing elsewhere). MemberKills
+	// counts kill-member storm events: process deaths, on top of the
+	// radio-only crash branch.
+	JobsSubmitted int
+	JobsRefused   int
+	JobsCompleted int
+	JobsPartial   int
+	JobsFailed    int
+	JobsResumed   uint64
+	StageRetries  uint64
+	StageRelays   uint64
+	StageHandoffs uint64
+	MemberKills   int
 	// Violations holds every invariant breach, deduplicated. Empty is
 	// the passing state.
 	Violations []string
@@ -274,6 +303,8 @@ type soak struct {
 	// rsu is the coordinator vantage its reachability view probes from.
 	st  *storageState
 	rsu vnet.Addr
+	// dg is the DAG workload state (nil unless cfg.DAG is on).
+	dg *dagState
 
 	tasks      []*soakTask
 	report     *Report
@@ -366,8 +397,17 @@ func Soak(cfg SoakConfig) (*Report, error) {
 			ctls[idx].Crash()
 		}
 	})
+	inj.OnMemberKill(func(id int) {
+		if m, ok := d.Members[mobility.VehicleID(id)]; ok {
+			m.Stop()
+			delete(d.Members, mobility.VehicleID(id))
+		}
+	})
 	sk.d, sk.stats, sk.inj = d, stats, inj
 	sk.rsu = d.Controllers[0].Addr()
+	if cfg.DAG {
+		sk.setupDAG()
+	}
 	if err := sk.byzantify(); err != nil {
 		return nil, err
 	}
@@ -389,6 +429,12 @@ func Soak(cfg SoakConfig) (*Report, error) {
 	checkT, err := s.Kernel.Every(cfg.CheckEvery, sk.check)
 	if err != nil {
 		return nil, err
+	}
+	var dagT *sim.Ticker
+	if cfg.DAG {
+		if dagT, err = s.Kernel.Every(cfg.DAGEvery, sk.dagTick); err != nil {
+			return nil, err
+		}
 	}
 	var storeT, repairT, departT *sim.Ticker
 	if cfg.Storage != "" {
@@ -412,6 +458,9 @@ func Soak(cfg SoakConfig) (*Report, error) {
 	// settle, then audit one last time.
 	taskT.Stop()
 	faultT.Stop()
+	if dagT != nil {
+		dagT.Stop()
+	}
 	if storeT != nil {
 		storeT.Stop()
 		repairT.Stop()
@@ -553,6 +602,13 @@ func (sk *soak) injectFault() {
 	now := sk.s.Kernel.Now()
 	if sk.cfg.SplitBrain && roll < 0.30 {
 		sk.splitBrain(now)
+		return
+	}
+	// The kill-member branch carves its slice out of the byz-flip range
+	// only when the DAG workload is on, so non-DAG soaks keep their exact
+	// storm sequence (and checksums).
+	if sk.cfg.DAG && roll >= 0.92 {
+		sk.killMember(now)
 		return
 	}
 	switch {
@@ -719,6 +775,10 @@ func (sk *soak) check() {
 		sk.violate("accounting: completed %d + failed %d > submitted %d",
 			sk.report.Completed, sk.report.Failed, sk.report.Submitted)
 	}
+	if sk.dg != nil && sk.report.JobsCompleted+sk.report.JobsFailed > sk.report.JobsSubmitted {
+		sk.violate("accounting: jobs completed %d + failed %d > submitted %d",
+			sk.report.JobsCompleted, sk.report.JobsFailed, sk.report.JobsSubmitted)
+	}
 	if sub < sk.lastSubmitted || comp < sk.lastCompleted || fail < sk.lastFailed || fo < sk.lastFailovers {
 		sk.violate("monotonicity: counters went backwards (submitted %d<%d or completed %d<%d or failed %d<%d or failovers %d<%d)",
 			sub, sk.lastSubmitted, comp, sk.lastCompleted, fail, sk.lastFailed, fo, sk.lastFailovers)
@@ -760,6 +820,12 @@ func (sk *soak) finalize() {
 	sk.report.StaleRejected = sk.stats.StaleRejected.Value()
 	if sk.st != nil {
 		sk.report.StorageRepaired = sk.st.backend.Stats().ReReplicas.Value()
+	}
+	if sk.dg != nil {
+		sk.report.JobsResumed = sk.stats.JobsResumed.Value()
+		sk.report.StageRetries = sk.stats.StageRetries.Value()
+		sk.report.StageRelays = sk.stats.StageRelays.Value()
+		sk.report.StageHandoffs = sk.stats.StageHandoffs.Value()
 	}
 	const (
 		offset64 = 14695981039346656037

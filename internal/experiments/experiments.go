@@ -194,6 +194,7 @@ func All() []Runner {
 		{"E12", "dependable execution under Byzantine workers", E12Dependability},
 		{"E13", "split-brain fencing vs failover-only", E13SplitBrain},
 		{"E14", "storage durability under churn", E14Storage},
+		{"E15", "DAG execution under churn", E15DAGExecution},
 	}
 }
 

@@ -24,8 +24,8 @@ func quick(t *testing.T, run func(Config) (*Result, error)) *Result {
 
 func TestAllRegistered(t *testing.T) {
 	runners := All()
-	if len(runners) != 14 {
-		t.Fatalf("runners = %d, want 14", len(runners))
+	if len(runners) != 15 {
+		t.Fatalf("runners = %d, want 15", len(runners))
 	}
 	seen := map[string]bool{}
 	for _, r := range runners {
@@ -327,6 +327,48 @@ func TestE14Shape(t *testing.T) {
 	if v["ec 4+2/churn=2s/amplification"] >= v["quorum n=3/churn=2s/amplification"] {
 		t.Errorf("ec amplification %.1fx should undercut 3-way %.1fx",
 			v["ec 4+2/churn=2s/amplification"], v["quorum n=3/churn=2s/amplification"])
+	}
+}
+
+func TestE15Shape(t *testing.T) {
+	r := quick(t, E15DAGExecution)
+	v := r.Values
+	// The issue's acceptance criterion: at storm churn the crit-path arm
+	// completes at least twice the naive whole-job-restart rate, while
+	// spending less on redundancy than replicating every stage.
+	if v["crit-path/churn=2s x2/rate"] < 2*v["naive restart/churn=2s x2/rate"] {
+		t.Errorf("crit-path completion %.2f below 2x naive %.2f at storm churn",
+			v["crit-path/churn=2s x2/rate"], v["naive restart/churn=2s x2/rate"])
+	}
+	if v["crit-path/churn=2s x2/wasted"] >= v["replicate-all/churn=2s x2/wasted"] {
+		t.Errorf("crit-path wasted %.2f should undercut replicate-all %.2f",
+			v["crit-path/churn=2s x2/wasted"], v["replicate-all/churn=2s x2/wasted"])
+	}
+	// Replicating everything must not buy more completion than spending
+	// the budget on the critical path — the §V selective-redundancy claim.
+	if v["replicate-all/churn=2s x2/rate"] > v["crit-path/churn=2s x2/rate"] {
+		t.Errorf("replicate-all rate %.2f should not beat crit-path %.2f",
+			v["replicate-all/churn=2s x2/rate"], v["crit-path/churn=2s x2/rate"])
+	}
+	// The RSU edge tier is churn-proof infrastructure: completion at
+	// least as high as crit-path alone, with a shorter median makespan.
+	if v["crit+RSU/churn=2s x2/rate"] < v["crit-path/churn=2s x2/rate"] {
+		t.Errorf("crit+RSU rate %.2f below plain crit-path %.2f",
+			v["crit+RSU/churn=2s x2/rate"], v["crit-path/churn=2s x2/rate"])
+	}
+	if v["crit+RSU/churn=2s x2/p50s"] >= v["naive restart/churn=2s x2/p50s"] {
+		t.Errorf("crit+RSU p50 %.1fs should undercut naive's recovery-laden %.1fs",
+			v["crit+RSU/churn=2s x2/p50s"], v["naive restart/churn=2s x2/p50s"])
+	}
+	// Without churn every arm completes everything; redundancy is the
+	// only wasted work and naive wastes nothing.
+	for _, arm := range []string{"naive restart", "crit-path", "replicate-all", "crit+RSU"} {
+		if v[arm+"/churn=none/rate"] != 1 {
+			t.Errorf("%s completed %.0f%% with no churn, want 100%%", arm, v[arm+"/churn=none/rate"]*100)
+		}
+	}
+	if v["naive restart/churn=none/wasted"] != 0 {
+		t.Errorf("naive arm wasted %.2f with no churn, want 0", v["naive restart/churn=none/wasted"])
 	}
 }
 

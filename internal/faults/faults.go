@@ -56,6 +56,13 @@ const (
 	// Target as the controller index — the cloud layer decides what a
 	// dead controller means (see vcloud.Controller.Crash).
 	KillController Kind = "kill-controller"
+	// KillMember kills the cloud-member process on a vehicle: the node
+	// goes radio-silent like Crash AND the member-kill hook
+	// (OnMemberKill) fires with Target as the vehicle ID, so the cloud
+	// layer can stop the member agent — abandoning its running work —
+	// instead of merely muting its radio. A crashed member's compute
+	// survives a radio outage; a killed member's does not.
+	KillMember Kind = "kill-member"
 	// Isolate cuts every frame crossing the boundary of a node set:
 	// Target (plus the optional Keep peers) on one side, everyone else
 	// on the other. Unlike Partition it is node-targeted, not
@@ -92,7 +99,7 @@ func (e Event) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s %s", e.At, e.Kind)
 	switch e.Kind {
-	case Crash, Recover, RSUDown, RSUUp, KillController:
+	case Crash, Recover, RSUDown, RSUUp, KillController, KillMember:
 		fmt.Fprintf(&b, " %d", e.Target)
 	case Isolate:
 		fmt.Fprintf(&b, " %d", e.Target)
@@ -116,7 +123,7 @@ func (e Event) Validate() error {
 		return fmt.Errorf("faults: event time must be >= 0, got %v", e.At)
 	}
 	switch e.Kind {
-	case Crash, Recover, RSUDown, RSUUp, KillController:
+	case Crash, Recover, RSUDown, RSUUp, KillController, KillMember:
 		if e.Target < 0 {
 			return fmt.Errorf("faults: %s target must be >= 0, got %d", e.Kind, e.Target)
 		}
@@ -204,6 +211,7 @@ type Injector struct {
 	lossProb   float64
 
 	killCtl func(idx int)
+	killMem func(id int)
 	remove  func()
 	log     []string
 	stats   Stats
@@ -235,6 +243,12 @@ func NewInjector(s *scenario.Scenario) (*Injector, error) {
 // cloud layer typically wires this to Controller.Crash on the indexed
 // active controller.
 func (in *Injector) OnControllerKill(fn func(idx int)) { in.killCtl = fn }
+
+// OnMemberKill installs the hook KillMember events invoke with the
+// vehicle ID, on top of the radio silence the event itself applies. The
+// cloud layer typically wires this to Member.Stop on the vehicle's
+// member agent.
+func (in *Injector) OnMemberKill(fn func(id int)) { in.killMem = fn }
 
 // Close removes the injector's frame filter; active faults stop applying.
 func (in *Injector) Close() {
@@ -324,6 +338,11 @@ func (in *Injector) apply(e Event) {
 		if in.killCtl != nil {
 			in.killCtl(e.Target)
 		}
+	case KillMember:
+		in.CrashNode(radio.NodeID(e.Target))
+		if in.killMem != nil {
+			in.killMem(e.Target)
+		}
 	}
 }
 
@@ -363,6 +382,17 @@ func (in *Injector) rsuAddr(idx int) (radio.NodeID, bool) {
 // CrashNode silences a node immediately (programmatic form of Crash /
 // RSUDown).
 func (in *Injector) CrashNode(addr radio.NodeID) { in.dead[addr] = true }
+
+// KillMember kills a vehicle's member process immediately (programmatic
+// form of the KillMember event): radio silence plus the member-kill
+// hook, so the cloud layer stops the member agent and its running work
+// dies with it.
+func (in *Injector) KillMember(id int) {
+	in.CrashNode(radio.NodeID(id))
+	if in.killMem != nil {
+		in.killMem(id)
+	}
+}
 
 // RecoverNode restores a silenced node.
 func (in *Injector) RecoverNode(addr radio.NodeID) { delete(in.dead, addr) }

@@ -15,6 +15,7 @@ func FuzzParse(f *testing.F) {
 	// Seeds: the README/DESIGN example plans, plus edge shapes.
 	f.Add("30s rsu-down 0; 45s partition 1500,0 400 20s; 60s loss 0.3 10s; 80s rsu-up 0")
 	f.Add("40s kill-controller 0")
+	f.Add("12s kill-member 7")
 	f.Add("30s crash 5\n50s recover 5")
 	f.Add("1s partition -1500,-20 400")
 	f.Add("0s loss 1")

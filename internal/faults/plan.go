@@ -63,7 +63,7 @@ func parseEvent(fields []string) (Event, error) {
 	e := Event{At: at, Kind: Kind(fields[1])}
 	args := fields[2:]
 	switch e.Kind {
-	case Crash, Recover, RSUDown, RSUUp, KillController:
+	case Crash, Recover, RSUDown, RSUUp, KillController, KillMember:
 		if len(args) != 1 {
 			return Event{}, fmt.Errorf("%s wants one target argument", e.Kind)
 		}

@@ -102,6 +102,16 @@ func (ws *WorkerSet) Score(a vnet.Addr) float64 {
 	return (r.good + 1) / (r.good + r.bad + 2)
 }
 
+// Weight maps a worker's Beta-reputation score into a multiplicative
+// placement weight in [0.5, 1.5]: an unknown worker (score 0.5) weighs
+// 1.0, a fully trusted one 1.5, a fully distrusted one 0.5. Schedulers
+// divide a worker's predicted finish time by this weight, so at equal
+// load the more reliable worker wins the placement without ever
+// hard-excluding the rest of the pool.
+func (ws *WorkerSet) Weight(a vnet.Addr) float64 {
+	return 0.5 + ws.Score(a)
+}
+
 // Known returns how many workers have accumulated evidence.
 func (ws *WorkerSet) Known() int { return len(ws.recs) }
 

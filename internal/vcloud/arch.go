@@ -421,6 +421,32 @@ func (d *Deployment) SubmitAnywhere(task Task, done func(TaskResult)) error {
 	return lastErr
 }
 
+// SubmitJobAnywhere submits a DAG job through the same client-side
+// broker as SubmitAnywhere: the live controller with the most members
+// first, falling back on refusal. The callback does not survive a
+// controller failover (the job itself does — it rides checkpoints).
+func (d *Deployment) SubmitJobAnywhere(spec JobSpec, done func(JobResult)) error {
+	cands := d.ActiveControllers()
+	if len(cands) == 0 {
+		return fmt.Errorf("vcloud: no active controller (cloud not formed)")
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].NumMembers() != cands[j].NumMembers() {
+			return cands[i].NumMembers() > cands[j].NumMembers()
+		}
+		return cands[i].Addr() < cands[j].Addr()
+	})
+	var lastErr error
+	for _, c := range cands {
+		if _, err := c.SubmitJob(spec, done); err == nil {
+			return nil
+		} else {
+			lastErr = err
+		}
+	}
+	return lastErr
+}
+
 // SetEmergency flips emergency mode on every current controller and on
 // controllers elected later (dynamic clouds elect heads continuously).
 func (d *Deployment) SetEmergency(on bool) {

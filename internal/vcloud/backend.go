@@ -68,7 +68,7 @@ func (r *RemoteCloud) Submit(task Task, done func(TaskResult)) error {
 			if task.Deadline > 0 && r.kernel.Now() > task.Deadline {
 				r.stats.Failed.Inc()
 				if done != nil {
-					done(TaskResult{ID: task.ID, OK: false, Latency: lat, Reason: "deadline missed"})
+					done(TaskResult{ID: task.ID, OK: false, Latency: lat, Reason: ReasonDeadline})
 				}
 				return
 			}
@@ -82,7 +82,7 @@ func (r *RemoteCloud) Submit(task Task, done func(TaskResult)) error {
 	if !sent {
 		r.stats.Failed.Inc()
 		if done != nil {
-			done(TaskResult{ID: task.ID, OK: false, Reason: "uplink down"})
+			done(TaskResult{ID: task.ID, OK: false, Reason: ReasonUplinkDown})
 		}
 	}
 	return nil

@@ -19,7 +19,7 @@ import (
 
 // ckptMagic identifies encoded checkpoints; the trailing byte is the
 // format version.
-var ckptMagic = [4]byte{'V', 'C', 'P', 1}
+var ckptMagic = [4]byte{'V', 'C', 'P', 2}
 
 // Decoder sanity caps: a checkpoint exceeding these is rejected as
 // corrupt. They sit far above anything a simulated cloud produces.
@@ -30,6 +30,8 @@ const (
 	ckptMaxString  = 1 << 10
 	ckptMaxVoters  = 1 << 12
 	ckptMaxLedger  = 1 << 16
+	ckptMaxJobs    = 1 << 12
+	ckptMaxStages  = 1 << 10
 )
 
 type ckptWriter struct{ buf []byte }
@@ -183,6 +185,23 @@ func writeTask(w *ckptWriter, t Task) {
 	w.i64(int64(t.Deadline))
 	w.str(t.NeedsSensor)
 	writePolicy(w, t.Depend)
+	if t.Stage == nil {
+		w.bool(false)
+		return
+	}
+	w.bool(true)
+	w.u64(uint64(t.Stage.Job))
+	w.i64(int64(t.Stage.Stage))
+	w.i64(int64(t.Stage.OutputBytes))
+	w.u32(uint32(len(t.Stage.Inputs)))
+	for _, in := range t.Stage.Inputs {
+		w.i64(int64(in.Stage))
+		w.i64(int64(in.Bytes))
+		w.u32(uint32(len(in.Sources)))
+		for _, s := range in.Sources {
+			w.addr(s)
+		}
+	}
 }
 
 func readTask(r *ckptReader) Task {
@@ -195,12 +214,122 @@ func readTask(r *ckptReader) Task {
 		NeedsSensor: r.str(),
 	}
 	t.Depend = readPolicy(r)
+	if r.bool() {
+		b := &StageBinding{
+			Job:         JobID(r.u64()),
+			Stage:       int(r.i64()),
+			OutputBytes: int(r.i64()),
+		}
+		for i, n := 0, r.count("stage input", ckptMaxStages); i < n && r.err == nil; i++ {
+			in := StageInput{Stage: int(r.i64()), Bytes: int(r.i64())}
+			for j, ns := 0, r.count("input source", ckptMaxVoters); j < ns && r.err == nil; j++ {
+				in.Sources = append(in.Sources, r.addr())
+			}
+			b.Inputs = append(b.Inputs, in)
+		}
+		t.Stage = b
+	}
 	if r.err == nil {
 		if err := t.Validate(); err != nil {
 			r.fail("invalid task %d: %v", t.ID, err)
 		}
 	}
 	return t
+}
+
+func writeJob(w *ckptWriter, jc JobCheckpoint) {
+	w.u64(uint64(jc.ID))
+	w.addr(jc.Client)
+	w.i64(int64(jc.Submitted))
+	w.i64(int64(jc.Restarts))
+	w.f64(jc.Wasted)
+	s := jc.Spec
+	w.u32(uint32(len(s.Stages)))
+	for _, st := range s.Stages {
+		w.str(st.Name)
+		w.f64(st.Ops)
+		w.i64(int64(st.InputBytes))
+		w.i64(int64(st.OutputBytes))
+		w.str(st.NeedsSensor)
+		w.u32(uint32(len(st.Deps)))
+		for _, d := range st.Deps {
+			w.i64(int64(d))
+		}
+		w.bool(st.Optional)
+	}
+	w.i64(int64(s.ReplicaBudget))
+	w.bool(s.ReplicateAll)
+	w.i64(int64(s.StageRetries))
+	w.i64(int64(s.TaskRetries))
+	w.i64(int64(s.RetryBackoff))
+	w.i64(int64(s.Deadline))
+	w.bool(s.WholeJobRestart)
+	w.i64(int64(s.JobRestarts))
+	w.u32(uint32(len(jc.Stages)))
+	for _, sc := range jc.Stages {
+		w.u8(uint8(sc.Status))
+		w.u64(sc.Value)
+		w.i64(int64(sc.Retries))
+		w.u64(uint64(sc.TaskID))
+		w.u32(uint32(len(sc.Holders)))
+		for _, h := range sc.Holders {
+			w.addr(h)
+		}
+	}
+}
+
+func readJob(r *ckptReader) JobCheckpoint {
+	jc := JobCheckpoint{
+		ID:        JobID(r.u64()),
+		Client:    r.addr(),
+		Submitted: sim.Time(r.i64()),
+		Restarts:  int(r.i64()),
+		Wasted:    r.f64(),
+	}
+	for i, n := 0, r.count("job stage", ckptMaxStages); i < n && r.err == nil; i++ {
+		st := StageSpec{
+			Name:        r.str(),
+			Ops:         r.f64(),
+			InputBytes:  int(r.i64()),
+			OutputBytes: int(r.i64()),
+			NeedsSensor: r.str(),
+		}
+		for j, nd := 0, r.count("stage dep", ckptMaxStages); j < nd && r.err == nil; j++ {
+			st.Deps = append(st.Deps, int(r.i64()))
+		}
+		st.Optional = r.bool()
+		jc.Spec.Stages = append(jc.Spec.Stages, st)
+	}
+	jc.Spec.ReplicaBudget = int(r.i64())
+	jc.Spec.ReplicateAll = r.bool()
+	jc.Spec.StageRetries = int(r.i64())
+	jc.Spec.TaskRetries = int(r.i64())
+	jc.Spec.RetryBackoff = sim.Time(r.i64())
+	jc.Spec.Deadline = sim.Time(r.i64())
+	jc.Spec.WholeJobRestart = r.bool()
+	jc.Spec.JobRestarts = int(r.i64())
+	if r.err == nil {
+		if err := jc.Spec.Validate(); err != nil {
+			r.fail("invalid job %d spec: %v", jc.ID, err)
+		}
+	}
+	for i, n := 0, r.count("stage row", ckptMaxStages); i < n && r.err == nil; i++ {
+		sc := StageCheckpoint{
+			Status:  StageStatus(r.u8()),
+			Value:   r.u64(),
+			Retries: int(r.i64()),
+			TaskID:  TaskID(r.u64()),
+		}
+		if r.err == nil && (sc.Status < StageWaiting || sc.Status > StageFailed) {
+			r.fail("job %d stage %d: bad status %d", jc.ID, i, sc.Status)
+			break
+		}
+		for j, nh := 0, r.count("holder", ckptMaxVoters); j < nh && r.err == nil; j++ {
+			sc.Holders = append(sc.Holders, r.addr())
+		}
+		jc.Stages = append(jc.Stages, sc)
+	}
+	return jc
 }
 
 // EncodeCheckpoint serializes a checkpoint for replication. The
@@ -212,6 +341,7 @@ func EncodeCheckpoint(ck Checkpoint) []byte {
 	w.addr(ck.Standby)
 	w.u64(ck.Seq)
 	w.u64(uint64(ck.NextID))
+	w.u64(uint64(ck.NextJobID))
 	w.bool(ck.Emergency)
 	w.i64(int64(ck.FailoverTTL))
 	w.u64(ck.Epoch.Counter)
@@ -259,7 +389,7 @@ func EncodeCheckpoint(ck Checkpoint) []byte {
 		writeTask(w, p.Task)
 		w.addr(p.Client)
 		w.bool(p.OK)
-		w.str(p.Reason)
+		w.str(string(p.Reason))
 		w.u64(p.Value)
 		w.u32(uint32(len(p.Voters)))
 		for _, v := range p.Voters {
@@ -273,6 +403,10 @@ func EncodeCheckpoint(ck Checkpoint) []byte {
 	w.u32(uint32(len(ck.Armed)))
 	for _, a := range ck.Armed {
 		w.addr(a)
+	}
+	w.u32(uint32(len(ck.Jobs)))
+	for _, jc := range ck.Jobs {
+		writeJob(w, jc)
 	}
 	return w.buf
 }
@@ -290,6 +424,7 @@ func DecodeCheckpoint(data []byte) (Checkpoint, error) {
 	ck.Standby = r.addr()
 	ck.Seq = r.u64()
 	ck.NextID = TaskID(r.u64())
+	ck.NextJobID = TaskID(r.u64())
 	ck.Emergency = r.bool()
 	ck.FailoverTTL = sim.Time(r.i64())
 	ck.Epoch.Counter = r.u64()
@@ -340,7 +475,7 @@ func DecodeCheckpoint(data []byte) (Checkpoint, error) {
 		p := ParkedOutcome{Task: readTask(r)}
 		p.Client = r.addr()
 		p.OK = r.bool()
-		p.Reason = r.str()
+		p.Reason = FailReason(r.str())
 		p.Value = r.u64()
 		nv := r.count("voter", ckptMaxVoters)
 		for j := 0; j < nv && r.err == nil; j++ {
@@ -354,6 +489,9 @@ func DecodeCheckpoint(data []byte) (Checkpoint, error) {
 	}
 	for i, n := 0, r.count("armed", ckptMaxMembers); i < n && r.err == nil; i++ {
 		ck.Armed = append(ck.Armed, r.addr())
+	}
+	for i, n := 0, r.count("job", ckptMaxJobs); i < n && r.err == nil; i++ {
+		ck.Jobs = append(ck.Jobs, readJob(r))
 	}
 	if r.err != nil {
 		return Checkpoint{}, r.err

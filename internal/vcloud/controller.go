@@ -35,9 +35,14 @@ type advMsg struct {
 	Epoch Epoch
 }
 
-// joinMsg announces a member and its resources.
+// joinMsg announces a member and its resources. Edge and Delay mark an
+// RSU edge server (see edge.go); they ride every join, so the edge
+// capacity/latency model survives controller failover without touching
+// the checkpoint codec.
 type joinMsg struct {
 	Resources Resources
+	Edge      bool
+	Delay     sim.Time
 }
 
 // taskMsg assigns (or re-assigns) work.
@@ -117,6 +122,30 @@ type Stats struct {
 	StaleRejected metrics.Counter
 	CkptRejected  metrics.Counter
 	StandbyLost   metrics.Counter
+	// DAG job engine counters (PR 7). StageRelays counts controller-
+	// mediated input handoffs (the fallback path); StageHandoffs counts
+	// member-to-member pulls served without a controller round-trip.
+	JobsSubmitted    metrics.Counter
+	JobsCompleted    metrics.Counter
+	JobsPartial      metrics.Counter
+	JobsFailed       metrics.Counter
+	JobsResumed      metrics.Counter
+	JobRestarts      metrics.Counter
+	StagesDispatched metrics.Counter
+	StagesCompleted  metrics.Counter
+	StagesAbandoned  metrics.Counter
+	StageRetries     metrics.Counter
+	StageRelays      metrics.Counter
+	StageHandoffs    metrics.Counter
+	// OpsDispatched accumulates every op handed to a worker (first
+	// dispatches, retries, redundant replicas, handover re-dispatches) —
+	// the denominator of E15's wasted-work accounting.
+	OpsDispatched float64
+}
+
+// JobCompletionRate returns completed/submitted for DAG jobs.
+func (s *Stats) JobCompletionRate() float64 {
+	return metrics.Ratio(s.JobsCompleted.Value(), s.JobsSubmitted.Value())
 }
 
 // CompletionRate returns completed/submitted.
@@ -204,6 +233,11 @@ type memberInfo struct {
 	lastSeen sim.Time
 	// queuedOps is the controller's view of outstanding work.
 	queuedOps float64
+	// edge marks an ETSI-MEC-style RSU edge server: fixed
+	// infrastructure, so dwell checks always pass, at the cost of a
+	// per-task processing delay added to its finish estimate.
+	edge  bool
+	delay sim.Time
 }
 
 type taskState struct {
@@ -239,7 +273,10 @@ type Controller struct {
 	members map[vnet.Addr]*memberInfo
 	tasks   map[TaskID]*taskState
 	nextID  TaskID
-	ticker  *sim.Ticker
+	// DAG job engine state (see dagsched.go).
+	jobs      map[JobID]*jobState
+	nextJobID TaskID
+	ticker    *sim.Ticker
 	// rng feeds the dependability layer's backoff jitter; it is a named
 	// kernel stream, so retry timing reproduces bit-for-bit per seed.
 	rng *rand.Rand
@@ -310,6 +347,7 @@ func NewController(node *vnet.Node, cfg ControllerConfig, stats *Stats) (*Contro
 		stats:   stats,
 		members: make(map[vnet.Addr]*memberInfo),
 		tasks:   make(map[TaskID]*taskState),
+		jobs:    make(map[JobID]*jobState),
 		standby: -1,
 		rng:     node.Kernel().NewStream(fmt.Sprintf("vcloud.depend.%d", node.Addr())),
 	}
@@ -317,6 +355,7 @@ func NewController(node *vnet.Node, cfg ControllerConfig, stats *Stats) (*Contro
 	node.Handle(kindLeave, c.onLeave)
 	node.Handle(kindResult, c.onResult)
 	node.Handle(kindHandover, c.onHandover)
+	node.Handle(kindStageRelay, c.onStageRelay)
 	if cfg.Fencing {
 		c.epoch = NextEpoch(0, node.Addr())
 		c.armed = make(map[vnet.Addr]armedStandby)
@@ -352,8 +391,9 @@ func (c *Controller) Stop() {
 		for _, slot := range ts.replicas {
 			c.node.Kernel().Cancel(slot.timeout)
 		}
-		c.finish(id, ts, false, "controller stopped")
+		c.finish(id, ts, false, ReasonControllerStopped)
 	}
+	c.failAllJobs(ReasonControllerStopped)
 }
 
 // Crash halts the controller abruptly, as a process failure would: no
@@ -382,6 +422,7 @@ func (c *Controller) halt() {
 	c.node.Handle(kindLeave, nil)
 	c.node.Handle(kindResult, nil)
 	c.node.Handle(kindHandover, nil)
+	c.node.Handle(kindStageRelay, nil)
 	if c.cfg.Fencing {
 		c.node.Handle(kindAdv, nil)
 		c.node.Handle(kindMerge, nil)
@@ -515,7 +556,7 @@ func (c *Controller) reassignOrphans(gone vnet.Addr) {
 		c.cfg.Trace.Emit(c.node.Kernel().Now(), trace.CatCloud, int32(c.node.Addr()),
 			"task %d orphaned by expired member %d, reassigning", id, gone)
 		if ts.retries >= c.cfg.RetryLimit {
-			c.finish(id, ts, false, "retries exhausted")
+			c.finish(id, ts, false, ReasonRetriesExhausted)
 			continue
 		}
 		ts.retries++
@@ -542,6 +583,8 @@ func (c *Controller) onJoin(msg vnet.Message, _ vnet.Addr) {
 		c.stats.JoinEvents.Inc()
 	}
 	m.res = jm.Resources
+	m.edge = jm.Edge
+	m.delay = jm.Delay
 	m.lastSeen = c.node.Kernel().Now()
 }
 
@@ -590,9 +633,17 @@ func (c *Controller) SubmitFor(client vnet.Addr, task Task, done func(TaskResult
 	c.tasks[task.ID] = ts
 	c.stats.Submitted.Inc()
 	// Deadline-aware fail-fast: a deadline no eligible member could meet
-	// is rejected immediately instead of burning a doomed timeout.
+	// is rejected immediately instead of burning a doomed timeout. The
+	// finish runs on the next kernel tick, not inside SubmitFor: callers
+	// (the DAG engine included) record the returned TaskID to route the
+	// outcome, so finishing before SubmitFor returns would strand it.
 	if c.failFastDeadline(task) {
-		c.finish(task.ID, ts, false, "deadline")
+		id := task.ID
+		c.node.Kernel().After(0, func() {
+			if ts, live := c.tasks[id]; live {
+				c.finish(id, ts, false, ReasonDeadline)
+			}
+		})
 		return task.ID, nil
 	}
 	c.launch(ts)
@@ -624,11 +675,13 @@ func (c *Controller) pickMember(ts *taskState) (vnet.Addr, bool) {
 			continue
 		}
 		runtime := (m.queuedOps + ts.remainingOps) / m.res.CPU
-		cd := cand{addr: a, finish: runtime}
-		if c.cfg.Dwell != nil {
+		cd := cand{addr: a, finish: runtime + m.delay.Seconds()}
+		if c.cfg.Dwell != nil && !m.edge {
 			d := c.cfg.Dwell(a)
 			cd.hasDwell = d >= runtime*c.cfg.DwellMargin
 		} else {
+			// Edge servers are fixed infrastructure: dwell always
+			// suffices.
 			cd.hasDwell = true
 		}
 		if cd.hasDwell {
@@ -661,7 +714,7 @@ func (c *Controller) assign(ts *taskState) {
 		// No members: retry shortly rather than failing outright (the
 		// cloud may still be forming).
 		if ts.retries >= c.cfg.RetryLimit {
-			c.finish(ts.task.ID, ts, false, "no members")
+			c.finish(ts.task.ID, ts, false, ReasonNoEligibleMember)
 			return
 		}
 		ts.retries++
@@ -681,6 +734,7 @@ func (c *Controller) assign(ts *taskState) {
 		"task %d assign -> %d (attempt %d, %.0f ops left)", ts.task.ID, addr, ts.attempt, ts.remainingOps)
 	m := c.members[addr]
 	m.queuedOps += ts.remainingOps
+	c.stats.OpsDispatched += ts.remainingOps
 	msg := c.node.NewMessage(addr, kindTask, 64+ts.task.InputBytes, 1, taskMsg{
 		Task:         ts.task,
 		RemainingOps: ts.remainingOps,
@@ -705,7 +759,7 @@ func (c *Controller) assign(ts *taskState) {
 		c.stats.WastedOps += ts.remainingOps
 		c.releaseQueue(ts)
 		if ts.retries >= c.cfg.RetryLimit {
-			c.finish(ts.task.ID, ts, false, "retries exhausted")
+			c.finish(ts.task.ID, ts, false, ReasonRetriesExhausted)
 			return
 		}
 		ts.retries++
@@ -748,7 +802,7 @@ func (c *Controller) onResult(msg vnet.Message, _ vnet.Addr) {
 	ts.value = rm.Value
 	ts.voters = []vnet.Addr{msg.Origin}
 	if ts.task.Deadline > 0 && c.node.Kernel().Now() > ts.task.Deadline {
-		c.finish(rm.ID, ts, false, "deadline missed")
+		c.finish(rm.ID, ts, false, ReasonDeadline)
 		return
 	}
 	c.finish(rm.ID, ts, true, "")
@@ -783,7 +837,7 @@ func (c *Controller) onHandover(msg vnet.Message, _ vnet.Addr) {
 	c.assign(ts)
 }
 
-func (c *Controller) finish(id TaskID, ts *taskState, ok bool, reason string) {
+func (c *Controller) finish(id TaskID, ts *taskState, ok bool, reason FailReason) {
 	if _, live := c.tasks[id]; !live {
 		// Tripwire for the "no task both completed and failed" invariant:
 		// a second finish means two code paths both claimed the task.

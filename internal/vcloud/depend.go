@@ -32,6 +32,7 @@ import (
 	"sort"
 	"time"
 
+	"vcloud/internal/mobility"
 	"vcloud/internal/sim"
 	"vcloud/internal/trace"
 	"vcloud/internal/vnet"
@@ -151,9 +152,17 @@ func (c *Controller) trustEligible(p *DependabilityPolicy, addr vnet.Addr) bool 
 // like the plain scheduler. Returns false when nobody qualifies.
 func (c *Controller) pickReplicaMember(ts *taskState, exclude map[vnet.Addr]bool, remaining float64) (vnet.Addr, bool) {
 	now := c.node.Kernel().Now()
+	// DAG stage placement layers two reliability weights on top of the
+	// plain finish-time ranking (tentpole: stages placed "weighted by
+	// predicted residual dwell time and trust score"): the finish
+	// estimate is divided by the worker's Beta-reputation weight, and
+	// finish ties break toward the higher dwell tier before the address.
+	// Non-stage tasks keep the exact legacy ordering.
+	stage := ts.task.Stage != nil
 	type cand struct {
 		addr     vnet.Addr
 		finish   float64
+		tier     int
 		hasDwell bool
 	}
 	var ok, short []cand
@@ -168,17 +177,27 @@ func (c *Controller) pickReplicaMember(ts *taskState, exclude map[vnet.Addr]bool
 			continue
 		}
 		runtime := (m.queuedOps + remaining) / m.res.CPU
-		cd := cand{addr: a, finish: runtime}
-		if c.cfg.Dwell != nil {
-			cd.hasDwell = c.cfg.Dwell(a) >= runtime*c.cfg.DwellMargin
+		cd := cand{addr: a, finish: runtime + m.delay.Seconds()}
+		dwell := math.Inf(1)
+		if c.cfg.Dwell != nil && !m.edge {
+			dwell = c.cfg.Dwell(a)
+			cd.hasDwell = dwell >= runtime*c.cfg.DwellMargin
 		} else {
+			// Edge servers are fixed infrastructure: dwell always
+			// suffices.
 			cd.hasDwell = true
 		}
+		if stage {
+			cd.tier = mobility.DwellTier(dwell)
+			if c.cfg.Workers != nil {
+				cd.finish /= c.cfg.Workers.Weight(a)
+			}
+		}
 		if cd.hasDwell {
-			//vcloudlint:allow nomaporder pool order is immaterial: the best-pick below totally orders on (finish, addr)
+			//vcloudlint:allow nomaporder pool order is immaterial: the best-pick below totally orders on (finish, tier, addr)
 			ok = append(ok, cd)
 		} else {
-			//vcloudlint:allow nomaporder pool order is immaterial: the best-pick below totally orders on (finish, addr)
+			//vcloudlint:allow nomaporder pool order is immaterial: the best-pick below totally orders on (finish, tier, addr)
 			short = append(short, cd)
 		}
 	}
@@ -191,7 +210,12 @@ func (c *Controller) pickReplicaMember(ts *taskState, exclude map[vnet.Addr]bool
 	}
 	best := pool[0]
 	for _, cd := range pool[1:] {
-		if cd.finish < best.finish || (cd.finish == best.finish && cd.addr < best.addr) {
+		switch {
+		case cd.finish < best.finish:
+			best = cd
+		case cd.finish == best.finish && cd.tier > best.tier:
+			best = cd
+		case cd.finish == best.finish && cd.tier == best.tier && cd.addr < best.addr:
 			best = cd
 		}
 	}
@@ -249,7 +273,7 @@ func (c *Controller) dispatchReplicas(ts *taskState, need int) {
 		// Nobody eligible right now (cloud still forming, or the trust
 		// gate emptied the pool): treat like the plain path's no-member
 		// case and come back after a backoff round.
-		c.scheduleRetryRound(ts, "no members")
+		c.scheduleRetryRound(ts, ReasonNoEligibleMember)
 	}
 }
 
@@ -264,6 +288,7 @@ func (c *Controller) dispatchOneReplica(ts *taskState, addr vnet.Addr, remaining
 		"task %d replica %d -> %d (attempt %d, %.0f ops)", ts.task.ID, idx, addr, slot.attempt, remaining)
 	m := c.members[addr]
 	m.queuedOps += remaining
+	c.stats.OpsDispatched += remaining
 	msg := c.node.NewMessage(addr, kindTask, 64+ts.task.InputBytes, 1, taskMsg{
 		Task:         ts.task,
 		RemainingOps: remaining,
@@ -310,12 +335,12 @@ func (c *Controller) failReplica(ts *taskState, slot *replicaSlot, badWeight flo
 // scheduleRetryRound burns one retry and re-enters dispatch after a
 // deterministic exponential backoff with seeded jitter. failReason is
 // used when the retry budget is already spent.
-func (c *Controller) scheduleRetryRound(ts *taskState, failReason string) {
+func (c *Controller) scheduleRetryRound(ts *taskState, failReason FailReason) {
 	if ts.roundPending {
 		return
 	}
 	if ts.task.Deadline > 0 && c.node.Kernel().Now() > ts.task.Deadline {
-		c.finishDepend(ts, false, "deadline missed", 0)
+		c.finishDepend(ts, false, ReasonDeadline, 0)
 		return
 	}
 	if ts.retries >= ts.policy.MaxRetries {
@@ -504,11 +529,11 @@ func (c *Controller) maybeDecide(ts *taskState) {
 			return
 		}
 		c.stats.NoQuorum.Inc()
-		c.scheduleRetryRound(ts, "no quorum")
+		c.scheduleRetryRound(ts, ReasonNoQuorum)
 		return
 	}
 	// Every replica died without voting.
-	c.scheduleRetryRound(ts, "retries exhausted")
+	c.scheduleRetryRound(ts, ReasonRetriesExhausted)
 }
 
 // decideVote settles the task on the winning value: winners earn
@@ -517,7 +542,7 @@ func (c *Controller) maybeDecide(ts *taskState) {
 // voter roster.
 func (c *Controller) decideVote(ts *taskState, winner uint64) {
 	if ts.task.Deadline > 0 && c.node.Kernel().Now() > ts.task.Deadline {
-		c.finishDepend(ts, false, "deadline missed", 0)
+		c.finishDepend(ts, false, ReasonDeadline, 0)
 		return
 	}
 	seen := make(map[vnet.Addr]bool, len(ts.replicas))
@@ -544,7 +569,7 @@ func (c *Controller) decideVote(ts *taskState, winner uint64) {
 
 // finishDepend releases everything the replicated task still holds and
 // completes it through the common finish path.
-func (c *Controller) finishDepend(ts *taskState, ok bool, reason string, value uint64) {
+func (c *Controller) finishDepend(ts *taskState, ok bool, reason FailReason, value uint64) {
 	for _, slot := range ts.replicas {
 		if !slot.resolved() {
 			c.node.Kernel().Cancel(slot.timeout)

@@ -144,8 +144,8 @@ func TestAllByzantineFailsSafeWithNoQuorum(t *testing.T) {
 	if res.OK {
 		t.Fatalf("result = %+v: a unanimous-liar cloud completed a task", res)
 	}
-	if res.Reason != "no quorum" {
-		t.Errorf("reason = %q, want \"no quorum\"", res.Reason)
+	if res.Reason != vcloud.ReasonNoQuorum {
+		t.Errorf("reason = %q, want %q", res.Reason, vcloud.ReasonNoQuorum)
 	}
 	if stats.NoQuorum.Value() == 0 {
 		t.Error("no-quorum counter never incremented")

@@ -41,6 +41,33 @@ type TaskCheckpoint struct {
 	Submitted    sim.Time
 }
 
+// StageCheckpoint is one stage row inside a JobCheckpoint. Topological
+// order and the replica allocation are NOT checkpointed — they are pure
+// functions of the spec, recomputed identically on restore.
+type StageCheckpoint struct {
+	Status  StageStatus
+	Value   uint64
+	Retries int
+	// TaskID names the live underlying task of a running stage; a
+	// successor whose task table lacks it resets the stage to waiting
+	// and re-dispatches (see dagResume).
+	TaskID  TaskID
+	Holders []vnet.Addr
+}
+
+// JobCheckpoint is one in-flight DAG job inside a checkpoint or merge
+// message: the spec plus per-stage progress, so a successor resumes the
+// job from its completed stages instead of restarting it.
+type JobCheckpoint struct {
+	ID        JobID
+	Client    vnet.Addr
+	Submitted sim.Time
+	Restarts  int
+	Wasted    float64
+	Spec      JobSpec
+	Stages    []StageCheckpoint
+}
+
 // Checkpoint is the replicated controller state — the Snapshot()
 // membership view extended with the in-flight task table and the
 // counters a successor needs (§V.A "recover the snapshot of the
@@ -54,6 +81,8 @@ type Checkpoint struct {
 	Seq uint64
 	// NextID continues the task-ID sequence without collisions.
 	NextID TaskID
+	// NextJobID continues the job-ID sequence without collisions.
+	NextJobID TaskID
 	// Emergency carries the management-plane flag across failover.
 	Emergency bool
 	// FailoverTTL is how long the standby tolerates advertisement silence
@@ -86,6 +115,9 @@ type Checkpoint struct {
 	// sibling disarms or the epoch battle resolves, so two sibling
 	// successors never both apply one task's outcome.
 	Armed []vnet.Addr
+	// Jobs is the in-flight DAG job table in ascending job-ID order; a
+	// successor resumes each job from its checkpointed stage progress.
+	Jobs []JobCheckpoint
 }
 
 // ckptMsg replicates a checkpoint to the standby as encoded bytes: the
@@ -116,6 +148,7 @@ func (c *Controller) Checkpoint() Checkpoint {
 		Standby:     c.standby,
 		Seq:         c.ckptSeq,
 		NextID:      c.nextID,
+		NextJobID:   c.nextJobID,
 		Emergency:   c.emergency,
 		FailoverTTL: c.cfg.FailoverTTL,
 		Cfg:         cfg,
@@ -123,6 +156,7 @@ func (c *Controller) Checkpoint() Checkpoint {
 		Applied:     c.exportLedger(),
 		Parked:      c.exportParked(),
 		Armed:       c.exportArmed(),
+		Jobs:        c.exportJobs(),
 	}
 	for _, a := range c.Members() {
 		ck.Members = append(ck.Members, MemberSnapshot{Addr: a, Res: c.members[a].res})
@@ -222,6 +256,7 @@ func RestoreController(node *vnet.Node, ckpt Checkpoint, stats *Stats) (*Control
 		c.members[ms.Addr] = &memberInfo{res: ms.Res, lastSeen: now - c.cfg.MemberTTL}
 	}
 	c.nextID = ckpt.NextID
+	c.nextJobID = ckpt.NextJobID
 	c.emergency = ckpt.Emergency
 	if cfg.Fencing {
 		// Promote at a strictly higher counter than any epoch this node
@@ -243,8 +278,14 @@ func RestoreController(node *vnet.Node, ckpt Checkpoint, stats *Stats) (*Control
 		c.inheritArmed(ckpt.Armed, now)
 	}
 	c.cfg.Trace.Emit(now, trace.CatCloud, int32(self),
-		"promoted to controller (ckpt seq %d from %d: %d members, %d tasks, epoch %v)",
-		ckpt.Seq, ckpt.Controller, len(ckpt.Members), len(ckpt.Tasks), c.epoch)
+		"promoted to controller (ckpt seq %d from %d: %d members, %d tasks, %d jobs, epoch %v)",
+		ckpt.Seq, ckpt.Controller, len(ckpt.Members), len(ckpt.Tasks), len(ckpt.Jobs), c.epoch)
+	// Restore jobs before relaunching tasks: a relaunched stage task can
+	// finish synchronously and must find its job row to route into.
+	for _, jc := range ckpt.Jobs {
+		c.restoreJob(jc)
+		stats.JobsResumed.Inc()
+	}
 	for _, tc := range ckpt.Tasks {
 		ts := &taskState{
 			task:         tc.Task,
@@ -259,6 +300,9 @@ func RestoreController(node *vnet.Node, ckpt Checkpoint, stats *Stats) (*Control
 		stats.Resumed.Inc()
 		c.launch(ts)
 	}
+	// Stages whose tasks died with the predecessor (or were applied on
+	// its side) go back to waiting and re-dispatch under the new epoch.
+	c.dagResume()
 	c.advertise()
 	return c, nil
 }

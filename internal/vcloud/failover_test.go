@@ -182,7 +182,7 @@ func TestCrashVersusStop(t *testing.T) {
 			if calls != 1 {
 				t.Fatalf("Stop fired done %d times, want exactly 1", calls)
 			}
-			if last.OK || last.Reason != "controller stopped" {
+			if last.OK || last.Reason != vcloud.ReasonControllerStopped {
 				t.Errorf("Stop result = %+v, want controller-stopped failure", last)
 			}
 			if stats.Failed.Value() != 1 {
@@ -391,7 +391,7 @@ func TestTaskTimeoutExhaustsRetries(t *testing.T) {
 	if err := s.RunFor(2 * time.Minute); err != nil {
 		t.Fatal(err)
 	}
-	if res.OK || res.Reason != "retries exhausted" {
+	if res.OK || res.Reason != vcloud.ReasonRetriesExhausted {
 		t.Errorf("result = %+v, want retries-exhausted failure", res)
 	}
 	if got := stats.Retries.Value(); got != 2 {

@@ -43,6 +43,14 @@ type MemberConfig struct {
 	// member accepts leadership from — the hook the chaos harness uses
 	// to assert "at most one controller accepted per epoch".
 	OnAccept func(controller vnet.Addr, e Epoch)
+	// EdgeTier marks this member as a roadside edge server (ETSI-MEC
+	// style RSU): always in range, so the controller's dwell gate does
+	// not apply to it. See edge.go.
+	EdgeTier bool
+	// StartDelay is added to every task before compute starts — the
+	// offload round-trip an edge server pays per task. Zero for
+	// ordinary vehicular members.
+	StartDelay sim.Time
 }
 
 // runningTask is a task being executed locally.
@@ -55,6 +63,11 @@ type runningTask struct {
 	startedAt  sim.Time
 	ops        float64 // ops this attempt started with
 	doneEv     sim.EventID
+	// fetching marks a stage task still gathering predecessor outputs
+	// (no compute started yet, so it contributes no executed ops).
+	fetching bool
+	// stageInputs are the pulled predecessor values, in Deps order.
+	stageInputs []uint64
 }
 
 // Member is the worker-side agent of a vehicular cloud: it joins
@@ -90,6 +103,11 @@ type Member struct {
 	// witnessed; advertisements, dispatches and checkpoints from a lower
 	// counter are stale and rejected.
 	highestEpoch Epoch
+	// cache holds stage outputs this member computed or pulled, served
+	// to downstream stage workers (see stagepipe.go).
+	cache *stageCache
+	// fetches tracks stage tasks still gathering their inputs.
+	fetches map[TaskID]*stageFetch
 }
 
 // NewMember creates and starts a member agent on node.
@@ -111,10 +129,14 @@ func NewMember(node *vnet.Node, cfg MemberConfig, stats *Stats) (*Member, error)
 		controller:  -1,
 		authz:       make(map[vnet.Addr]bool),
 		standbyFrom: -1,
+		cache:       newStageCache(),
+		fetches:     make(map[TaskID]*stageFetch),
 	}
 	node.Handle(kindAdv, m.onAdv)
 	node.Handle(kindTask, m.onTask)
 	node.Handle(kindCkpt, m.onCkpt)
+	node.Handle(kindStagePull, m.onStagePull)
+	node.Handle(kindStageData, m.onStageData)
 	t, err := node.Kernel().Every(cfg.CheckPeriod, m.tick)
 	if err != nil {
 		return nil, err
@@ -133,6 +155,12 @@ func (m *Member) Stop() {
 	m.node.Handle(kindAdv, nil)
 	m.node.Handle(kindTask, nil)
 	m.node.Handle(kindCkpt, nil)
+	m.node.Handle(kindStagePull, nil)
+	m.node.Handle(kindStageData, nil)
+	for _, f := range m.fetches {
+		m.node.Kernel().Cancel(f.timeout)
+	}
+	m.fetches = make(map[TaskID]*stageFetch)
 	for _, rt := range m.current {
 		m.node.Kernel().Cancel(rt.doneEv)
 		m.stats.WastedOps += m.executedOps(rt)
@@ -258,7 +286,11 @@ func (m *Member) join() {
 }
 
 func (m *Member) sendJoin(ctl vnet.Addr) {
-	msg := m.node.NewMessage(ctl, kindJoin, 128, 1, joinMsg{Resources: m.cfg.Resources})
+	msg := m.node.NewMessage(ctl, kindJoin, 128, 1, joinMsg{
+		Resources: m.cfg.Resources,
+		Edge:      m.cfg.EdgeTier,
+		Delay:     m.cfg.StartDelay,
+	})
 	m.node.SendTo(ctl, msg)
 }
 
@@ -272,6 +304,9 @@ func (m *Member) Leave() {
 }
 
 func (m *Member) executedOps(rt *runningTask) float64 {
+	if rt.fetching {
+		return 0 // still gathering inputs: no compute spent yet
+	}
 	elapsed := (m.node.Kernel().Now() - rt.startedAt).Seconds()
 	done := elapsed * m.cfg.Resources.CPU
 	if done > rt.ops {
@@ -326,11 +361,18 @@ func (m *Member) onTask(msg vnet.Message, _ vnet.Addr) {
 		replica:    tm.Replica,
 		controller: msg.Origin,
 		epoch:      tm.Epoch,
-		startedAt:  m.node.Kernel().Now() + sim.Time(queued/m.cfg.Resources.CPU*float64(time.Second)),
 		ops:        tm.RemainingOps,
 	}
 	m.current[tm.Task.ID] = rt
-	runFor := sim.Time((queued + tm.RemainingOps) / m.cfg.Resources.CPU * float64(time.Second))
+	// A stage task with predecessor inputs gathers them first (see
+	// stagepipe.go); compute is scheduled when the last input lands.
+	if b := tm.Task.Stage; b != nil && len(b.Inputs) > 0 {
+		m.startStageFetch(rt)
+		return
+	}
+	wait := m.cfg.StartDelay + sim.Time(queued/m.cfg.Resources.CPU*float64(time.Second))
+	rt.startedAt = m.node.Kernel().Now() + wait
+	runFor := wait + sim.Time(tm.RemainingOps/m.cfg.Resources.CPU*float64(time.Second))
 	rt.doneEv = m.node.Kernel().After(runFor, func() { m.complete(rt) })
 }
 
@@ -346,9 +388,22 @@ func (m *Member) complete(rt *runningTask) {
 	}
 	delete(m.current, rt.task.ID)
 	m.spentOps += rt.ops
-	value := TaskValue(rt.task)
+	var value uint64
+	if b := rt.task.Stage; b != nil {
+		// Stage result: digest of the stage identity and pulled inputs,
+		// cached so downstream stage workers can pull it from here.
+		value = StageDigest(b.Job, b.Stage, rt.task.Ops, rt.stageInputs)
+	} else {
+		value = TaskValue(rt.task)
+	}
 	if m.tamper != nil {
 		value = m.tamper(rt.task, value)
+	}
+	if b := rt.task.Stage; b != nil {
+		// Cache the (possibly tampered) value: a Byzantine member serves
+		// downstream exactly what it voted, so provenance rotation plus
+		// voting can catch it.
+		m.cache.put(stageKey{job: b.Job, stage: b.Stage}, stageEntry{value: value, bytes: b.OutputBytes})
 	}
 	msg := m.node.NewMessage(rt.controller, kindResult, 64+rt.task.OutputBytes, 1, resultMsg{
 		ID:      rt.task.ID,
@@ -516,6 +571,11 @@ func (m *Member) tick() {
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	for _, id := range ids {
 		rt := m.current[id]
+		if rt.fetching {
+			// No compute spent yet: let the controller's attempt timeout
+			// reassign instead of handing over an unstarted stage.
+			continue
+		}
 		remaining := rt.ops - m.executedOps(rt)
 		needed := remaining / m.cfg.Resources.CPU
 		if window > needed+1.0 {

@@ -68,7 +68,7 @@ type ParkedOutcome struct {
 	Task      Task
 	Client    vnet.Addr
 	OK        bool
-	Reason    string
+	Reason    FailReason
 	Value     uint64
 	Voters    []vnet.Addr
 	Retries   int
@@ -89,6 +89,9 @@ type mergeMsg struct {
 	// that hold its replicated state and could still promote from it.
 	// The survivor inherits them (see inheritArmed).
 	Armed []vnet.Addr
+	// Jobs are the abdicator's in-flight DAG jobs; the survivor adopts
+	// any it does not already run and resumes their pending stages.
+	Jobs []JobCheckpoint
 }
 
 // parkedEntry is a parked outcome plus the local-only context needed to
@@ -262,6 +265,12 @@ func (c *Controller) applyEntry(e *parkedEntry) {
 			Voters:    e.po.Voters,
 		})
 	}
+	// Stage outcomes route to the DAG scheduler from here — after the
+	// ledger dedup — so a stage can never advance its job twice even
+	// when the same outcome arrives via retry, merge and checkpoint.
+	if e.po.Task.Stage != nil {
+		c.onStageApplied(e.po)
+	}
 }
 
 // tryFlushParked applies every parked outcome whose carrying checkpoint
@@ -375,6 +384,7 @@ func (c *Controller) abdicateTo(target vnet.Addr, rival Epoch) {
 		Applied: c.exportLedger(),
 		Parked:  c.exportParked(),
 		Armed:   c.exportArmed(),
+		Jobs:    c.exportJobs(),
 	}
 	for _, a := range c.Members() {
 		mm.Members = append(mm.Members, MemberSnapshot{Addr: a, Res: c.members[a].res})
@@ -395,7 +405,7 @@ func (c *Controller) abdicateTo(target vnet.Addr, rival Epoch) {
 			Submitted:    ts.submitted,
 		})
 	}
-	size := 128 + 24*len(mm.Members) + 96*len(mm.Tasks) + 16*len(mm.Applied) + 96*len(mm.Parked)
+	size := 128 + 24*len(mm.Members) + 96*len(mm.Tasks) + 16*len(mm.Applied) + 96*len(mm.Parked) + 160*len(mm.Jobs)
 	msg := c.node.NewMessage(target, kindMerge, size, 1, mm)
 	c.node.SendTo(target, msg)
 	onAbdicate := c.cfg.OnAbdicate
@@ -435,6 +445,14 @@ func (c *Controller) onMerge(msg vnet.Message, _ vnet.Addr) {
 	// promote from it; inherit the obligation before deciding whether
 	// its parked outcomes (and ours) can apply directly.
 	c.inheritArmed(mm.Armed, now)
+	// Adopt the rival's in-flight DAG jobs before its tasks, so adopted
+	// stage tasks (and parked stage outcomes below) find their job rows.
+	for _, jc := range mm.Jobs {
+		if _, live := c.jobs[jc.ID]; live {
+			continue // shared checkpoint lineage: we already run this job
+		}
+		c.restoreJob(jc)
+	}
 	adopted := 0
 	for _, tc := range mm.Tasks {
 		id := tc.Task.ID
@@ -483,6 +501,9 @@ func (c *Controller) onMerge(msg vnet.Message, _ vnet.Addr) {
 			c.applyEntry(e)
 		}
 	}
+	// Re-drive adopted DAGs: stages whose tasks died with the abdicator
+	// go back to Waiting and are re-dispatched under the merged epoch.
+	c.dagResume()
 	// Bump past both generations and re-advertise: members re-accept
 	// leadership under a counter no other controller has ever claimed,
 	// keeping "at most one controller accepted per epoch" sound.

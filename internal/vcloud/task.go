@@ -52,6 +52,10 @@ type Task struct {
 	// dependability policy for this task: redundant replicas, retry
 	// budget, voting (see DependabilityPolicy).
 	Depend *DependabilityPolicy
+	// Stage, when non-nil, marks this task as one stage of a DAG job:
+	// the worker must pull the listed predecessor outputs before compute
+	// and the controller routes the outcome to the job engine (dag.go).
+	Stage *StageBinding
 }
 
 // Validate checks task sanity.
@@ -120,6 +124,26 @@ func (s TaskStatus) String() string {
 	}
 }
 
+// FailReason is a structured failure cause carried on TaskResult (and
+// JobResult). Schedulers branch on these values — the DAG engine decides
+// between stage retry, forming-cloud backoff and job abort from the
+// reason alone — so they are stable identifiers, not display strings.
+type FailReason string
+
+// Failure reasons. Empty means success.
+const (
+	ReasonNone              FailReason = ""
+	ReasonRetriesExhausted  FailReason = "retries-exhausted"
+	ReasonDeadline          FailReason = "deadline"
+	ReasonNoEligibleMember  FailReason = "no-eligible-member"
+	ReasonNoQuorum          FailReason = "no-quorum"
+	ReasonControllerStopped FailReason = "controller-stopped"
+	ReasonUplinkDown        FailReason = "uplink-down"
+	// ReasonStageFailed marks a job that failed because a required stage
+	// exhausted its budget (job-level only).
+	ReasonStageFailed FailReason = "stage-failed"
+)
+
 // TaskResult reports a finished task to its submitter.
 type TaskResult struct {
 	ID        TaskID
@@ -130,7 +154,7 @@ type TaskResult struct {
 	// plain retry loop and replica replacements under a dependability
 	// policy); it is populated on every completion path.
 	Retries int
-	Reason  string
+	Reason  FailReason
 	// Value is the computed result: the winning value of the replica
 	// vote under a dependability policy, or the single worker's value
 	// otherwise. Compare against TaskValue to check correctness.

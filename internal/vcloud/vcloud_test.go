@@ -369,7 +369,7 @@ func TestRemoteCloudBackend(t *testing.T) {
 	if err := rc.Submit(vcloud.Task{Ops: 1e5}, func(r vcloud.TaskResult) { res2 = r }); err != nil {
 		t.Fatal(err)
 	}
-	if res2.OK || res2.Reason != "uplink down" {
+	if res2.OK || res2.Reason != vcloud.ReasonUplinkDown {
 		t.Errorf("outage result = %+v", res2)
 	}
 	if err := rc.Submit(vcloud.Task{Ops: 0}, nil); err == nil {
@@ -708,7 +708,7 @@ func TestTaskDeadlineMissedFails(t *testing.T) {
 	if err := s.RunFor(2 * time.Minute); err != nil {
 		t.Fatal(err)
 	}
-	if res.OK || res.Reason != "deadline missed" {
+	if res.OK || res.Reason != vcloud.ReasonDeadline {
 		t.Errorf("result = %+v, want deadline-missed failure", res)
 	}
 	if stats.Failed.Value() != 1 {
@@ -722,7 +722,10 @@ func TestTaskDeadlineMissedFails(t *testing.T) {
 func TestTaskInfeasibleDeadlineFailsFastAtSubmit(t *testing.T) {
 	// Regression for the fail-fast bugfix: a deadline no eligible member
 	// could possibly meet is rejected at submit with reason "deadline"
-	// instead of burning a doomed multi-second timeout.
+	// instead of burning a doomed multi-second timeout. The callback
+	// lands on the next kernel tick — still the same virtual instant
+	// (latency zero) but never inside Submit itself, so callers can
+	// always record the returned TaskID before the outcome routes back.
 	s := parkingScenario(t, 2)
 	stats := &vcloud.Stats{}
 	d, err := vcloud.Deploy(s, vcloud.Stationary, vcloud.DeployConfig{}, stats)
@@ -744,10 +747,16 @@ func TestTaskInfeasibleDeadlineFailsFastAtSubmit(t *testing.T) {
 	if err := d.SubmitAnywhere(task, func(r vcloud.TaskResult) { res = r; fired++ }); err != nil {
 		t.Fatal(err)
 	}
-	if fired != 1 {
-		t.Fatalf("done fired %d times, want 1 (synchronous rejection)", fired)
+	if fired != 0 {
+		t.Fatalf("done fired %d times inside Submit, want 0 (deferred to the next tick)", fired)
 	}
-	if res.OK || res.Reason != "deadline" {
+	if err := s.RunFor(time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("done fired %d times, want 1 (rejected at submit time)", fired)
+	}
+	if res.OK || res.Reason != vcloud.ReasonDeadline {
 		t.Errorf("result = %+v, want fail-fast with reason \"deadline\"", res)
 	}
 	if res.Latency != 0 {
@@ -762,7 +771,10 @@ func TestTaskInfeasibleDeadlineFailsFastAtSubmit(t *testing.T) {
 		func(r vcloud.TaskResult) { res2 = r }); err != nil {
 		t.Fatal(err)
 	}
-	if res2.OK || res2.Reason != "deadline" {
+	if err := s.RunFor(time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if res2.OK || res2.Reason != vcloud.ReasonDeadline {
 		t.Errorf("past-deadline result = %+v, want fail-fast", res2)
 	}
 }
@@ -788,7 +800,7 @@ func TestSubmitWithNoMembersRetriesThenFails(t *testing.T) {
 	if err := s.Kernel.Run(time.Minute); err != nil {
 		t.Fatal(err)
 	}
-	if res.OK || res.Reason != "no members" {
+	if res.OK || res.Reason != vcloud.ReasonNoEligibleMember {
 		t.Errorf("result = %+v, want no-members failure", res)
 	}
 	if stats.Retries.Value() != 2 {

@@ -17,8 +17,11 @@
 //     authentication over a TA-rooted PKI, attribute-based access
 //     control with sticky data–policy packages, and real-time message
 //     trustworthiness validation;
+//   - reliability-aware multi-stage DAG jobs: criticality-driven
+//     selective replication, stage-output pipelining with fenced
+//     handoff, an ETSI-MEC RSU edge tier and graceful degradation;
 //   - the adversary models of the paper's §III threat list, and the
-//     E1–E14 experiment suite that operationalizes every figure and
+//     E1–E15 experiment suite that operationalizes every figure and
 //     claim (see DESIGN.md and EXPERIMENTS.md).
 //
 // This root package is the public facade: it re-exports the library's
@@ -46,6 +49,7 @@ import (
 	"vcloud/internal/sim"
 	"vcloud/internal/store"
 	"vcloud/internal/vcloud"
+	"vcloud/internal/vnet"
 )
 
 // Core simulation types.
@@ -59,6 +63,9 @@ type (
 	Point = geo.Point
 	// Duration is virtual simulation time.
 	Duration = sim.Time
+	// Node is a network endpoint in the simulated VANET (vehicles and
+	// RSUs each own one; Scenario.AddRSU returns the RSU's node).
+	Node = vnet.Node
 	// VehicleID identifies a vehicle.
 	VehicleID = mobility.VehicleID
 	// Profile describes a vehicle's driving and equipment profile.
@@ -90,6 +97,60 @@ const (
 	Infrastructure = vcloud.Infrastructure
 	Dynamic        = vcloud.Dynamic
 )
+
+// Multi-stage DAG job types (reliability-aware execution; see
+// internal/vcloud/dag.go and the DESIGN.md "Dependable DAG execution"
+// section).
+type (
+	// JobSpec is a multi-stage job: a DAG of stages with a replica
+	// budget, per-stage retry policy, optional deadline and the
+	// whole-job-restart strawman toggle.
+	JobSpec = vcloud.JobSpec
+	// StageSpec is one stage of a job DAG.
+	StageSpec = vcloud.StageSpec
+	// JobID identifies a submitted job.
+	JobID = vcloud.JobID
+	// JobResult reports a finished job with per-stage outcomes.
+	JobResult = vcloud.JobResult
+	// StageOutcome records one stage's final status and holders.
+	StageOutcome = vcloud.StageOutcome
+	// StageStatus is a stage's lifecycle state.
+	StageStatus = vcloud.StageStatus
+	// FailReason is the structured cause attached to failed tasks and
+	// jobs (deadline, retries-exhausted, no-eligible-member, …).
+	FailReason = vcloud.FailReason
+	// EdgeConfig sizes an RSU-hosted ETSI-MEC edge server.
+	EdgeConfig = vcloud.EdgeConfig
+	// EdgeServer is a fixed-infrastructure cloud member hosted on an RSU.
+	EdgeServer = vcloud.EdgeServer
+)
+
+// Stage lifecycle states.
+const (
+	StageWaiting   = vcloud.StageWaiting
+	StageRunning   = vcloud.StageRunning
+	StageDone      = vcloud.StageDone
+	StageAbandoned = vcloud.StageAbandoned
+	StageFailed    = vcloud.StageFailed
+)
+
+// Structured failure reasons.
+const (
+	ReasonNone              = vcloud.ReasonNone
+	ReasonRetriesExhausted  = vcloud.ReasonRetriesExhausted
+	ReasonDeadline          = vcloud.ReasonDeadline
+	ReasonNoEligibleMember  = vcloud.ReasonNoEligibleMember
+	ReasonNoQuorum          = vcloud.ReasonNoQuorum
+	ReasonControllerStopped = vcloud.ReasonControllerStopped
+	ReasonUplinkDown        = vcloud.ReasonUplinkDown
+	ReasonStageFailed       = vcloud.ReasonStageFailed
+)
+
+// NewEdgeServer attaches an ETSI-MEC edge server to an RSU node; it
+// joins the surrounding cloud as a churn-proof, dwell-exempt member.
+func NewEdgeServer(node *Node, cfg EdgeConfig, stats *CloudStats) (*EdgeServer, error) {
+	return vcloud.NewEdgeServer(node, cfg, stats)
+}
 
 // Security types (the §V.A secure v-cloud architecture).
 type (
@@ -296,14 +357,14 @@ func DeploySecureCloud(s *Scenario, arch Architecture, ta *TrustedAuthority, met
 }
 
 // RunExperiment executes one of the paper-reproduction experiments
-// (E1–E14) and returns its table and named values.
+// (E1–E15) and returns its table and named values.
 func RunExperiment(id string, cfg ExperimentConfig) (*ExperimentResult, error) {
 	for _, r := range experiments.All() {
 		if r.ID == id {
 			return r.Run(cfg)
 		}
 	}
-	return nil, fmt.Errorf("vcloud: unknown experiment %q (valid: E1..E14)", id)
+	return nil, fmt.Errorf("vcloud: unknown experiment %q (valid: E1..E15)", id)
 }
 
 // Chaos-soak types (the long-horizon invariant harness; see
