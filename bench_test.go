@@ -1,5 +1,5 @@
 // Benchmarks regenerating every experiment of the paper reproduction
-// (one per DESIGN.md experiment row, E1–E15). Each iteration executes a
+// (one per DESIGN.md experiment row, E1–E16). Each iteration executes a
 // full quick-size experiment run on the deterministic kernel and
 // reports the headline values via b.ReportMetric, so
 //
@@ -184,6 +184,19 @@ func BenchmarkE15DAGExecution(b *testing.B) {
 		"crit-wasted": "crit-path/churn=2s x2/wasted",
 		"all-wasted":  "replicate-all/churn=2s x2/wasted",
 		"rsu-p50s":    "crit+RSU/churn=2s x2/p50s",
+	})
+}
+
+// BenchmarkE16CongestionPlacement regenerates the congestion-placement
+// drill: required-work deadline-hit rate under a saturating load ramp
+// with loss bursts, for static cloud offload vs the congestion-blind
+// governor vs adaptive placement on live estimates.
+func BenchmarkE16CongestionPlacement(b *testing.B) {
+	runExperiment(b, experiments.E16CongestionPlacement, map[string]string{
+		"static-hitrate":   "static/hitrate",
+		"blind-hitrate":    "blind/hitrate",
+		"adaptive-hitrate": "adaptive/hitrate",
+		"adaptive-shed":    "adaptive/shed",
 	})
 }
 

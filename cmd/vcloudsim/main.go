@@ -52,6 +52,15 @@
 // ancestor completeness, replica budget never exceeded):
 //
 //	vcloudsim -soak -dag -duration 300 -vehicles 16 -seed 7
+//
+// -saturate runs the soak with the congestion workload: a ramped
+// deadline-task stream offloaded through the placement governor over a
+// contended, lossy shared uplink, saturation storms (loss bursts and
+// uplink outages), and the overload invariants — bounded queues, only
+// optional work shed, and a bandwidth estimate that never exceeds the
+// channel's physical capacity:
+//
+//	vcloudsim -soak -saturate -duration 300 -vehicles 16 -seed 7
 package main
 
 import (
@@ -96,6 +105,7 @@ func cliMain() int {
 		split    = flag.Bool("splitbrain", false, "with -soak: fence epochs and add controller-isolating split-brain storms")
 		dag      = flag.Bool("dag", false, "with -soak: run the DAG job workload with kill-member storms and the DAG invariants")
 		storeB   = flag.String("store", "", "with -soak: run the storage workload on this backend (replicated | ec)")
+		sat      = flag.Bool("saturate", false, "with -soak: run the congestion workload with saturation storms and the overload invariants")
 		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	)
 	flag.Parse()
@@ -122,10 +132,14 @@ func cliMain() int {
 		fmt.Fprintln(os.Stderr, "vcloudsim: -dag requires -soak")
 		return 2
 	}
+	if *sat && !*soak {
+		fmt.Fprintln(os.Stderr, "vcloudsim: -saturate requires -soak")
+		return 2
+	}
 
 	body := func() int {
 		if *soak {
-			if err := runSoak(*seed, *vehicles, *duration, *byz, *split, *storeB, *dag); err != nil {
+			if err := runSoak(*seed, *vehicles, *duration, *byz, *split, *storeB, *dag, *sat); err != nil {
 				fmt.Fprintln(os.Stderr, "vcloudsim:", err)
 				return 1
 			}
@@ -187,7 +201,7 @@ func validateFlags(vehicles, tasks int, duration float64, replicas, retries int,
 // runSoak executes the chaos soak harness and prints its report. A
 // non-empty violation list is a process failure: the soak is the
 // executable form of the dependability invariants.
-func runSoak(seed int64, vehicles int, duration float64, byz float64, split bool, storeB string, dag bool) error {
+func runSoak(seed int64, vehicles int, duration float64, byz float64, split bool, storeB string, dag bool, sat bool) error {
 	rep, err := root.RunSoak(root.SoakConfig{
 		Seed:        seed,
 		Vehicles:    vehicles,
@@ -196,6 +210,7 @@ func runSoak(seed int64, vehicles int, duration float64, byz float64, split bool
 		SplitBrain:  split,
 		Storage:     storeB,
 		DAG:         dag,
+		Saturate:    sat,
 	})
 	if err != nil {
 		return err
@@ -206,6 +221,9 @@ func runSoak(seed int64, vehicles int, duration float64, byz float64, split bool
 	}
 	if dag {
 		fmt.Printf(" dag=on")
+	}
+	if sat {
+		fmt.Printf(" saturate=on")
 	}
 	fmt.Println()
 	fmt.Printf("tasks: submitted=%d completed=%d failed=%d refused=%d correct=%d wrong=%d unchecked=%d\n",
@@ -226,6 +244,16 @@ func runSoak(seed int64, vehicles int, duration float64, byz float64, split bool
 			rep.JobsSubmitted, rep.JobsCompleted, rep.JobsPartial, rep.JobsFailed, rep.JobsRefused, rep.JobsResumed)
 		fmt.Printf("stages: retries=%d relays=%d handoffs=%d member-kills=%d\n",
 			rep.StageRetries, rep.StageRelays, rep.StageHandoffs, rep.MemberKills)
+	}
+	if sat {
+		fmt.Printf("congestion: submitted=%d (required=%d) completed=%d failed=%d shed=%d admission=%d backpressured=%d\n",
+			rep.SatSubmitted, rep.SatRequired, rep.SatCompleted, rep.SatFailed,
+			rep.SatShed, rep.SatAdmission, rep.SatBackpressured)
+		fmt.Printf("placement: vehicle=%d cloud=%d switches=%d, %d loss burst(s), %d uplink outage(s)\n",
+			rep.SatPlacedVehicle, rep.SatPlacedCloud, rep.TierSwitches,
+			rep.SatLossBursts, rep.SatOutages)
+		fmt.Printf("uplink: sent=%d delivered=%d lost=%d dropped=%d\n",
+			rep.UplinkSent, rep.UplinkDelivered, rep.UplinkLost, rep.UplinkDropped)
 	}
 	for _, f := range rep.FaultLog {
 		fmt.Printf("  %s\n", f)

@@ -119,3 +119,28 @@ func fine(e Epoch) []any {
 		repairReq{}, // deliberate zero value: the unfenced repair path
 	}
 }
+
+// The congestion-estimate feed (internal/vcloud/estimates.go) publishes
+// per-tier capacity reports as fenced cluster messages; these stand-ins
+// pin that the analyzer covers the estimate tier too.
+type estimateMsg struct {
+	Tier  int
+	Bps   float64
+	Loss  float64
+	Queue int64
+	Epoch Epoch
+}
+
+func estimateViolations() []any {
+	return []any{
+		estimateMsg{Tier: 2, Bps: 8e6, Loss: 0.02}, // want `composite literal of fenced type estimateMsg does not set Epoch`
+		&estimateMsg{Tier: 0},                      // want `composite literal of fenced type estimateMsg does not set Epoch`
+	}
+}
+
+func estimateFine(e Epoch) []any {
+	return []any{
+		estimateMsg{Tier: 2, Bps: 8e6, Loss: 0.02, Epoch: e},
+		estimateMsg{}, // deliberate zero value (codec error returns)
+	}
+}

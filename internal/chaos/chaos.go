@@ -125,6 +125,22 @@ type SoakConfig struct {
 	DAG bool
 	// DAGEvery is the DAG job submission period. Default 3 s.
 	DAGEvery sim.Time
+	// Saturate arms the congestion workload (see saturate.go): a shared
+	// contended uplink to a conventional cloud, a placement governor
+	// routing a ramping task stream between the vehicle tier and the
+	// cloud tier on live bandwidth estimates, a storm branch of uplink
+	// loss bursts and brief outages, and three saturation invariants —
+	// no tier queue grows past its bound, shed work is only ever
+	// optional, and the bandwidth estimate stays within the channel's
+	// configured capacity.
+	Saturate bool
+	// SaturateEvery is the congestion workload's submission beat; the
+	// per-beat batch size ramps over the horizon, so load climbs from
+	// under-subscribed to saturating. Default 250 ms.
+	SaturateEvery sim.Time
+	// SaturateDeadline is the relative deadline stamped on congestion-
+	// workload tasks. Default 8 s.
+	SaturateDeadline sim.Time
 }
 
 func (c SoakConfig) withDefaults() SoakConfig {
@@ -173,6 +189,12 @@ func (c SoakConfig) withDefaults() SoakConfig {
 	if c.DAGEvery == 0 {
 		c.DAGEvery = 3 * time.Second
 	}
+	if c.SaturateEvery == 0 {
+		c.SaturateEvery = 250 * time.Millisecond
+	}
+	if c.SaturateDeadline == 0 {
+		c.SaturateDeadline = 8 * time.Second
+	}
 	return c
 }
 
@@ -183,7 +205,7 @@ func (c SoakConfig) Validate() error {
 	}
 	if c.Duration < 0 || c.Warmup < 0 || c.Drain < 0 || c.TaskEvery < 0 ||
 		c.FaultEvery < 0 || c.CheckEvery < 0 || c.StorageEvery < 0 || c.StorageRepairEvery < 0 ||
-		c.StorageDepartEvery < 0 || c.DAGEvery < 0 {
+		c.StorageDepartEvery < 0 || c.DAGEvery < 0 || c.SaturateEvery < 0 || c.SaturateDeadline < 0 {
 		return fmt.Errorf("chaos: durations must be >= 0")
 	}
 	switch c.Storage {
@@ -265,6 +287,31 @@ type Report struct {
 	StageRelays   uint64
 	StageHandoffs uint64
 	MemberKills   int
+	// Congestion workload counters (meaningful when Saturate is on).
+	// SatSubmitted splits into SatRequired + optional; SatCompleted
+	// counts deadline-met completions of either kind. SatShed /
+	// SatAdmission / SatBackpressured are the governor's structured
+	// rejections; SatPlacedVehicle / SatPlacedCloud are where admitted
+	// work landed. The Uplink* quadruple is the shared channel's final
+	// counter state — Lost is stochastic channel loss, Dropped is
+	// outage windows, FIFO tail drops and shed flights (the split the
+	// vcloudsim summary prints).
+	SatSubmitted     int
+	SatRequired      int
+	SatCompleted     int
+	SatFailed        int
+	SatShed          int
+	SatAdmission     int
+	SatBackpressured int
+	SatLossBursts    int
+	SatOutages       int
+	SatPlacedVehicle uint64
+	SatPlacedCloud   uint64
+	TierSwitches     uint64
+	UplinkSent       uint64
+	UplinkDelivered  uint64
+	UplinkLost       uint64
+	UplinkDropped    uint64
 	// Violations holds every invariant breach, deduplicated. Empty is
 	// the passing state.
 	Violations []string
@@ -305,6 +352,9 @@ type soak struct {
 	rsu vnet.Addr
 	// dg is the DAG workload state (nil unless cfg.DAG is on).
 	dg *dagState
+	// sat is the congestion workload state (nil unless cfg.Saturate is
+	// on).
+	sat *satState
 
 	tasks      []*soakTask
 	report     *Report
@@ -408,6 +458,11 @@ func Soak(cfg SoakConfig) (*Report, error) {
 	if cfg.DAG {
 		sk.setupDAG()
 	}
+	if cfg.Saturate {
+		if err := sk.setupSaturate(); err != nil {
+			return nil, err
+		}
+	}
 	if err := sk.byzantify(); err != nil {
 		return nil, err
 	}
@@ -436,6 +491,12 @@ func Soak(cfg SoakConfig) (*Report, error) {
 			return nil, err
 		}
 	}
+	var satT *sim.Ticker
+	if cfg.Saturate {
+		if satT, err = s.Kernel.Every(cfg.SaturateEvery, sk.saturateTick); err != nil {
+			return nil, err
+		}
+	}
 	var storeT, repairT, departT *sim.Ticker
 	if cfg.Storage != "" {
 		if storeT, err = s.Kernel.Every(cfg.StorageEvery, sk.storageTick); err != nil {
@@ -460,6 +521,9 @@ func Soak(cfg SoakConfig) (*Report, error) {
 	faultT.Stop()
 	if dagT != nil {
 		dagT.Stop()
+	}
+	if satT != nil {
+		satT.Stop()
 	}
 	if storeT != nil {
 		storeT.Stop()
@@ -611,6 +675,13 @@ func (sk *soak) injectFault() {
 		sk.killMember(now)
 		return
 	}
+	// The saturation branch likewise carves [0.85, 0.92) out of byz-flip
+	// only when the congestion workload is on: uplink loss bursts and
+	// brief outages that the bandwidth estimator must ride out.
+	if sk.cfg.Saturate && roll >= 0.85 && roll < 0.92 {
+		sk.saturateStorm(now)
+		return
+	}
 	switch {
 	case roll < 0.35:
 		// Crash a random vehicle's radio for 5–20 s.
@@ -756,6 +827,9 @@ func (sk *soak) check() {
 	if sk.st != nil {
 		sk.checkStorage()
 	}
+	if sk.sat != nil {
+		sk.checkSaturate()
+	}
 	for _, c := range sk.d.Controllers {
 		if c.Stopped() {
 			continue // a crashed controller's task table is dead, not stuck
@@ -826,6 +900,9 @@ func (sk *soak) finalize() {
 		sk.report.StageRetries = sk.stats.StageRetries.Value()
 		sk.report.StageRelays = sk.stats.StageRelays.Value()
 		sk.report.StageHandoffs = sk.stats.StageHandoffs.Value()
+	}
+	if sk.sat != nil {
+		sk.finalizeSaturate()
 	}
 	const (
 		offset64 = 14695981039346656037

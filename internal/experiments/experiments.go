@@ -1,5 +1,5 @@
 // Package experiments contains the runnable reproductions of every
-// figure and load-bearing claim of the paper, indexed E1–E14 (see
+// figure and load-bearing claim of the paper, indexed E1–E16 (see
 // DESIGN.md for the mapping). Each experiment builds its scenario from
 // the substrate packages, runs it on the deterministic kernel, and
 // returns both a printable table (the paper-style rows) and a map of
@@ -195,6 +195,7 @@ func All() []Runner {
 		{"E13", "split-brain fencing vs failover-only", E13SplitBrain},
 		{"E14", "storage durability under churn", E14Storage},
 		{"E15", "DAG execution under churn", E15DAGExecution},
+		{"E16", "congestion-aware offload placement", E16CongestionPlacement},
 	}
 }
 

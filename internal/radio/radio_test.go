@@ -336,9 +336,9 @@ func TestUplinkRoundTrip(t *testing.T) {
 	if doneAt < 60*time.Millisecond || doneAt > 62*time.Millisecond {
 		t.Errorf("round trip at %v, want ~60.8ms", doneAt)
 	}
-	sent, delivered, lost := u.Counters()
-	if sent != 1 || delivered != 1 || lost != 0 {
-		t.Errorf("counters = %d/%d/%d", sent, delivered, lost)
+	sent, delivered, lost, dropped := u.Counters()
+	if sent != 1 || delivered != 1 || lost != 0 || dropped != 0 {
+		t.Errorf("counters = %d/%d/%d/%d", sent, delivered, lost, dropped)
 	}
 }
 

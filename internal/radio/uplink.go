@@ -13,6 +13,15 @@ import (
 // probability, and an availability switch the disaster experiments (E1,
 // E2) flip off. The paper's Fig. 2 "infrastructure reliance" row is about
 // exactly this dependency.
+//
+// Two channel models share this type. The legacy model (Contended off)
+// is an infinite-capacity pipe: concurrent transfers never interact, and
+// each pays only its own serialization time — the configuration E1/E2
+// were calibrated against, preserved bit-for-bit. The contended model
+// (Contended on) is a FIFO shared channel: transfers serialize at
+// BandwidthMbps, queue behind the channel's backlog, and tail-drop when
+// the queue wait would exceed MaxQueueDelay — which is what lets a
+// congestion controller *observe* load (see Sender and gcc.go).
 type UplinkParams struct {
 	// BaseRTT is the round-trip latency to the cloud when healthy.
 	BaseRTT sim.Time
@@ -22,6 +31,14 @@ type UplinkParams struct {
 	LossProb float64
 	// JitterFrac adds uniform ±frac jitter to latency.
 	JitterFrac float64
+	// Contended switches the link from an infinite-capacity pipe to a
+	// FIFO shared channel where concurrent transfers contend for
+	// BandwidthMbps.
+	Contended bool
+	// MaxQueueDelay bounds the FIFO queue (Contended only): a transfer
+	// whose queue wait would exceed it is dropped at the tail instead of
+	// buffering without limit. Default 2 s.
+	MaxQueueDelay sim.Time
 }
 
 // DefaultUplinkParams returns LTE-flavoured defaults.
@@ -40,8 +57,16 @@ type Uplink struct {
 	rng       *rand.Rand
 	params    UplinkParams
 	available bool
+	// outages counts up→down transitions. A message records the count at
+	// launch; a different count at delivery time means the flight
+	// overlapped an outage window — even one that has already healed —
+	// and the exchange died with it.
+	outages uint64
+	// busyUntil is when the FIFO channel finishes its current backlog
+	// (Contended only); a new transfer queues behind it.
+	busyUntil sim.Time
 
-	sent, delivered, lost uint64
+	sent, delivered, lost, dropped uint64
 }
 
 // NewUplink creates a healthy uplink.
@@ -58,6 +83,12 @@ func NewUplink(kernel *sim.Kernel, params UplinkParams) (*Uplink, error) {
 	if params.LossProb < 0 || params.LossProb >= 1 {
 		return nil, fmt.Errorf("radio: LossProb must be in [0,1), got %v", params.LossProb)
 	}
+	if params.MaxQueueDelay < 0 {
+		return nil, fmt.Errorf("radio: MaxQueueDelay must be non-negative, got %v", params.MaxQueueDelay)
+	}
+	if params.Contended && params.MaxQueueDelay == 0 {
+		params.MaxQueueDelay = 2 * time.Second
+	}
 	return &Uplink{
 		kernel:    kernel,
 		rng:       kernel.NewStream("uplink"),
@@ -66,27 +97,78 @@ func NewUplink(kernel *sim.Kernel, params UplinkParams) (*Uplink, error) {
 	}, nil
 }
 
-// SetAvailable toggles the uplink (network outage / disaster).
-func (u *Uplink) SetAvailable(ok bool) { u.available = ok }
+// SetAvailable toggles the uplink (network outage / disaster). Each
+// up→down transition opens an outage window: messages already in flight
+// are dropped at their delivery time even if the link heals first.
+func (u *Uplink) SetAvailable(ok bool) {
+	if u.available && !ok {
+		u.outages++
+	}
+	u.available = ok
+}
 
 // Available reports whether the uplink is up.
 func (u *Uplink) Available() bool { return u.available }
 
-// Counters returns (sent, delivered, lost).
-func (u *Uplink) Counters() (sent, delivered, lost uint64) {
-	return u.sent, u.delivered, u.lost
+// SetLossProb replaces the per-message loss probability — the loss-burst
+// injection point for saturation storms. Out-of-range values are
+// clamped into [0,1).
+func (u *Uplink) SetLossProb(p float64) {
+	if p < 0 {
+		p = 0
+	}
+	if p >= 1 {
+		p = 0.999
+	}
+	u.params.LossProb = p
+}
+
+// Params returns the uplink's current parameters.
+func (u *Uplink) Params() UplinkParams { return u.params }
+
+// Counters returns (sent, delivered, lost, dropped). Lost counts
+// stochastic channel loss; Dropped counts messages killed by outage
+// windows or FIFO tail drops — the split E1/E2 used to conflate.
+func (u *Uplink) Counters() (sent, delivered, lost, dropped uint64) {
+	return u.sent, u.delivered, u.lost, u.dropped
+}
+
+// QueueDelay reports how long a transfer launched now would wait behind
+// the FIFO backlog (zero on an uncontended link).
+func (u *Uplink) QueueDelay() sim.Time {
+	if !u.params.Contended {
+		return 0
+	}
+	if now := u.kernel.Now(); u.busyUntil > now {
+		return u.busyUntil - now
+	}
+	return 0
 }
 
 // RoundTrip schedules fn after a full request/response exchange of the
-// given sizes, or drops it (fn never runs) on loss or outage. It reports
-// whether the exchange was initiated (false = uplink down).
+// given sizes, or drops it (fn never runs) on loss, outage, or — on a
+// contended link — a FIFO tail drop. It reports whether the exchange was
+// initiated (false = uplink down).
 func (u *Uplink) RoundTrip(reqBytes, respBytes int, fn func()) bool {
+	return u.transfer(reqBytes, respBytes, fn, nil)
+}
+
+// transfer is the shared exchange path; s, when non-nil, receives
+// congestion feedback (sends, arrival times, losses) for its estimator.
+// The RNG draw order — loss first, jitter second — is load-bearing: the
+// legacy uncontended path must replay historical experiment streams
+// bit-for-bit.
+func (u *Uplink) transfer(reqBytes, respBytes int, fn func(), s *Sender) bool {
 	if !u.available {
 		return false
 	}
 	u.sent++
+	now := u.kernel.Now()
 	if u.rng.Float64() < u.params.LossProb {
 		u.lost++
+		if s != nil {
+			s.est.OnLost(now)
+		}
 		return true
 	}
 	if reqBytes < 0 {
@@ -95,21 +177,101 @@ func (u *Uplink) RoundTrip(reqBytes, respBytes int, fn func()) bool {
 	if respBytes < 0 {
 		respBytes = 0
 	}
-	transfer := float64((reqBytes+respBytes)*8) / (u.params.BandwidthMbps * 1e6)
+	bytes := reqBytes + respBytes
+	transfer := float64(bytes*8) / (u.params.BandwidthMbps * 1e6)
 	lat := float64(u.params.BaseRTT) + transfer*float64(time.Second)
 	if u.params.JitterFrac > 0 {
 		lat *= 1 + (u.rng.Float64()*2-1)*u.params.JitterFrac
 	}
-	u.kernel.After(sim.Time(lat), func() {
-		if !u.available {
-			// Outage hit mid-flight.
-			u.lost++
+	var wait sim.Time
+	if u.params.Contended {
+		if u.busyUntil > now {
+			wait = u.busyUntil - now
+		}
+		if wait > u.params.MaxQueueDelay {
+			// Tail drop: the bounded queue is full. For the estimator this
+			// is indistinguishable from congestion loss — which is exactly
+			// the signal its loss-based controller wants.
+			u.dropped++
+			if s != nil {
+				s.est.OnLost(now)
+			}
+			return true
+		}
+		u.busyUntil = now + wait + sim.Time(transfer*float64(time.Second))
+	}
+	mark := u.outages
+	if s != nil {
+		s.est.OnSent(now, bytes)
+	}
+	u.kernel.After(wait+sim.Time(lat), func() {
+		if !u.available || u.outages != mark {
+			// The flight overlapped an outage window (possibly one that
+			// already healed): the exchange died with it.
+			u.dropped++
+			if s != nil {
+				s.est.OnLost(u.kernel.Now())
+			}
 			return
 		}
 		u.delivered++
+		if s != nil {
+			s.est.OnAck(now, u.kernel.Now(), bytes)
+		}
 		if fn != nil {
 			fn()
 		}
 	})
 	return true
 }
+
+// Sender is one traffic source's handle on a shared uplink: exchanges
+// routed through it feed a GCC-style bandwidth estimator with per-message
+// arrival-time and loss feedback, so the source can observe congestion
+// and adapt (see gcc.go and the vcloud placement governor).
+type Sender struct {
+	u   *Uplink
+	est *BWEstimator
+}
+
+// NewSender attaches an estimator-backed sender to the uplink. A zero
+// cfg takes defaults, with the rate ceiling defaulting to the channel's
+// configured capacity — the estimator can never report more bandwidth
+// than the link physically has.
+func (u *Uplink) NewSender(cfg BWEConfig) *Sender {
+	if cfg.MaxBps == 0 {
+		cfg.MaxBps = u.params.BandwidthMbps * 1e6
+	}
+	return &Sender{u: u, est: NewBWEstimator(cfg)}
+}
+
+// RoundTrip is Uplink.RoundTrip with congestion feedback: the exchange's
+// send time, arrival time and size (or its loss) feed this sender's
+// estimator.
+func (s *Sender) RoundTrip(reqBytes, respBytes int, fn func()) bool {
+	return s.u.transfer(reqBytes, respBytes, fn, s)
+}
+
+// EstimateBps returns the current smoothed bandwidth estimate.
+func (s *Sender) EstimateBps() float64 { return s.est.TargetBps() }
+
+// LossRate returns the loss fraction over the estimator's feedback
+// window.
+func (s *Sender) LossRate() float64 { return s.est.LossRate() }
+
+// QueueDelay reports the uplink's current FIFO backlog wait.
+func (s *Sender) QueueDelay() sim.Time { return s.u.QueueDelay() }
+
+// LastFeedback returns when this sender's estimator last heard from the
+// channel (zero before any feedback).
+func (s *Sender) LastFeedback() sim.Time { return s.est.LastFeedback() }
+
+// BaseRTT returns the underlying link's healthy round-trip latency.
+func (s *Sender) BaseRTT() sim.Time { return s.u.params.BaseRTT }
+
+// Estimator exposes the underlying estimator (tests and invariant
+// checks).
+func (s *Sender) Estimator() *BWEstimator { return s.est }
+
+// Uplink returns the shared channel this sender transmits on.
+func (s *Sender) Uplink() *Uplink { return s.u }

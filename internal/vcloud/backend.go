@@ -28,6 +28,10 @@ type RemoteCloud struct {
 	name   string
 	kernel *sim.Kernel
 	uplink *radio.Uplink
+	// sender, when non-nil, routes exchanges through an estimator-backed
+	// uplink sender so this backend's own traffic feeds congestion
+	// feedback (see radio.Sender and the placement governor).
+	sender *radio.Sender
 	// cpu is the datacenter's effective per-task compute rate (ops/s).
 	cpu   float64
 	stats *Stats
@@ -48,6 +52,21 @@ func NewRemoteCloud(name string, kernel *sim.Kernel, uplink *radio.Uplink, cpu f
 	return &RemoteCloud{name: name, kernel: kernel, uplink: uplink, cpu: cpu, stats: stats}, nil
 }
 
+// NewRemoteCloudSender creates a remote backend whose traffic rides an
+// estimator-backed sender: every exchange feeds the sender's bandwidth
+// estimator, so the backend observes the congestion it causes.
+func NewRemoteCloudSender(name string, kernel *sim.Kernel, sender *radio.Sender, cpu float64, stats *Stats) (*RemoteCloud, error) {
+	if sender == nil {
+		return nil, fmt.Errorf("vcloud: sender must not be nil")
+	}
+	rc, err := NewRemoteCloud(name, kernel, sender.Uplink(), cpu, stats)
+	if err != nil {
+		return nil, err
+	}
+	rc.sender = sender
+	return rc, nil
+}
+
 // Name implements Backend.
 func (r *RemoteCloud) Name() string { return r.name }
 
@@ -61,7 +80,11 @@ func (r *RemoteCloud) Submit(task Task, done func(TaskResult)) error {
 	r.stats.Submitted.Inc()
 	start := r.kernel.Now()
 	compute := sim.Time(task.Ops / r.cpu * float64(time.Second))
-	sent := r.uplink.RoundTrip(task.InputBytes, task.OutputBytes, func() {
+	roundTrip := r.uplink.RoundTrip
+	if r.sender != nil {
+		roundTrip = r.sender.RoundTrip
+	}
+	sent := roundTrip(task.InputBytes, task.OutputBytes, func() {
 		// The round trip models transfer; add datacenter compute.
 		r.kernel.After(compute, func() {
 			lat := r.kernel.Now() - start
@@ -102,7 +125,24 @@ func (v VehicularBackend) Submit(task Task, done func(TaskResult)) error {
 	return err
 }
 
+// DeploymentBackend adapts a whole Deployment to the Backend interface:
+// submissions route to the most-members-first active controller, so the
+// backend keeps working across controller failover — the vehicle-tier
+// target the placement governor drives.
+type DeploymentBackend struct {
+	D *Deployment
+}
+
+// Name implements Backend.
+func (b DeploymentBackend) Name() string { return "vehicular-cloud" }
+
+// Submit implements Backend.
+func (b DeploymentBackend) Submit(task Task, done func(TaskResult)) error {
+	return b.D.SubmitAnywhere(task, done)
+}
+
 var (
 	_ Backend = (*RemoteCloud)(nil)
 	_ Backend = VehicularBackend{}
+	_ Backend = DeploymentBackend{}
 )

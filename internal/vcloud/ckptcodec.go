@@ -19,7 +19,7 @@ import (
 
 // ckptMagic identifies encoded checkpoints; the trailing byte is the
 // format version.
-var ckptMagic = [4]byte{'V', 'C', 'P', 2}
+var ckptMagic = [4]byte{'V', 'C', 'P', 3}
 
 // Decoder sanity caps: a checkpoint exceeding these is rejected as
 // corrupt. They sit far above anything a simulated cloud produces.
@@ -184,6 +184,7 @@ func writeTask(w *ckptWriter, t Task) {
 	w.i64(int64(t.OutputBytes))
 	w.i64(int64(t.Deadline))
 	w.str(t.NeedsSensor)
+	w.bool(t.Optional)
 	writePolicy(w, t.Depend)
 	if t.Stage == nil {
 		w.bool(false)
@@ -213,6 +214,7 @@ func readTask(r *ckptReader) Task {
 		Deadline:    sim.Time(r.i64()),
 		NeedsSensor: r.str(),
 	}
+	t.Optional = r.bool()
 	t.Depend = readPolicy(r)
 	if r.bool() {
 		b := &StageBinding{
@@ -408,6 +410,13 @@ func EncodeCheckpoint(ck Checkpoint) []byte {
 	for _, jc := range ck.Jobs {
 		writeJob(w, jc)
 	}
+	for _, e := range ck.Estimates {
+		w.f64(e.Bps)
+		w.f64(e.Loss)
+		w.i64(int64(e.QueueDelay))
+		w.u64(e.Seq)
+		w.i64(int64(e.Updated))
+	}
 	return w.buf
 }
 
@@ -492,6 +501,17 @@ func DecodeCheckpoint(data []byte) (Checkpoint, error) {
 	}
 	for i, n := 0, r.count("job", ckptMaxJobs); i < n && r.err == nil; i++ {
 		ck.Jobs = append(ck.Jobs, readJob(r))
+	}
+	for t := Tier(0); t < NumTiers && r.err == nil; t++ {
+		e := &ck.Estimates[t]
+		e.Bps = r.f64()
+		e.Loss = r.f64()
+		e.QueueDelay = sim.Time(r.i64())
+		e.Seq = r.u64()
+		e.Updated = sim.Time(r.i64())
+		if r.err == nil && (math.IsNaN(e.Bps) || e.Bps < 0 || math.IsNaN(e.Loss) || e.Loss < 0 || e.Loss > 1) {
+			r.fail("tier %d estimate out of range (bps %v, loss %v)", t, e.Bps, e.Loss)
+		}
 	}
 	if r.err != nil {
 		return Checkpoint{}, r.err

@@ -42,7 +42,7 @@ func fixtureCheckpoint() vcloud.Checkpoint {
 		},
 		Tasks: []vcloud.TaskCheckpoint{
 			{
-				Task:         vcloud.Task{ID: 11, Ops: 5000, InputBytes: 100, OutputBytes: 50, NeedsSensor: "lidar", Depend: pol},
+				Task:         vcloud.Task{ID: 11, Ops: 5000, InputBytes: 100, OutputBytes: 50, NeedsSensor: "lidar", Depend: pol, Optional: true},
 				Client:       5,
 				RemainingOps: 1234.5,
 				Retries:      1,
@@ -67,6 +67,10 @@ func fixtureCheckpoint() vcloud.Checkpoint {
 			},
 		},
 		Armed: []vnet.Addr{3, 9},
+		Estimates: [vcloud.NumTiers]vcloud.TierEstimate{
+			vcloud.TierVehicle: {Bps: 4e6, Loss: 0.01, QueueDelay: 30 * time.Millisecond, Seq: 12, Updated: 9 * time.Second},
+			vcloud.TierCloud:   {Bps: 1.5e6, Loss: 0.12, QueueDelay: 900 * time.Millisecond, Seq: 15, Updated: 10 * time.Second},
+		},
 	}
 }
 

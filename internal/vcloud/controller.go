@@ -141,6 +141,20 @@ type Stats struct {
 	// dispatches, retries, redundant replicas, handover re-dispatches) —
 	// the denominator of E15's wasted-work accounting.
 	OpsDispatched float64
+	// Congestion-aware placement counters (PR 8). EstimateReports counts
+	// accepted tier-condition reports; EstimateStale counts reports
+	// fenced out for carrying a deposed leader's epoch; Admitted /
+	// AdmissionRejects split governor admission decisions; Backpressured
+	// counts submissions bounced off full tier queues; Shed counts
+	// optional work dropped under overload; TierSwitches counts the
+	// governor changing its preferred tier (hysteresis keeps this low).
+	EstimateReports  metrics.Counter
+	EstimateStale    metrics.Counter
+	Admitted         metrics.Counter
+	AdmissionRejects metrics.Counter
+	Backpressured    metrics.Counter
+	Shed             metrics.Counter
+	TierSwitches     metrics.Counter
 }
 
 // JobCompletionRate returns completed/submitted for DAG jobs.
@@ -286,6 +300,9 @@ type Controller struct {
 	// storage is the attached data-service backend (nil when none); see
 	// storage.go for the churn-driven repair wiring.
 	storage storageBackend
+	// estimates is the per-tier congestion table fed by member reports
+	// (estimates.go); checkpointed, so a promoted standby inherits it.
+	estimates [NumTiers]TierEstimate
 
 	// standby is the designated failover successor (-1 when none).
 	standby  vnet.Addr
@@ -356,6 +373,7 @@ func NewController(node *vnet.Node, cfg ControllerConfig, stats *Stats) (*Contro
 	node.Handle(kindResult, c.onResult)
 	node.Handle(kindHandover, c.onHandover)
 	node.Handle(kindStageRelay, c.onStageRelay)
+	node.Handle(kindEstimate, c.onEstimate)
 	if cfg.Fencing {
 		c.epoch = NextEpoch(0, node.Addr())
 		c.armed = make(map[vnet.Addr]armedStandby)
@@ -423,6 +441,7 @@ func (c *Controller) halt() {
 	c.node.Handle(kindResult, nil)
 	c.node.Handle(kindHandover, nil)
 	c.node.Handle(kindStageRelay, nil)
+	c.node.Handle(kindEstimate, nil)
 	if c.cfg.Fencing {
 		c.node.Handle(kindAdv, nil)
 		c.node.Handle(kindMerge, nil)

@@ -1,0 +1,278 @@
+package vcloud_test
+
+import (
+	"testing"
+	"time"
+
+	"vcloud/internal/sim"
+	"vcloud/internal/vcloud"
+)
+
+// fakeBackend accepts every submission and completes it after a fixed
+// latency.
+type fakeBackend struct {
+	name    string
+	kernel  *sim.Kernel
+	latency sim.Time
+	taken   int
+}
+
+func (f *fakeBackend) Name() string { return f.name }
+
+func (f *fakeBackend) Submit(task vcloud.Task, done func(vcloud.TaskResult)) error {
+	f.taken++
+	f.kernel.After(f.latency, func() {
+		if done != nil {
+			done(vcloud.TaskResult{ID: task.ID, OK: true, Latency: f.latency})
+		}
+	})
+	return nil
+}
+
+// blackHoleBackend accepts submissions and never calls back — the lost-
+// in-flight case the governor's slot-release guard exists for.
+type blackHoleBackend struct{ taken int }
+
+func (b *blackHoleBackend) Name() string { return "hole" }
+func (b *blackHoleBackend) Submit(vcloud.Task, func(vcloud.TaskResult)) error {
+	b.taken++
+	return nil
+}
+
+// estSource is a settable EstimateSource.
+type estSource struct {
+	bps   float64
+	loss  float64
+	queue sim.Time
+}
+
+func (s *estSource) EstimateBps() float64 { return s.bps }
+func (s *estSource) LossRate() float64    { return s.loss }
+func (s *estSource) QueueDelay() sim.Time { return s.queue }
+
+func newGovernor(t *testing.T, k *sim.Kernel, stats *vcloud.Stats, cfg vcloud.GovernorConfig) *vcloud.Governor {
+	t.Helper()
+	g, err := vcloud.NewGovernor(k, cfg, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// The governor routes around a congested tier: when the cloud tier's
+// live estimate collapses, work moves to the vehicle tier even though
+// the cloud's nameplate figures look better.
+func TestGovernorAdaptsToCongestion(t *testing.T) {
+	k := sim.NewKernel(1)
+	stats := &vcloud.Stats{}
+	cloud := &fakeBackend{name: "cloud", kernel: k, latency: 50 * time.Millisecond}
+	veh := &fakeBackend{name: "vehicle", kernel: k, latency: 200 * time.Millisecond}
+	src := &estSource{bps: 20e6} // healthy uplink
+	g := newGovernor(t, k, stats, vcloud.GovernorConfig{
+		Tiers: []vcloud.GovernorTier{
+			// Cloud: huge CPU, network-bound. Vehicle: modest CPU, free net.
+			{Tier: vcloud.TierCloud, Backend: cloud, CPU: 1e6, NominalBps: 20e6, BaseRTT: 60 * time.Millisecond, Sender: nil, Estimates: func() (vcloud.TierEstimate, bool) {
+				return vcloud.TierEstimate{Bps: src.bps, Loss: src.loss, QueueDelay: src.queue, Seq: 1}, true
+			}},
+			{Tier: vcloud.TierVehicle, Backend: veh, CPU: 5e4},
+		},
+	})
+	task := vcloud.Task{Ops: 10_000, InputBytes: 200_000, OutputBytes: 50_000}
+	if err := g.Submit(task, nil); err != nil {
+		t.Fatal(err)
+	}
+	if cloud.taken != 1 {
+		t.Fatalf("healthy uplink: cloud took %d, want 1", cloud.taken)
+	}
+	// Congestion collapse: 100 kbps, heavy loss, deep queue. 2 Mbit of
+	// payload now takes ~25 s over the uplink vs 0.2 s locally — far
+	// past any hysteresis band.
+	src.bps, src.loss, src.queue = 100e3, 0.3, 2*time.Second
+	if err := g.Submit(task, nil); err != nil {
+		t.Fatal(err)
+	}
+	if veh.taken != 1 {
+		t.Fatalf("congested uplink: vehicle took %d, want 1 (cloud %d)", veh.taken, cloud.taken)
+	}
+	if stats.TierSwitches.Value() != 1 {
+		t.Errorf("tier switches = %d, want 1", stats.TierSwitches.Value())
+	}
+}
+
+// Hysteresis: a marginally better rival does not flip placement; the
+// preferred tier keeps the work until the gap exceeds the factor.
+func TestGovernorHysteresis(t *testing.T) {
+	k := sim.NewKernel(1)
+	stats := &vcloud.Stats{}
+	a := &fakeBackend{name: "a", kernel: k, latency: time.Millisecond}
+	b := &fakeBackend{name: "b", kernel: k, latency: time.Millisecond}
+	// Tier B is always slightly (but < 25%) faster than A.
+	g := newGovernor(t, k, stats, vcloud.GovernorConfig{
+		Hysteresis: 1.25,
+		Tiers: []vcloud.GovernorTier{
+			{Tier: vcloud.TierVehicle, Backend: a, CPU: 1000},
+			{Tier: vcloud.TierEdge, Backend: b, CPU: 1100},
+		},
+	})
+	task := vcloud.Task{Ops: 100}
+	for i := 0; i < 10; i++ {
+		if err := g.Submit(task, nil); err != nil {
+			t.Fatal(err)
+		}
+		k.Run(k.Now() + 10*time.Millisecond)
+	}
+	// First placement goes to the genuinely best tier (B); afterwards a
+	// <25% edge must never trigger a switch.
+	if stats.TierSwitches.Value() != 0 {
+		t.Errorf("tier switches = %d, want 0 (flapping)", stats.TierSwitches.Value())
+	}
+	if b.taken != 10 || a.taken != 0 {
+		t.Errorf("placements a=%d b=%d, want all on b", a.taken, b.taken)
+	}
+}
+
+// Admission control: a deadline no tier can make is rejected up front
+// with ReasonAdmission instead of burning bandwidth.
+func TestGovernorAdmission(t *testing.T) {
+	k := sim.NewKernel(1)
+	stats := &vcloud.Stats{}
+	be := &fakeBackend{name: "slow", kernel: k, latency: time.Second}
+	g := newGovernor(t, k, stats, vcloud.GovernorConfig{
+		Tiers: []vcloud.GovernorTier{{Tier: vcloud.TierVehicle, Backend: be, CPU: 100}},
+	})
+	var got vcloud.TaskResult
+	// 10k ops at 100 ops/s = 100 s >> 1 s deadline.
+	err := g.Submit(vcloud.Task{Ops: 10_000, Deadline: time.Second}, func(r vcloud.TaskResult) { got = r })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.OK || got.Reason != vcloud.ReasonAdmission {
+		t.Errorf("result = %+v, want ReasonAdmission", got)
+	}
+	if be.taken != 0 {
+		t.Error("admission-rejected task reached the backend")
+	}
+	if stats.AdmissionRejects.Value() != 1 {
+		t.Errorf("AdmissionRejects = %d, want 1", stats.AdmissionRejects.Value())
+	}
+}
+
+// Backpressure and shedding: a full tier bounces required work with
+// ReasonBackpressure; optional work is shed earlier (at the utilization
+// threshold) with ReasonShed.
+func TestGovernorBackpressureAndShedding(t *testing.T) {
+	k := sim.NewKernel(1)
+	stats := &vcloud.Stats{}
+	hole := &blackHoleBackend{}
+	g := newGovernor(t, k, stats, vcloud.GovernorConfig{
+		ShedUtilization: 0.8,
+		Tiers:           []vcloud.GovernorTier{{Tier: vcloud.TierVehicle, Backend: hole, CPU: 1e6, QueueLimit: 10}},
+	})
+	task := vcloud.Task{Ops: 100}
+	reasons := map[vcloud.FailReason]int{}
+	record := func(r vcloud.TaskResult) {
+		if !r.OK {
+			reasons[r.Reason]++
+		}
+	}
+	// Fill to just below the shed threshold with required work.
+	for i := 0; i < 8; i++ {
+		if err := g.Submit(task, record); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.Outstanding(0) != 8 {
+		t.Fatalf("outstanding = %d, want 8", g.Outstanding(0))
+	}
+	// At 80% utilization optional work sheds...
+	opt := task
+	opt.Optional = true
+	if err := g.Submit(opt, record); err != nil {
+		t.Fatal(err)
+	}
+	if reasons[vcloud.ReasonShed] != 1 {
+		t.Fatalf("optional work not shed at threshold: %v", reasons)
+	}
+	// ...while required work still lands until the hard limit...
+	for i := 0; i < 2; i++ {
+		if err := g.Submit(task, record); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if g.Outstanding(0) != 10 {
+		t.Fatalf("outstanding = %d, want 10 (at limit)", g.Outstanding(0))
+	}
+	// ...and past it, required work bounces with backpressure.
+	if err := g.Submit(task, record); err != nil {
+		t.Fatal(err)
+	}
+	if reasons[vcloud.ReasonBackpressure] != 1 {
+		t.Fatalf("full queue did not backpressure: %v", reasons)
+	}
+	if stats.Shed.Value() != 1 || stats.Backpressured.Value() != 1 {
+		t.Errorf("Shed=%d Backpressured=%d, want 1/1", stats.Shed.Value(), stats.Backpressured.Value())
+	}
+	// The outstanding count never exceeded the bound.
+	if g.Outstanding(0) > g.QueueLimit(0) {
+		t.Errorf("outstanding %d exceeds limit %d", g.Outstanding(0), g.QueueLimit(0))
+	}
+	// Slot-release guard: the black-hole backend never calls back, but
+	// the guard timeout eventually frees the slots.
+	if err := k.Run(time.Minute); err != nil {
+		t.Fatal(err)
+	}
+	if g.Outstanding(0) != 0 {
+		t.Errorf("outstanding = %d after guard window, want 0", g.Outstanding(0))
+	}
+}
+
+// The estimate plane end-to-end: a member with an attached feed reports
+// live channel conditions up to its controller, and the estimate table
+// rides checkpoints so a successor inherits the congestion view.
+func TestEstimateFeedAndCheckpoint(t *testing.T) {
+	s := parkingScenario(t, 5)
+	stats := &vcloud.Stats{}
+	d, err := vcloud.Deploy(s, vcloud.Stationary, vcloud.DeployConfig{}, stats)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunFor(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	src := &estSource{bps: 3.5e6, loss: 0.07, queue: 400 * time.Millisecond}
+	attached := 0
+	for _, m := range d.Members {
+		m.AddEstimateFeed(vcloud.EstimateFeed{Tier: vcloud.TierCloud, Source: src})
+		attached++
+		break
+	}
+	if attached == 0 {
+		t.Fatal("no member to attach a feed to")
+	}
+	if err := s.RunFor(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	gate := d.Controllers[0]
+	e, ok := gate.TierEstimateFor(vcloud.TierCloud)
+	if !ok {
+		t.Fatal("controller has no cloud-tier estimate after feed reports")
+	}
+	if e.Bps != src.bps || e.Loss != src.loss || e.QueueDelay != src.queue {
+		t.Errorf("estimate = %+v, want feed values %+v", e, *src)
+	}
+	if stats.EstimateReports.Value() == 0 {
+		t.Error("EstimateReports counter not incremented")
+	}
+	// The congestion view replicates: a checkpoint carries the table.
+	ck := gate.Checkpoint()
+	if ck.Estimates[vcloud.TierCloud].Bps != src.bps {
+		t.Errorf("checkpoint cloud estimate Bps = %v, want %v", ck.Estimates[vcloud.TierCloud].Bps, src.bps)
+	}
+	// And the unreported tiers stay empty.
+	if _, ok := gate.TierEstimateFor(vcloud.TierEdge); ok {
+		t.Error("edge tier reports an estimate no feed produced")
+	}
+}

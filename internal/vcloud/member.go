@@ -51,6 +51,11 @@ type MemberConfig struct {
 	// offload round-trip an edge server pays per task. Zero for
 	// ordinary vehicular members.
 	StartDelay sim.Time
+	// EstimateFeeds, when non-empty, makes this member a congestion
+	// scout: each tick it reports every feed's live channel conditions
+	// to its controller, feeding the placement governor's per-tier
+	// estimate table (estimates.go).
+	EstimateFeeds []EstimateFeed
 }
 
 // runningTask is a task being executed locally.
@@ -108,6 +113,8 @@ type Member struct {
 	cache *stageCache
 	// fetches tracks stage tasks still gathering their inputs.
 	fetches map[TaskID]*stageFetch
+	// estimateSeq orders this member's channel-condition reports.
+	estimateSeq uint64
 }
 
 // NewMember creates and starts a member agent on node.
@@ -558,6 +565,7 @@ func (m *Member) tick() {
 	if m.maybePromote() {
 		return
 	}
+	m.reportEstimates()
 	if !m.cfg.Handover || m.cfg.DepartureWarning == nil || len(m.current) == 0 {
 		return
 	}

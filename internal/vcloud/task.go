@@ -56,6 +56,10 @@ type Task struct {
 	// the worker must pull the listed predecessor outputs before compute
 	// and the controller routes the outcome to the job engine (dag.go).
 	Stage *StageBinding
+	// Optional marks low-criticality work the placement governor may
+	// shed first under overload (governor.go); it does not enter
+	// TaskValue, so shedding policy cannot change result digests.
+	Optional bool
 }
 
 // Validate checks task sanity.
@@ -142,6 +146,15 @@ const (
 	// ReasonStageFailed marks a job that failed because a required stage
 	// exhausted its budget (job-level only).
 	ReasonStageFailed FailReason = "stage-failed"
+	// ReasonAdmission marks work the placement governor refused up
+	// front: no tier's estimated completion time fits the deadline.
+	ReasonAdmission FailReason = "admission-rejected"
+	// ReasonBackpressure marks work bounced because every eligible
+	// tier's bounded queue was full.
+	ReasonBackpressure FailReason = "backpressure"
+	// ReasonShed marks optional work dropped under overload to protect
+	// required work (governor shedding policy).
+	ReasonShed FailReason = "load-shed"
 )
 
 // TaskResult reports a finished task to its submitter.

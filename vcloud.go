@@ -20,8 +20,12 @@
 //   - reliability-aware multi-stage DAG jobs: criticality-driven
 //     selective replication, stage-output pipelining with fenced
 //     handoff, an ETSI-MEC RSU edge tier and graceful degradation;
+//   - congestion-aware offloading: a delay-gradient (GCC-style)
+//     bandwidth estimator over a contended FIFO uplink, and a placement
+//     governor with deadline admission control, bounded queues,
+//     optional-first load shedding and live per-tier estimates;
 //   - the adversary models of the paper's §III threat list, and the
-//     E1–E15 experiment suite that operationalizes every figure and
+//     E1–E16 experiment suite that operationalizes every figure and
 //     claim (see DESIGN.md and EXPERIMENTS.md).
 //
 // This root package is the public facade: it re-exports the library's
@@ -44,6 +48,7 @@ import (
 	"vcloud/internal/geo"
 	"vcloud/internal/mobility"
 	"vcloud/internal/pki"
+	"vcloud/internal/radio"
 	"vcloud/internal/roadnet"
 	"vcloud/internal/scenario"
 	"vcloud/internal/sim"
@@ -144,12 +149,110 @@ const (
 	ReasonControllerStopped = vcloud.ReasonControllerStopped
 	ReasonUplinkDown        = vcloud.ReasonUplinkDown
 	ReasonStageFailed       = vcloud.ReasonStageFailed
+	ReasonAdmission         = vcloud.ReasonAdmission
+	ReasonBackpressure      = vcloud.ReasonBackpressure
+	ReasonShed              = vcloud.ReasonShed
 )
 
 // NewEdgeServer attaches an ETSI-MEC edge server to an RSU node; it
 // joins the surrounding cloud as a churn-proof, dwell-exempt member.
 func NewEdgeServer(node *Node, cfg EdgeConfig, stats *CloudStats) (*EdgeServer, error) {
 	return vcloud.NewEdgeServer(node, cfg, stats)
+}
+
+// Shared-channel radio types (the congestion-controlled uplink the
+// placement governor instruments; see internal/radio).
+type (
+	// Uplink is the point-to-cloud link shared by all vehicles under
+	// coverage: with Contended set, transfers serialize at the link's
+	// bandwidth, queue FIFO behind its backlog and tail-drop past
+	// MaxQueueDelay — the channel a congestion controller can observe.
+	Uplink = radio.Uplink
+	// UplinkParams configures an uplink.
+	UplinkParams = radio.UplinkParams
+	// UplinkSender is one traffic source's handle on a shared uplink;
+	// exchanges routed through it feed a GCC-style delay-gradient
+	// bandwidth estimator.
+	UplinkSender = radio.Sender
+	// BWEConfig tunes a bandwidth estimator.
+	BWEConfig = radio.BWEConfig
+	// BWEstimator is the delay-gradient (trendline + adaptive threshold
+	// + AIMD) bandwidth estimator.
+	BWEstimator = radio.BWEstimator
+)
+
+// NewUplink creates a healthy uplink on the scenario's kernel.
+func NewUplink(s *Scenario, params UplinkParams) (*Uplink, error) {
+	return radio.NewUplink(s.Kernel, params)
+}
+
+// DefaultUplinkParams returns LTE-flavoured uplink defaults.
+func DefaultUplinkParams() UplinkParams { return radio.DefaultUplinkParams() }
+
+// Congestion-aware offload placement (the §III resource-management
+// challenge under a shared, lossy uplink; see internal/radio/gcc.go for
+// the delay-gradient bandwidth estimator and internal/vcloud/governor.go
+// for the placement governor).
+type (
+	// Governor is the deadline-aware placement governor: it routes each
+	// task to the execution tier with the best modeled completion time,
+	// admission-rejects work that cannot make its deadline anywhere,
+	// bounds per-tier queues, and sheds optional work first under
+	// overload.
+	Governor = vcloud.Governor
+	// GovernorConfig wires a governor's tiers and knobs.
+	GovernorConfig = vcloud.GovernorConfig
+	// GovernorTier describes one execution tier: its backend, nameplate
+	// capacity model, and (optionally) the live congestion-feedback
+	// sender riding its uplink.
+	GovernorTier = vcloud.GovernorTier
+	// ExecTier identifies an execution tier (vehicle / RSU edge / cloud).
+	ExecTier = vcloud.Tier
+	// TierEstimate is one tier's live capacity estimate as published on
+	// the epoch-fenced estimate feed.
+	TierEstimate = vcloud.TierEstimate
+	// EstimateFeed periodically publishes a tier's estimates as fenced
+	// cluster messages (see EstimateSource).
+	EstimateFeed = vcloud.EstimateFeed
+	// EstimateSource is anything that can be polled for a TierEstimate.
+	EstimateSource = vcloud.EstimateSource
+	// CloudBackend is the governor's execution-tier contract.
+	CloudBackend = vcloud.Backend
+	// RemoteCloud executes tasks across an uplink on a remote
+	// datacenter.
+	RemoteCloud = vcloud.RemoteCloud
+	// DeploymentBackend adapts a vehicular-cloud Deployment to the
+	// governor's backend contract.
+	DeploymentBackend = vcloud.DeploymentBackend
+)
+
+// The governor's execution tiers.
+const (
+	TierVehicle = vcloud.TierVehicle
+	TierEdge    = vcloud.TierEdge
+	TierCloud   = vcloud.TierCloud
+	NumTiers    = vcloud.NumTiers
+)
+
+// NewGovernor builds a placement governor over the given tiers. Tiers
+// with a Sender get live delay-gradient bandwidth, loss and queue-delay
+// estimates; tiers without one are priced from nameplate figures and
+// the governor's own backlog.
+func NewGovernor(s *Scenario, cfg GovernorConfig, stats *CloudStats) (*Governor, error) {
+	return vcloud.NewGovernor(s.Kernel, cfg, stats)
+}
+
+// NewRemoteCloud builds a conventional-cloud backend behind the uplink
+// (no congestion feedback — the legacy infinite-pipe model).
+func NewRemoteCloud(name string, s *Scenario, uplink *Uplink, cpu float64, stats *CloudStats) (*RemoteCloud, error) {
+	return vcloud.NewRemoteCloud(name, s.Kernel, uplink, cpu, stats)
+}
+
+// NewRemoteCloudSender builds a conventional-cloud backend whose
+// exchanges ride an estimator-backed UplinkSender, feeding the
+// governor's live view of the channel.
+func NewRemoteCloudSender(name string, s *Scenario, sender *UplinkSender, cpu float64, stats *CloudStats) (*RemoteCloud, error) {
+	return vcloud.NewRemoteCloudSender(name, s.Kernel, sender, cpu, stats)
 }
 
 // Security types (the §V.A secure v-cloud architecture).
@@ -357,14 +460,14 @@ func DeploySecureCloud(s *Scenario, arch Architecture, ta *TrustedAuthority, met
 }
 
 // RunExperiment executes one of the paper-reproduction experiments
-// (E1–E15) and returns its table and named values.
+// (E1–E16) and returns its table and named values.
 func RunExperiment(id string, cfg ExperimentConfig) (*ExperimentResult, error) {
 	for _, r := range experiments.All() {
 		if r.ID == id {
 			return r.Run(cfg)
 		}
 	}
-	return nil, fmt.Errorf("vcloud: unknown experiment %q (valid: E1..E15)", id)
+	return nil, fmt.Errorf("vcloud: unknown experiment %q (valid: E1..E16)", id)
 }
 
 // Chaos-soak types (the long-horizon invariant harness; see
