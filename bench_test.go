@@ -1,5 +1,5 @@
 // Benchmarks regenerating every experiment of the paper reproduction
-// (one per DESIGN.md experiment row, E1–E16). Each iteration executes a
+// (one per DESIGN.md experiment row, E1–E17). Each iteration executes a
 // full quick-size experiment run on the deterministic kernel and
 // reports the headline values via b.ReportMetric, so
 //
@@ -197,6 +197,17 @@ func BenchmarkE16CongestionPlacement(b *testing.B) {
 		"blind-hitrate":    "blind/hitrate",
 		"adaptive-hitrate": "adaptive/hitrate",
 		"adaptive-shed":    "adaptive/shed",
+	})
+}
+
+// BenchmarkE17ShardedKernel regenerates the sharded-kernel invariance
+// sweep: cross-shard traffic at 4 and 8 shards plus the whole-sweep
+// identity verdict (1.0 = every shard count reproduced serial output).
+func BenchmarkE17ShardedKernel(b *testing.B) {
+	runExperiment(b, experiments.E17ShardedKernel, map[string]string{
+		"identical":       "identical",
+		"s4-cross-events": "s4/cross_events",
+		"s8-cross-events": "s8/cross_events",
 	})
 }
 

@@ -1,5 +1,5 @@
 // Command vcloudbench runs the paper-reproduction experiment suite
-// (E1–E14) and prints the result tables that back EXPERIMENTS.md.
+// (E1–E17) and prints the result tables that back EXPERIMENTS.md.
 //
 // Usage:
 //
@@ -10,6 +10,7 @@
 //	vcloudbench -parallel 8     # worker-pool width (default: GOMAXPROCS)
 //	vcloudbench -benchjson BENCH.json      # machine-readable perf report
 //	vcloudbench -compare BENCH_seed.json   # fail on >25% normalized events/sec regression
+//	vcloudbench -shards 8       # add the geo-sharded kernel scaling sweep (1,2,4,8 shards)
 //	vcloudbench -cpuprofile cpu.pprof -memprofile mem.pprof
 //
 // Experiments and their per-configuration sweep points run across a
@@ -17,6 +18,15 @@
 // tables are assembled in sweep order, so stdout is byte-identical at
 // any -parallel value (run timing goes to stderr). Per-seed results
 // reproduce exactly.
+//
+// -shards N runs a large-fleet beaconing scenario on the geo-sharded
+// kernel at every power-of-two shard count up to N, verifies the model
+// output is bit-for-bit identical at every count, and emits a
+// ShardScaling section (wall events/sec, busy wall, critical-path wall
+// and speedup, cross-shard traffic) into the -benchjson report — the
+// committed BENCH_shard.json. The sweep prints to stderr only, so
+// stdout stays byte-identical with and without -shards. A -compare
+// baseline carrying a ShardScaling section gates these points too.
 package main
 
 import (
@@ -32,6 +42,7 @@ import (
 	"time"
 
 	"vcloud/internal/experiments"
+	"vcloud/internal/shardworld"
 )
 
 // benchExperiment is one experiment's entry in the -benchjson report.
@@ -46,13 +57,35 @@ type benchExperiment struct {
 	Error        string             `json:"error,omitempty"`
 }
 
+// shardPoint is one shard count's entry in the -shards scaling sweep.
+// EventsPerSec is measured wall throughput (core-count dependent);
+// CritPathSpeedup is the parallelism the decomposition exposes — busy
+// wall over critical-path wall, the speedup realized when one core per
+// shard exists. Checksum must be identical across every point.
+type shardPoint struct {
+	Shards          int     `json:"shards"`
+	Vehicles        int     `json:"vehicles"`
+	Ticks           int     `json:"ticks"`
+	WallMs          float64 `json:"wall_ms"`
+	Events          uint64  `json:"events"`
+	EventsPerSec    float64 `json:"events_per_sec"`
+	BusyWallMs      float64 `json:"busy_wall_ms"`
+	CritPathWallMs  float64 `json:"crit_path_wall_ms"`
+	CritPathSpeedup float64 `json:"crit_path_speedup"`
+	CrossEvents     uint64  `json:"cross_events"`
+	Handoffs        int64   `json:"handoffs"`
+	Checksum        string  `json:"checksum"`
+	Identical       bool    `json:"identical"`
+}
+
 // benchReport is the top-level -benchjson document.
 type benchReport struct {
-	Seed        int64             `json:"seed"`
-	Quick       bool              `json:"quick"`
-	Parallel    int               `json:"parallel"`
-	TotalWallMs float64           `json:"total_wall_ms"`
-	Experiments []benchExperiment `json:"experiments"`
+	Seed         int64             `json:"seed"`
+	Quick        bool              `json:"quick"`
+	Parallel     int               `json:"parallel"`
+	TotalWallMs  float64           `json:"total_wall_ms"`
+	Experiments  []benchExperiment `json:"experiments"`
+	ShardScaling []shardPoint      `json:"shard_scaling,omitempty"`
 }
 
 func main() {
@@ -69,6 +102,7 @@ func run() (code int) {
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		benchjson  = flag.String("benchjson", "", "write a JSON perf report (wall time, kernel events/sec, headline metrics) to this file")
 		compare    = flag.String("compare", "", "compare this run's kernel events/sec against a baseline -benchjson report; fail on a >25% normalized regression")
+		shards     = flag.Int("shards", 0, "run the geo-sharded kernel scaling sweep at power-of-two shard counts up to N (0 = off); fails unless output is bit-for-bit identical at every count")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -78,6 +112,10 @@ func run() (code int) {
 	}
 	if *parallel < 1 {
 		fmt.Fprintf(os.Stderr, "vcloudbench: -parallel must be at least 1, got %d\n", *parallel)
+		return 2
+	}
+	if *shards < 0 || *shards == 1 {
+		fmt.Fprintln(os.Stderr, "vcloudbench: -shards must be 0 (off) or at least 2")
 		return 2
 	}
 
@@ -194,6 +232,19 @@ func run() (code int) {
 		entry.Values = o.res.Values
 		report.Experiments = append(report.Experiments, entry)
 	}
+	if *shards >= 2 {
+		points, err := runShardScaling(*seed, *quick, *shards)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "vcloudbench:", err)
+			return 1
+		}
+		report.ShardScaling = points
+		for _, p := range points {
+			if !p.Identical {
+				failed++
+			}
+		}
+	}
 	report.TotalWallMs = float64(time.Since(totalStart).Microseconds()) / 1000
 	fmt.Fprintf(os.Stderr, "(total wall time: %v, parallel=%d)\n",
 		time.Since(totalStart).Round(time.Millisecond), *parallel)
@@ -227,6 +278,68 @@ func run() (code int) {
 	return 0
 }
 
+// runShardScaling runs the -shards sweep: one large-fleet beaconing
+// scenario on the geo-sharded kernel at shard counts 1, 2, 4, ... up to
+// maxShards (maxShards itself included even when not a power of two).
+// Every count must reproduce the serial model output bit-for-bit; a
+// divergent point is marked Identical=false and fails the run. All
+// output goes to stderr so stdout stays the experiment tables alone.
+func runShardScaling(seed int64, quick bool, maxShards int) ([]shardPoint, error) {
+	var counts []int
+	for n := 1; n <= maxShards; n *= 2 {
+		counts = append(counts, n)
+	}
+	if counts[len(counts)-1] != maxShards {
+		counts = append(counts, maxShards)
+	}
+
+	base := shardworld.DefaultConfig(seed, 1)
+	if quick {
+		base.Vehicles, base.Ticks, base.SampleEvery, base.WorldSize = 160, 64, 16, 3000
+	} else {
+		base.Vehicles, base.Ticks, base.SampleEvery, base.WorldSize = 600, 160, 32, 6000
+	}
+
+	var points []shardPoint
+	var serial string
+	fmt.Fprintf(os.Stderr, "shard scaling: %d vehicles, %d ticks, seed=%d\n", base.Vehicles, base.Ticks, seed)
+	for _, n := range counts {
+		cfg := base
+		cfg.Shards = n
+		res, err := shardworld.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("shard scaling at %d shards: %w", n, err)
+		}
+		if n == 1 {
+			serial = res.Comparable()
+		}
+		p := shardPoint{
+			Shards:          n,
+			Vehicles:        res.Vehicles,
+			Ticks:           res.Ticks,
+			WallMs:          float64(res.Wall.Microseconds()) / 1000,
+			Events:          res.Processed,
+			EventsPerSec:    res.EventsPerSec(),
+			BusyWallMs:      float64(res.BusyWall.Microseconds()) / 1000,
+			CritPathWallMs:  float64(res.CritPath.Microseconds()) / 1000,
+			CritPathSpeedup: res.CritPathSpeedup(),
+			CrossEvents:     res.CrossEvents,
+			Handoffs:        res.Handoffs,
+			Checksum:        fmt.Sprintf("%016x", res.Checksum),
+			Identical:       res.Comparable() == serial,
+		}
+		points = append(points, p)
+		verdict := "identical"
+		if !p.Identical {
+			verdict = "DIVERGED"
+		}
+		fmt.Fprintf(os.Stderr,
+			"shards=%-2d events/sec %9.0f  critpath speedup %.2fx  cross=%d handoffs=%d checksum=%s %s\n",
+			n, p.EventsPerSec, p.CritPathSpeedup, p.CrossEvents, p.Handoffs, p.Checksum, verdict)
+	}
+	return points, nil
+}
+
 // regressionTolerance is how far below the fleet-normalized baseline an
 // experiment's kernel events/sec may fall before -compare fails.
 const regressionTolerance = 0.25
@@ -235,6 +348,26 @@ const regressionTolerance = 0.25
 // current both) an experiment needs before its events/sec is worth
 // comparing: below this, scheduler noise dwarfs any real regression.
 const minCompareWallMs = 50
+
+// withShardPoints returns a report's experiment entries plus one
+// pseudo-experiment per shard-scaling point, so a baseline carrying a
+// ShardScaling section gates sharded throughput through the same
+// normalized-ratio flow. The key carries the shard and vehicle counts:
+// points from differently-sized sweeps never compare. Busy wall stands
+// in for kernel wall (it is the sweep's actual compute time).
+func withShardPoints(r *benchReport) []benchExperiment {
+	out := make([]benchExperiment, 0, len(r.Experiments)+len(r.ShardScaling))
+	out = append(out, r.Experiments...)
+	for _, p := range r.ShardScaling {
+		out = append(out, benchExperiment{
+			ID:           fmt.Sprintf("SHARD%d/v%d", p.Shards, p.Vehicles),
+			KernelEvents: p.Events,
+			KernelWallMs: p.BusyWallMs,
+			EventsPerSec: p.EventsPerSec,
+		})
+	}
+	return out
+}
 
 // compareBaseline checks this run's per-experiment kernel throughput
 // against a baseline -benchjson report. Absolute events/sec depends on
@@ -251,8 +384,9 @@ func compareBaseline(path string, cur *benchReport) error {
 	if err := json.Unmarshal(buf, &base); err != nil {
 		return fmt.Errorf("parsing baseline %s: %w", path, err)
 	}
-	baseline := make(map[string]benchExperiment, len(base.Experiments))
-	for _, e := range base.Experiments {
+	baseEntries := withShardPoints(&base)
+	baseline := make(map[string]benchExperiment, len(baseEntries))
+	for _, e := range baseEntries {
 		if e.Error == "" && e.EventsPerSec > 0 {
 			baseline[e.ID] = e
 		}
@@ -263,7 +397,7 @@ func compareBaseline(path string, cur *benchReport) error {
 	}
 	var pairs []pair
 	mean := 0.0
-	for _, e := range cur.Experiments {
+	for _, e := range withShardPoints(cur) {
 		b, ok := baseline[e.ID]
 		if !ok || e.Error != "" || e.EventsPerSec <= 0 {
 			continue

@@ -61,6 +61,15 @@
 // channel's physical capacity:
 //
 //	vcloudsim -soak -saturate -duration 300 -vehicles 16 -seed 7
+//
+// -shards adds the geo-sharded kernel storm soak to any soak mode: a
+// sequence of seeded storm episodes (fleet churn plus a roaming
+// regional beacon outage), each run on N geographic shards and again on
+// the serial kernel, with bit-for-bit output equality as the armed
+// invariant — a divergence or a conservation breach is a violation like
+// any other:
+//
+//	vcloudsim -soak -saturate -shards 4 -duration 300 -vehicles 16 -seed 7
 package main
 
 import (
@@ -106,6 +115,7 @@ func cliMain() int {
 		dag      = flag.Bool("dag", false, "with -soak: run the DAG job workload with kill-member storms and the DAG invariants")
 		storeB   = flag.String("store", "", "with -soak: run the storage workload on this backend (replicated | ec)")
 		sat      = flag.Bool("saturate", false, "with -soak: run the congestion workload with saturation storms and the overload invariants")
+		shards   = flag.Int("shards", 0, "with -soak: also storm-soak the geo-sharded kernel at this shard count, checking sharded output == serial bit-for-bit")
 		cpuprof  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	)
 	flag.Parse()
@@ -136,10 +146,18 @@ func cliMain() int {
 		fmt.Fprintln(os.Stderr, "vcloudsim: -saturate requires -soak")
 		return 2
 	}
+	if *shards != 0 && !*soak {
+		fmt.Fprintln(os.Stderr, "vcloudsim: -shards requires -soak")
+		return 2
+	}
+	if *shards < 0 || *shards == 1 {
+		fmt.Fprintln(os.Stderr, "vcloudsim: -shards must be 0 (off) or at least 2")
+		return 2
+	}
 
 	body := func() int {
 		if *soak {
-			if err := runSoak(*seed, *vehicles, *duration, *byz, *split, *storeB, *dag, *sat); err != nil {
+			if err := runSoak(*seed, *vehicles, *duration, *byz, *split, *storeB, *dag, *sat, *shards); err != nil {
 				fmt.Fprintln(os.Stderr, "vcloudsim:", err)
 				return 1
 			}
@@ -200,8 +218,11 @@ func validateFlags(vehicles, tasks int, duration float64, replicas, retries int,
 
 // runSoak executes the chaos soak harness and prints its report. A
 // non-empty violation list is a process failure: the soak is the
-// executable form of the dependability invariants.
-func runSoak(seed int64, vehicles int, duration float64, byz float64, split bool, storeB string, dag bool, sat bool) error {
+// executable form of the dependability invariants. With shards >= 2 the
+// geo-sharded kernel storm soak runs after the main soak, and its
+// violations (sharded output diverging from serial) fail the process
+// the same way.
+func runSoak(seed int64, vehicles int, duration float64, byz float64, split bool, storeB string, dag bool, sat bool, shards int) error {
 	rep, err := root.RunSoak(root.SoakConfig{
 		Seed:        seed,
 		Vehicles:    vehicles,
@@ -259,11 +280,36 @@ func runSoak(seed int64, vehicles int, duration float64, byz float64, split bool
 		fmt.Printf("  %s\n", f)
 	}
 	fmt.Printf("checksum: %016x (same seed reproduces bit-for-bit)\n", rep.Checksum)
-	if len(rep.Violations) > 0 {
-		for _, v := range rep.Violations {
+	violations := rep.Violations
+	if shards >= 2 {
+		// Scale the episode count with the soaked horizon: one storm
+		// episode per simulated minute, at least two, at most eight.
+		episodes := int(duration / 60)
+		if episodes < 2 {
+			episodes = 2
+		}
+		if episodes > 8 {
+			episodes = 8
+		}
+		srep, err := root.RunShardSoak(root.ShardSoakConfig{
+			Seed:     seed,
+			Shards:   shards,
+			Episodes: episodes,
+			Vehicles: vehicles * 6,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("shard soak: shards=%d episodes=%d events=%d cross=%d handoffs=%d delivered=%d\n",
+			srep.Shards, srep.Episodes, srep.Events, srep.CrossEvents, srep.Handoffs, srep.Delivered)
+		fmt.Printf("shard checksum: %016x (sharded output == serial, bit-for-bit)\n", srep.Checksum)
+		violations = append(violations, srep.Violations...)
+	}
+	if len(violations) > 0 {
+		for _, v := range violations {
 			fmt.Printf("VIOLATION: %s\n", v)
 		}
-		return fmt.Errorf("%d invariant violation(s)", len(rep.Violations))
+		return fmt.Errorf("%d invariant violation(s)", len(violations))
 	}
 	fmt.Println("invariants: all held")
 	return nil

@@ -38,8 +38,10 @@ var banned = map[string]bool{
 // //vcloudlint:allow directive so the justification lives next to the
 // call site.
 var Allowlist = map[string]bool{
-	"vcloud/internal/sim.Kernel.Run":  true,
-	"vcloud/internal/sim.Kernel.Step": true,
+	"vcloud/internal/sim.Kernel.Run":        true,
+	"vcloud/internal/sim.Kernel.RunBefore":  true,
+	"vcloud/internal/sim.Kernel.Step":       true,
+	"vcloud/internal/sim.ShardedKernel.Run": true,
 }
 
 // Analyzer is the nowallclock check.

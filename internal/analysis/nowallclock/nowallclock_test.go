@@ -21,12 +21,15 @@ func TestFunctionAllowlist(t *testing.T) {
 	analysistest.Run(t, nowallclock.Analyzer, "testdata", "allowfn")
 }
 
-// TestRealAllowlistEntries pins the production allowlist: the kernel's
-// wall-time telemetry and nothing else.
+// TestRealAllowlistEntries pins the production allowlist: the serial
+// and sharded kernels' wall-time telemetry (DESIGN.md "Performance" and
+// "Sharded kernel & conservative lookahead") and nothing else.
 func TestRealAllowlistEntries(t *testing.T) {
 	want := []string{
 		"vcloud/internal/sim.Kernel.Run",
+		"vcloud/internal/sim.Kernel.RunBefore",
 		"vcloud/internal/sim.Kernel.Step",
+		"vcloud/internal/sim.ShardedKernel.Run",
 	}
 	for _, k := range want {
 		if !nowallclock.Allowlist[k] {

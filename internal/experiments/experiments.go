@@ -1,5 +1,5 @@
 // Package experiments contains the runnable reproductions of every
-// figure and load-bearing claim of the paper, indexed E1–E16 (see
+// figure and load-bearing claim of the paper, indexed E1–E17 (see
 // DESIGN.md for the mapping). Each experiment builds its scenario from
 // the substrate packages, runs it on the deterministic kernel, and
 // returns both a printable table (the paper-style rows) and a map of
@@ -84,6 +84,13 @@ func (p *point) set(key string, v float64) {
 func (p *point) tally(k *sim.Kernel) {
 	p.events += k.Processed()
 	p.wall += k.WallTime()
+}
+
+// tallyRaw accumulates telemetry the point does not own a kernel for
+// (e.g. a sharded-kernel run reporting aggregated counters).
+func (p *point) tallyRaw(events uint64, wall time.Duration) {
+	p.events += events
+	p.wall += wall
 }
 
 // forEachPar runs fn(0..n-1), spreading the calls over up to cfg.Parallel
@@ -196,6 +203,7 @@ func All() []Runner {
 		{"E14", "storage durability under churn", E14Storage},
 		{"E15", "DAG execution under churn", E15DAGExecution},
 		{"E16", "congestion-aware offload placement", E16CongestionPlacement},
+		{"E17", "geo-sharded parallel kernel determinism", E17ShardedKernel},
 	}
 }
 

@@ -24,8 +24,8 @@ func quick(t *testing.T, run func(Config) (*Result, error)) *Result {
 
 func TestAllRegistered(t *testing.T) {
 	runners := All()
-	if len(runners) != 16 {
-		t.Fatalf("runners = %d, want 16", len(runners))
+	if len(runners) != 17 {
+		t.Fatalf("runners = %d, want 17", len(runners))
 	}
 	seen := map[string]bool{}
 	for _, r := range runners {

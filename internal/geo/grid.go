@@ -24,6 +24,12 @@ type GridIndex struct {
 	rows     int
 	cells    map[int][]int32 // cell key -> ids
 	pos      map[int32]Point // id -> last indexed position
+	// qR/qR2/qSpan cache the per-radius query geometry. Almost every
+	// query uses the one fixed radio range, so the squared radius and the
+	// cell span are computed once per radius instead of once per call.
+	qR    float64
+	qR2   float64
+	qSpan int
 }
 
 // NewGridIndex creates an index over bounds with the given cell size.
@@ -161,13 +167,21 @@ func (g *GridIndex) withinRange(ids []int32, pos []Point, withPos bool, p Point,
 	if r <= 0 {
 		return ids, pos
 	}
-	r2 := r * r
-	minCX := int((p.X - r - g.bounds.Min.X) / g.cellSize)
-	maxCX := int((p.X + r - g.bounds.Min.X) / g.cellSize)
-	minCY := int((p.Y - r - g.bounds.Min.Y) / g.cellSize)
-	maxCY := int((p.Y + r - g.bounds.Min.Y) / g.cellSize)
-	minCX, maxCX = clampRange(minCX, maxCX, g.cols)
-	minCY, maxCY = clampRange(minCY, maxCY, g.rows)
+	if r != g.qR {
+		g.qR = r
+		g.qR2 = r * r
+		g.qSpan = int(math.Ceil(r / g.cellSize))
+	}
+	r2 := g.qR2
+	// Center-cell ± span covers every cell the old per-call
+	// (p±r)/cellSize derivation did (trunc(a±d) lies within
+	// trunc(a)±ceil(d) for d >= 0), so the visited set is a superset and
+	// the exact distance filter keeps results identical; cells beyond the
+	// disk are empty lookups.
+	cx := int((p.X - g.bounds.Min.X) / g.cellSize)
+	cy := int((p.Y - g.bounds.Min.Y) / g.cellSize)
+	minCX, maxCX := clampRange(cx-g.qSpan, cx+g.qSpan, g.cols)
+	minCY, maxCY := clampRange(cy-g.qSpan, cy+g.qSpan, g.rows)
 	for cy := minCY; cy <= maxCY; cy++ {
 		for cx := minCX; cx <= maxCX; cx++ {
 			for _, id := range g.cells[cy*g.cols+cx] {

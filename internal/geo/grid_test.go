@@ -242,6 +242,56 @@ func TestWithinRangePosAllocFree(t *testing.T) {
 	}
 }
 
+// TestWithinRangeSpanCacheInvalidation alternates query radii (including
+// revisiting earlier ones) and checks results always match brute force:
+// the cached span must be keyed on the radius, never left stale.
+func TestWithinRangeSpanCacheInvalidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	bounds := NewRect(Point{0, 0}, Point{1500, 1500})
+	g := mustGrid(t, bounds, 120)
+	pts := make(map[int32]Point)
+	for i := 0; i < 400; i++ {
+		p := Point{rng.Float64() * 1500, rng.Float64() * 1500}
+		g.Update(int32(i), p)
+		pts[int32(i)] = p
+	}
+	radii := []float64{120, 300, 120, 45, 300, 777, 120}
+	for trial := 0; trial < 60; trial++ {
+		r := radii[trial%len(radii)]
+		q := Point{rng.Float64()*1900 - 200, rng.Float64()*1900 - 200} // includes out-of-bounds centers
+		got := g.WithinRange(nil, q, r, -1)
+		var want []int32
+		for id, p := range pts {
+			if p.DistSq(q) <= r*r {
+				want = append(want, id)
+			}
+		}
+		sortInt32(got)
+		sortInt32(want)
+		if !equalInt32(got, want) {
+			t.Fatalf("trial %d (r=%v): cached-span WithinRange mismatch\n got %v\nwant %v", trial, r, got, want)
+		}
+	}
+}
+
+// TestWithinRangeAllocFree: the fixed-radius hot path must not allocate —
+// neither for the result buffer (warm) nor for the cached span geometry.
+func TestWithinRangeAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := mustGrid(t, NewRect(Point{0, 0}, Point{2000, 2000}), 300)
+	for i := 0; i < 500; i++ {
+		g.Update(int32(i), Point{rng.Float64() * 2000, rng.Float64() * 2000})
+	}
+	buf := make([]int32, 0, 600)
+	q := Point{777, 777}
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = g.WithinRange(buf[:0], q, 300, -1)
+	})
+	if allocs != 0 {
+		t.Errorf("WithinRange allocated %.1f times per query, want 0", allocs)
+	}
+}
+
 func sortInt32(s []int32) {
 	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
 }

@@ -1,0 +1,166 @@
+package geo
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestFactorShards(t *testing.T) {
+	cases := map[int][2]int{
+		0: {1, 1}, 1: {1, 1}, 2: {2, 1}, 3: {3, 1}, 4: {2, 2},
+		6: {3, 2}, 8: {4, 2}, 9: {3, 3}, 12: {4, 3}, 16: {4, 4}, 7: {7, 1},
+	}
+	for n, want := range cases {
+		nx, ny := FactorShards(n)
+		if nx != want[0] || ny != want[1] {
+			t.Errorf("FactorShards(%d) = %dx%d, want %dx%d", n, nx, ny, want[0], want[1])
+		}
+	}
+}
+
+func TestShardMapOwnership(t *testing.T) {
+	bounds := NewRect(Point{0, 0}, Point{4000, 2000})
+	m, err := NewShardMap(bounds, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumShards() != 8 {
+		t.Fatalf("NumShards = %d, want 8", m.NumShards())
+	}
+	// Each shard owns its own region's center.
+	for i := 0; i < m.NumShards(); i++ {
+		if got := m.ShardOf(m.ShardBounds(i).Center()); got != i {
+			t.Errorf("ShardOf(center of %d) = %d", i, got)
+		}
+	}
+	// Out-of-bounds points clamp to border shards: ownership is total.
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		p := Point{rng.Float64()*6000 - 1000, rng.Float64()*4000 - 1000}
+		s := m.ShardOf(p)
+		if s < 0 || s >= m.NumShards() {
+			t.Fatalf("ShardOf(%v) = %d out of range", p, s)
+		}
+	}
+}
+
+func TestShardsNearMatchesBruteForce(t *testing.T) {
+	bounds := NewRect(Point{0, 0}, Point{3000, 3000})
+	m, err := NewShardMap(bounds, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 300; trial++ {
+		p := Point{rng.Float64() * 3000, rng.Float64() * 3000}
+		halo := rng.Float64() * 900
+		got := m.ShardsNear(nil, p, halo)
+		var want []int
+		for i := 0; i < m.NumShards(); i++ {
+			if m.DistToShard(p, i) <= halo {
+				want = append(want, i)
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: ShardsNear(%v, %v) = %v, want %v", trial, p, halo, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d: ShardsNear(%v, %v) = %v, want %v", trial, p, halo, got, want)
+			}
+		}
+	}
+}
+
+func TestShardedIndexGhostLifecycle(t *testing.T) {
+	s, err := NewShardedIndex(NewRect(Point{0, 0}, Point{1000, 1000}), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.UpdateLocal(1, Point{100, 100})
+	s.UpdateGhost(2, Point{150, 100})
+	if !s.IsLocal(1) || s.IsLocal(2) {
+		t.Fatal("locality tracking wrong")
+	}
+	if s.NumLocal() != 1 || s.NumGhosts() != 1 {
+		t.Fatalf("counts = (%d local, %d ghost), want (1, 1)", s.NumLocal(), s.NumGhosts())
+	}
+	ids, _ := s.WithinRangePos(nil, nil, Point{100, 100}, 200, -1)
+	if len(ids) != 2 {
+		t.Fatalf("query over local+ghost returned %v, want both", ids)
+	}
+	// A ghost push for an entry the shard owns must not corrupt it.
+	s.UpdateGhost(1, Point{900, 900})
+	if p, _ := s.Position(1); p != (Point{100, 100}) {
+		t.Fatalf("ghost push demoted a local entry to %v", p)
+	}
+	s.ClearGhosts()
+	if s.NumGhosts() != 0 {
+		t.Fatal("ghosts not cleared")
+	}
+	if _, ok := s.Position(2); ok {
+		t.Fatal("ghost survived ClearGhosts")
+	}
+	if _, ok := s.Position(1); !ok {
+		t.Fatal("ClearGhosts removed a local entry")
+	}
+	// Promotion: a former ghost handed off to this shard survives clears.
+	s.UpdateGhost(3, Point{500, 500})
+	s.UpdateLocal(3, Point{510, 500})
+	s.ClearGhosts()
+	if _, ok := s.Position(3); !ok {
+		t.Fatal("promoted entry removed by ClearGhosts")
+	}
+	s.RemoveLocal(3)
+	if _, ok := s.Position(3); ok {
+		t.Fatal("RemoveLocal left the entry indexed")
+	}
+}
+
+// TestShardedIndexMatchesGlobal builds a global index and per-shard views
+// (locals plus halo ghosts) and checks range queries from any local
+// position agree exactly with the global answer — the boundary-halo query
+// path returns what a single world-wide index would.
+func TestShardedIndexMatchesGlobal(t *testing.T) {
+	bounds := NewRect(Point{0, 0}, Point{2000, 2000})
+	const r = 250.0
+	m, err := NewShardMap(bounds, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	global := mustGrid(t, bounds, r)
+	shards := make([]*ShardedIndex, m.NumShards())
+	for i := range shards {
+		if shards[i], err = NewShardedIndex(bounds, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(3))
+	pts := make(map[int32]Point)
+	for i := 0; i < 300; i++ {
+		id := int32(i)
+		p := Point{rng.Float64() * 2000, rng.Float64() * 2000}
+		pts[id] = p
+		global.Update(id, p)
+		owner := m.ShardOf(p)
+		shards[owner].UpdateLocal(id, p)
+		for _, s := range m.ShardsNear(nil, p, r) {
+			if s != owner {
+				shards[s].UpdateGhost(id, p)
+			}
+		}
+	}
+	for id, p := range pts {
+		owner := m.ShardOf(p)
+		gotIDs, _ := shards[owner].WithinRangePos(nil, nil, p, r, id)
+		wantIDs := global.WithinRange(nil, p, r, id)
+		if len(gotIDs) != len(wantIDs) {
+			t.Fatalf("id %d: sharded query %v != global %v", id, gotIDs, wantIDs)
+		}
+		for i := range gotIDs {
+			if gotIDs[i] != wantIDs[i] {
+				t.Fatalf("id %d: sharded query %v != global %v", id, gotIDs, wantIDs)
+			}
+		}
+	}
+}

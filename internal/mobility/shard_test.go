@@ -1,0 +1,82 @@
+package mobility
+
+import (
+	"testing"
+
+	"vcloud/internal/geo"
+)
+
+func shardTestBounds() geo.Rect {
+	return geo.NewRect(geo.Point{X: 0, Y: 0}, geo.Point{X: 2000, Y: 2000})
+}
+
+// TestShardVehicleStepDeterministic replays a trajectory from a mid-run
+// handoff copy and checks it continues bit-for-bit: the struct copy that
+// crosses a shard border carries everything the stepper reads.
+func TestShardVehicleStepDeterministic(t *testing.T) {
+	bounds := shardTestBounds()
+	v := SpawnShardVehicle(42, 7, bounds, 5, 30)
+	var mid ShardVehicle
+	for tick := uint64(0); tick < 100; tick++ {
+		if tick == 50 {
+			mid = v // handoff: plain struct copy
+		}
+		v.Step(42, tick, bounds, 1, 5, 30)
+	}
+	for tick := uint64(50); tick < 100; tick++ {
+		mid.Step(42, tick, bounds, 1, 5, 30)
+	}
+	if mid != v {
+		t.Fatalf("replay from handoff copy diverged:\n  orig %+v\n  copy %+v", v, mid)
+	}
+}
+
+// TestShardVehicleSeedSensitivity checks different seeds and ids give
+// different trajectories (the hash draws are actually keyed).
+func TestShardVehicleSeedSensitivity(t *testing.T) {
+	bounds := shardTestBounds()
+	a := SpawnShardVehicle(1, 7, bounds, 5, 30)
+	b := SpawnShardVehicle(2, 7, bounds, 5, 30)
+	c := SpawnShardVehicle(1, 8, bounds, 5, 30)
+	if a.Pos == b.Pos || a.Pos == c.Pos {
+		t.Fatalf("spawn ignores seed or id: %v %v %v", a.Pos, b.Pos, c.Pos)
+	}
+}
+
+// TestShardVehicleStaysInBounds runs long enough to hit every wall and
+// checks the reflective bounce keeps positions inside the world.
+func TestShardVehicleStaysInBounds(t *testing.T) {
+	bounds := shardTestBounds()
+	for id := int32(0); id < 20; id++ {
+		v := SpawnShardVehicle(9, id, bounds, 5, 30)
+		if !bounds.Contains(v.Pos) {
+			t.Fatalf("vehicle %d spawned outside bounds at %v", id, v.Pos)
+		}
+		for tick := uint64(0); tick < 2000; tick++ {
+			v.Step(9, tick, bounds, 1, 5, 30)
+			if !bounds.Contains(v.Pos) {
+				t.Fatalf("vehicle %d escaped to %v at tick %d", id, v.Pos, tick)
+			}
+		}
+		if v.OdoMM <= 0 {
+			t.Fatalf("vehicle %d odometer did not advance", id)
+		}
+	}
+}
+
+// TestShardVehicleOdometerBounds sanity-checks the integer odometer
+// against the speed envelope.
+func TestShardVehicleOdometerBounds(t *testing.T) {
+	bounds := shardTestBounds()
+	v := SpawnShardVehicle(3, 1, bounds, 10, 20)
+	const ticks = 500
+	for tick := uint64(0); tick < ticks; tick++ {
+		v.Step(3, tick, bounds, 1, 10, 20)
+	}
+	if v.OdoMM < 10*1000*ticks || v.OdoMM > 20*1000*ticks {
+		t.Fatalf("odometer %d mm outside [%d, %d]", v.OdoMM, 10*1000*ticks, 20*1000*ticks)
+	}
+	if MaxStep(20, 1) != 20 {
+		t.Fatalf("MaxStep(20, 1) = %v", MaxStep(20, 1))
+	}
+}

@@ -332,14 +332,21 @@ func (m *Medium) loadFraction() float64 {
 
 // receptionProb returns the distance-fade success probability.
 func (m *Medium) receptionProb(d float64) float64 {
-	if d <= m.params.RangeReliable {
+	return m.params.ReceptionProb(d)
+}
+
+// ReceptionProb returns the distance-fade success probability at distance
+// d: certain up to RangeReliable, quadratic falloff to zero at RangeMax.
+// It is a pure function of the params, shared by the stream-RNG Medium
+// and the counter-hash ShardChannel so both model the same physics.
+func (p Params) ReceptionProb(d float64) float64 {
+	if d <= p.RangeReliable {
 		return 1
 	}
-	if d >= m.params.RangeMax {
+	if d >= p.RangeMax {
 		return 0
 	}
-	// Quadratic falloff from 1 at RangeReliable to 0 at RangeMax.
-	x := (d - m.params.RangeReliable) / (m.params.RangeMax - m.params.RangeReliable)
+	x := (d - p.RangeReliable) / (p.RangeMax - p.RangeReliable)
 	return (1 - x) * (1 - x)
 }
 

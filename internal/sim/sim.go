@@ -145,8 +145,15 @@ func (k *Kernel) RNG() *rand.Rand { return k.rng }
 // same kernel seed, which lets one subsystem add random draws without
 // perturbing another subsystem's stream.
 func (k *Kernel) NewStream(name string) *rand.Rand {
-	h := fnv64(name)
-	return rand.New(rand.NewSource(k.seed ^ int64(h)))
+	return rand.New(rand.NewSource(SubSeed(k.seed, name)))
+}
+
+// SubSeed derives the seed of the named substream of seed — the same
+// derivation NewStream uses. It exists so components that need a whole
+// child kernel rather than a stream (the sharded kernel seeds one kernel
+// per shard) stay on the one labelled-derivation scheme.
+func SubSeed(seed int64, name string) int64 {
+	return seed ^ int64(fnv64(name))
 }
 
 func fnv64(s string) uint64 {
@@ -340,6 +347,42 @@ func (k *Kernel) Run(horizon Time) error {
 		k.now = horizon
 	}
 	return nil
+}
+
+// RunBefore dispatches every event with at < limit and leaves the clock at
+// limit. It is the windowed form of Run used by the sharded kernel: windows
+// are half-open, so an event scheduled at exactly limit (the earliest
+// timestamp a conservative cross-shard injection may carry) fires in the
+// next window, after the barrier has merged all injections in their fixed
+// order. Events the window does not reach stay queued.
+func (k *Kernel) RunBefore(limit Time) error {
+	k.stopped = false
+	start := time.Now()
+	defer func() { k.runWall += time.Since(start) }()
+	for len(k.queue) > 0 {
+		if k.stopped {
+			return ErrStopped
+		}
+		next := k.queue[0]
+		if next.at >= limit {
+			break
+		}
+		heap.Pop(&k.queue)
+		k.fire(next)
+	}
+	if k.now < limit {
+		k.now = limit
+	}
+	return nil
+}
+
+// NextEventTime returns the timestamp of the earliest pending event. The
+// boolean is false when no event is queued.
+func (k *Kernel) NextEventTime() (Time, bool) {
+	if len(k.queue) == 0 {
+		return 0, false
+	}
+	return k.queue[0].at, true
 }
 
 // Step dispatches exactly one event if any is pending, and reports whether

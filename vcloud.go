@@ -24,8 +24,13 @@
 //     bandwidth estimator over a contended FIFO uplink, and a placement
 //     governor with deadline admission control, bounded queues,
 //     optional-first load shedding and live per-tier estimates;
+//   - a geo-sharded parallel event kernel: the world partitions into a
+//     fixed grid of geographic shards, each advancing its own kernel,
+//     synchronized with conservative lookahead windows — bit-for-bit
+//     identical model output at any shard count (internal/sim/shard.go,
+//     internal/shardworld);
 //   - the adversary models of the paper's §III threat list, and the
-//     E1–E16 experiment suite that operationalizes every figure and
+//     E1–E17 experiment suite that operationalizes every figure and
 //     claim (see DESIGN.md and EXPERIMENTS.md).
 //
 // This root package is the public facade: it re-exports the library's
@@ -51,6 +56,7 @@ import (
 	"vcloud/internal/radio"
 	"vcloud/internal/roadnet"
 	"vcloud/internal/scenario"
+	"vcloud/internal/shardworld"
 	"vcloud/internal/sim"
 	"vcloud/internal/store"
 	"vcloud/internal/vcloud"
@@ -460,15 +466,51 @@ func DeploySecureCloud(s *Scenario, arch Architecture, ta *TrustedAuthority, met
 }
 
 // RunExperiment executes one of the paper-reproduction experiments
-// (E1–E16) and returns its table and named values.
+// (E1–E17) and returns its table and named values.
 func RunExperiment(id string, cfg ExperimentConfig) (*ExperimentResult, error) {
 	for _, r := range experiments.All() {
 		if r.ID == id {
 			return r.Run(cfg)
 		}
 	}
-	return nil, fmt.Errorf("vcloud: unknown experiment %q (valid: E1..E16)", id)
+	return nil, fmt.Errorf("vcloud: unknown experiment %q (valid: E1..E17)", id)
 }
+
+// Geo-sharded parallel kernel types (see internal/sim/shard.go for the
+// conservative-lookahead coordinator and internal/shardworld for the
+// composed scenario).
+type (
+	// ShardedKernel runs one simulation across N geographic shards — one
+	// event kernel per shard, synchronized in conservative lookahead
+	// windows with a fixed cross-shard merge order, so results are
+	// bit-for-bit identical to a serial kernel at any shard count.
+	ShardedKernel = sim.ShardedKernel
+	// ShardWorldConfig parameterizes a geo-sharded beaconing scenario.
+	ShardWorldConfig = shardworld.Config
+	// ShardWorldResult is a finished sharded run: shard-invariant sampled
+	// output plus sharding and performance telemetry.
+	ShardWorldResult = shardworld.Result
+	// ShardOutage silences beacons from a region for a tick interval.
+	ShardOutage = shardworld.Outage
+	// ShardSampleRow is one fleet-wide counter sample.
+	ShardSampleRow = shardworld.SampleRow
+)
+
+// NewShardedKernel creates a sharded kernel: n shards, conservative
+// lookahead L. Cross-shard events must be injected at least L ahead.
+func NewShardedKernel(seed int64, n int, lookahead Duration) (*ShardedKernel, error) {
+	return sim.NewShardedKernel(seed, n, lookahead)
+}
+
+// DefaultShardWorldConfig returns the standard sharded-world scenario.
+func DefaultShardWorldConfig(seed int64, shards int) ShardWorldConfig {
+	return shardworld.DefaultConfig(seed, shards)
+}
+
+// RunShardWorld executes the geo-sharded beaconing scenario and returns
+// its result; equal configs (including shard count changes) reproduce
+// the model output bit-for-bit — compare ShardWorldResult.Checksum.
+func RunShardWorld(cfg ShardWorldConfig) (*ShardWorldResult, error) { return shardworld.Run(cfg) }
 
 // Chaos-soak types (the long-horizon invariant harness; see
 // internal/chaos).
@@ -486,6 +528,20 @@ type (
 // Violations slice in the report is the pass criterion; equal configs
 // reproduce runs bit-for-bit (compare Checksum).
 func RunSoak(cfg SoakConfig) (*SoakReport, error) { return chaos.Soak(cfg) }
+
+// Sharded-kernel storm-soak types (see internal/chaos/shard.go).
+type (
+	// ShardSoakConfig tunes the sharded-kernel storm soak: seeded storm
+	// episodes (churn + roaming beacon outages), each run sharded and
+	// serial with bit-for-bit output equality as the armed invariant.
+	ShardSoakConfig = chaos.ShardSoakConfig
+	// ShardSoakReport is the storm soak's outcome; empty Violations is
+	// the pass criterion.
+	ShardSoakReport = chaos.ShardSoakReport
+)
+
+// RunShardSoak executes the sharded-kernel storm soak.
+func RunShardSoak(cfg ShardSoakConfig) (*ShardSoakReport, error) { return chaos.RunShardSoak(cfg) }
 
 // Experiments lists the available experiment IDs with their titles.
 func Experiments() map[string]string {

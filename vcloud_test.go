@@ -92,8 +92,8 @@ func TestRunExperimentFacade(t *testing.T) {
 	if _, err := root.RunExperiment("E99", root.ExperimentConfig{}); err == nil {
 		t.Error("unknown experiment should error")
 	}
-	if got := len(root.Experiments()); got != 16 {
-		t.Errorf("experiments = %d, want 16", got)
+	if got := len(root.Experiments()); got != 17 {
+		t.Errorf("experiments = %d, want 17", got)
 	}
 }
 
