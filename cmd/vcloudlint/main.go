@@ -1,5 +1,5 @@
 // Command vcloudlint statically enforces the simulator's determinism and
-// fencing contracts (DESIGN.md, "Determinism contract"). It runs five
+// fencing contracts (DESIGN.md, "Determinism contract"). It runs eight
 // analyzers over the module's production sources:
 //
 //	nowallclock   no time.Now/Sleep/After/Since in sim-driven packages
@@ -7,23 +7,38 @@
 //	nomaporder    no map-iteration-ordered appends/sends/writes
 //	nogoroutine   no go statements or sync primitives in kernel code
 //	epochstamp    no Epoch-carrying message literals with Epoch unset
+//	exhaustenum   switches over module enums cover every member or default
+//	shardpure     nothing reachable from a shard callback is impure
+//	hotalloc      //vcloudlint:hotpath functions are allocation-free
+//
+// shardpure and hotalloc are interprocedural: they build one call graph
+// over every loaded package (internal/analysis/interproc) and chase
+// effects across package boundaries, reporting the deep effect site with
+// the call chain that reaches it.
 //
 // Usage:
 //
 //	go run ./cmd/vcloudlint ./...
 //	go run ./cmd/vcloudlint -only nowallclock,epochstamp ./...
+//	go run ./cmd/vcloudlint -json ./...
 //	go run ./cmd/vcloudlint -list
+//
+// -json emits the findings as a JSON array of {file,line,col,analyzer,
+// message} objects in the same deterministic (file, line, col, analyzer)
+// order as the text output; CI uses it to attach findings to the diff.
 //
 // A finding can be suppressed at the call site with a justification:
 //
 //	start := time.Now() //vcloudlint:allow nowallclock profiling telemetry
 //
 // The directive covers its own line and the line below; the reason is
-// mandatory and a missing one is itself reported. Exit status: 0 clean,
+// mandatory and a missing one is itself reported — as is a stale
+// directive that no longer suppresses anything. Exit status: 0 clean,
 // 1 findings, 2 usage or load failure.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"go/token"
@@ -43,11 +58,12 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("vcloudlint", flag.ContinueOnError)
 	var (
-		only = fs.String("only", "", "comma-separated analyzer names to run; empty = all")
-		list = fs.Bool("list", false, "list analyzers and exit")
+		only   = fs.String("only", "", "comma-separated analyzer names to run; empty = all")
+		list   = fs.Bool("list", false, "list analyzers and exit")
+		asJSON = fs.Bool("json", false, "emit findings as a JSON array instead of text")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: vcloudlint [-only a,b] [-list] [packages]")
+		fmt.Fprintln(os.Stderr, "usage: vcloudlint [-only a,b] [-json] [-list] [packages]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -85,19 +101,49 @@ func run(args []string) int {
 	}
 
 	wd, _ := os.Getwd()
-	n := 0
+	// Findings arrive from the suite already sorted by (file, line, col,
+	// analyzer); both output forms preserve that order, so runs are
+	// byte-identical.
+	kept := make([]jsonFinding, 0, len(findings))
 	for _, f := range findings {
 		if keep != nil && !keep[f.Analyzer] {
 			continue
 		}
-		n++
-		fmt.Printf("%s:%d:%d: [%s] %s\n", relPath(wd, f.Pos.Filename), f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+		kept = append(kept, jsonFinding{
+			File:     relPath(wd, f.Pos.Filename),
+			Line:     f.Pos.Line,
+			Col:      f.Pos.Column,
+			Analyzer: f.Analyzer,
+			Message:  f.Message,
+		})
 	}
-	if n > 0 {
-		fmt.Fprintf(os.Stderr, "vcloudlint: %d finding(s)\n", n)
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(kept); err != nil {
+			fmt.Fprintln(os.Stderr, "vcloudlint:", err)
+			return 2
+		}
+	} else {
+		for _, f := range kept {
+			fmt.Printf("%s:%d:%d: [%s] %s\n", f.File, f.Line, f.Col, f.Analyzer, f.Message)
+		}
+	}
+	if len(kept) > 0 {
+		fmt.Fprintf(os.Stderr, "vcloudlint: %d finding(s)\n", len(kept))
 		return 1
 	}
 	return 0
+}
+
+// jsonFinding is the -json output record. Field order is the sort order.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
 }
 
 // parseOnly validates -only against the suite's analyzer names (plus

@@ -24,18 +24,31 @@ type AllowDirective struct {
 
 const allowPrefix = "//vcloudlint:allow"
 
+// allowEntry tracks one (directive, analyzer name) pair so the suite can
+// audit directives that no longer suppress anything.
+type allowEntry struct {
+	pos  token.Pos
+	name string
+	used bool
+}
+
 // AllowSet indexes every well-formed allow directive in a set of files and
-// remembers the malformed ones so the driver can report them.
+// remembers the malformed ones so the driver can report them. Lookups via
+// Allowed mark the matched entry as used; Stale reports the rest.
 type AllowSet struct {
-	// byLine maps "filename:line" to the analyzer names allowed there.
-	byLine map[string]map[string]bool
+	// byLine maps "filename:line" to the entries allowed there; the two
+	// lines a directive covers share the same entries, so a hit on either
+	// marks the directive used.
+	byLine map[string]map[string]*allowEntry
+	// entries keeps every (directive, analyzer) pair in source order.
+	entries []*allowEntry
 	// Malformed collects directives missing an analyzer name or a reason.
 	Malformed []Diagnostic
 }
 
 // ParseAllows scans the comments of files for vcloudlint:allow directives.
 func ParseAllows(fset *token.FileSet, files []*ast.File) *AllowSet {
-	as := &AllowSet{byLine: make(map[string]map[string]bool)}
+	as := &AllowSet{byLine: make(map[string]map[string]*allowEntry)}
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -56,13 +69,15 @@ func ParseAllows(fset *token.FileSet, files []*ast.File) *AllowSet {
 					continue
 				}
 				pos := fset.Position(c.Pos())
-				for _, line := range []int{pos.Line, pos.Line + 1} {
-					key := lineKey(pos.Filename, line)
-					if as.byLine[key] == nil {
-						as.byLine[key] = make(map[string]bool)
-					}
-					for _, n := range names {
-						as.byLine[key][n] = true
+				for _, n := range names {
+					e := &allowEntry{pos: c.Pos(), name: n}
+					as.entries = append(as.entries, e)
+					for _, line := range []int{pos.Line, pos.Line + 1} {
+						key := lineKey(pos.Filename, line)
+						if as.byLine[key] == nil {
+							as.byLine[key] = make(map[string]*allowEntry)
+						}
+						as.byLine[key][n] = e
 					}
 				}
 			}
@@ -87,10 +102,35 @@ func splitDirective(rest string) (names []string, reason string) {
 }
 
 // Allowed reports whether a diagnostic from analyzer at pos is suppressed
-// by a directive on the same line or the line above.
+// by a directive on the same line or the line above, marking the matched
+// directive as earning its keep for the stale audit.
 func (as *AllowSet) Allowed(fset *token.FileSet, analyzer string, pos token.Pos) bool {
 	p := fset.Position(pos)
-	return as.byLine[lineKey(p.Filename, p.Line)][analyzer]
+	e := as.byLine[lineKey(p.Filename, p.Line)][analyzer]
+	if e == nil {
+		return false
+	}
+	e.used = true
+	return true
+}
+
+// Stale returns one diagnostic per (directive, analyzer) pair that
+// suppressed nothing across every Allowed lookup made so far. Run it only
+// after all analyzers have reported: a reasoned exemption that no longer
+// matches a finding has rotted and must be deleted or re-justified.
+func (as *AllowSet) Stale() []Diagnostic {
+	var out []Diagnostic
+	for _, e := range as.entries {
+		if e.used {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pos:      e.pos,
+			Analyzer: "allow",
+			Message:  "stale directive: no " + e.name + " finding here or on the next line; delete the exemption or re-justify it",
+		})
+	}
+	return out
 }
 
 func lineKey(file string, line int) string {

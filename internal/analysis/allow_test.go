@@ -4,6 +4,7 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"strings"
 	"testing"
 )
 
@@ -94,6 +95,44 @@ func f() {}
 	as := ParseAllows(fset, []*ast.File{f})
 	if len(as.Malformed) != 0 {
 		t.Fatalf("foreign directives misparsed: %v", as.Malformed)
+	}
+}
+
+func TestAllowStale(t *testing.T) {
+	src := `package p
+
+func f() {
+	_ = 1 //vcloudlint:allow nowallclock earns its keep
+	_ = 2 //vcloudlint:allow noglobalrand,nomaporder half used
+	_ = 3 //vcloudlint:allow nogoroutine never matched
+}
+`
+	fset, f := parse(t, src)
+	as := ParseAllows(fset, []*ast.File{f})
+	// Simulate the suite querying findings: one hit on line 4, one on the
+	// nomaporder half of line 5, nothing for line 6.
+	if !as.Allowed(fset, "nowallclock", posAtLine(fset, 4)) {
+		t.Fatal("line 4 directive did not suppress")
+	}
+	if !as.Allowed(fset, "nomaporder", posAtLine(fset, 5)) {
+		t.Fatal("line 5 nomaporder directive did not suppress")
+	}
+	stale := as.Stale()
+	if len(stale) != 2 {
+		t.Fatalf("got %d stale directives, want 2: %v", len(stale), stale)
+	}
+	first := fset.Position(stale[0].Pos)
+	second := fset.Position(stale[1].Pos)
+	if first.Line != 5 || second.Line != 6 {
+		t.Errorf("stale lines = %d,%d, want 5,6", first.Line, second.Line)
+	}
+	for _, d := range stale {
+		if d.Analyzer != "allow" {
+			t.Errorf("stale diagnostic analyzer = %q, want allow", d.Analyzer)
+		}
+	}
+	if got, want := stale[0].Message, "noglobalrand"; !strings.Contains(got, want) {
+		t.Errorf("stale message %q does not name %q", got, want)
 	}
 }
 

@@ -23,11 +23,15 @@ import (
 
 // Analyzer describes one static check. Name appears in diagnostics and in
 // //vcloudlint:allow directives; Doc is the one-paragraph description shown
-// by `vcloudlint -list`.
+// by `vcloudlint -list`. Exactly one of Run and RunTree is set: Run
+// analyzers inspect one package at a time, RunTree analyzers see every
+// loaded package at once (the interprocedural checks, which chase effects
+// through the whole call graph).
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass) error
+	Name    string
+	Doc     string
+	Run     func(*Pass) error
+	RunTree func(*TreePass) error
 }
 
 // Pass carries one type-checked package through an analyzer run.
@@ -67,6 +71,37 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type {
 // them.
 func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, path string, pkg *types.Package, info *types.Info, sink func(Diagnostic)) *Pass {
 	return &Pass{Analyzer: a, Fset: fset, Files: files, Path: path, Pkg: pkg, Info: info, report: sink}
+}
+
+// TreeUnit is one loaded package as seen by a tree (interprocedural)
+// analyzer: the same parsed+type-checked material a Pass carries, without
+// binding it to a single analyzer.
+type TreeUnit struct {
+	Path  string
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// TreePass carries every loaded package through one tree analyzer run.
+// Units arrive in the loader's deterministic dependency order, so finding
+// order is a pure function of the source tree.
+type TreePass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Units    []*TreeUnit
+	report   func(Diagnostic)
+}
+
+// Reportf reports a diagnostic at pos, which may lie in any loaded unit.
+func (p *TreePass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// NewTreePass assembles a TreePass over the loaded units for one tree
+// analyzer, delivering diagnostics to sink.
+func NewTreePass(a *Analyzer, fset *token.FileSet, units []*TreeUnit, sink func(Diagnostic)) *TreePass {
+	return &TreePass{Analyzer: a, Fset: fset, Units: units, report: sink}
 }
 
 // InspectWithStack walks every file in the pass in source order, calling fn

@@ -44,6 +44,76 @@ func Run(t *testing.T, a *analysis.Analyzer, testdata string, pkgs ...string) {
 	}
 }
 
+// RunTree loads every listed package dir under testdata/src into one tree
+// (in the given order, so later fixtures may import earlier ones by their
+// dir name) and applies a tree analyzer once over all of them, comparing
+// diagnostics against the // want expectations of every file. Allow
+// directives are honored across the whole tree, as in the real suite.
+func RunTree(t *testing.T, a *analysis.Analyzer, testdata string, pkgs ...string) {
+	t.Helper()
+	if a.RunTree == nil {
+		t.Fatalf("%s: not a tree analyzer", a.Name)
+	}
+	fset := token.NewFileSet()
+	std := importer.ForCompiler(fset, "source", nil)
+	checked := make(map[string]*types.Package)
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if p, ok := checked[path]; ok {
+			return p, nil
+		}
+		return std.Import(path)
+	})
+
+	var units []*analysis.TreeUnit
+	var all []*ast.File
+	for _, pkg := range pkgs {
+		dir := filepath.Join(testdata, "src", pkg)
+		names, err := goFilesIn(dir)
+		if err != nil {
+			t.Fatalf("%s: %v", pkg, err)
+		}
+		var files []*ast.File
+		for _, name := range names {
+			f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				t.Fatalf("%s: %v", pkg, err)
+			}
+			files = append(files, f)
+		}
+		info := loader.NewInfo()
+		conf := types.Config{Importer: imp}
+		tp, err := conf.Check(pkg, fset, files, info)
+		if err != nil {
+			t.Fatalf("%s: type-checking: %v", pkg, err)
+		}
+		checked[pkg] = tp
+		units = append(units, &analysis.TreeUnit{Path: pkg, Files: files, Pkg: tp, Info: info})
+		all = append(all, files...)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := analysis.NewTreePass(a, fset, units, func(d analysis.Diagnostic) {
+		diags = append(diags, d)
+	})
+	if err := a.RunTree(pass); err != nil {
+		t.Fatalf("%s: analyzer: %v", a.Name, err)
+	}
+
+	allows := analysis.ParseAllows(fset, all)
+	kept := diags[:0]
+	for _, d := range diags {
+		if !allows.Allowed(fset, d.Analyzer, d.Pos) {
+			kept = append(kept, d)
+		}
+	}
+	match(t, fset, strings.Join(pkgs, "+"), all, kept)
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
 func runPkg(t *testing.T, a *analysis.Analyzer, fset *token.FileSet, imp types.Importer, testdata, pkg string) {
 	t.Helper()
 	dir := filepath.Join(testdata, "src", pkg)

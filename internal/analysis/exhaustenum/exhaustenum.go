@@ -1,0 +1,127 @@
+// Package exhaustenum requires switches over the module's enum-like types
+// to be exhaustive or to carry an explicit default. An enum-like type is a
+// named, module-defined type whose underlying type is an integer or
+// string and which has at least two package-level constants declared of
+// it — FailReason's Reason* set and the Tier ladder are the motivating
+// cases: retry routing and offload placement switch over them, and a new
+// enum member that silently falls through a non-exhaustive switch loses
+// jobs instead of routing them.
+//
+// Count-sentinel constants (names starting with "Num", like NumTiers) are
+// excluded from the required cover: they exist to size arrays, not to be
+// switched on. Constants sharing a value (aliases) count as covered when
+// any spelling of the value appears. Type switches and switches with a
+// default are never flagged; the default is the author's explicit
+// statement that fall-through is considered.
+//
+// Suppress with //vcloudlint:allow exhaustenum <reason> on the switch
+// line when non-exhaustiveness is intended.
+package exhaustenum
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"vcloud/internal/analysis"
+)
+
+// Analyzer is the exhaustenum check.
+var Analyzer = &analysis.Analyzer{
+	Name: "exhaustenum",
+	Doc:  "require switches over module enum types (FailReason, Tier, ...) to cover every constant or carry an explicit default",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	pass.InspectWithStack(func(n ast.Node, stack []ast.Node) bool {
+		sw, ok := n.(*ast.SwitchStmt)
+		if !ok || sw.Tag == nil {
+			return true
+		}
+		named := enumType(pass.TypeOf(sw.Tag), pass.Path)
+		if named == nil {
+			return true
+		}
+		members := enumMembers(named)
+		if len(members) < 2 {
+			return true
+		}
+		covered := make(map[string]bool)
+		for _, stmt := range sw.Body.List {
+			cc, ok := stmt.(*ast.CaseClause)
+			if !ok {
+				continue
+			}
+			if cc.List == nil {
+				return true // explicit default: fall-through is considered
+			}
+			for _, expr := range cc.List {
+				if tv, ok := pass.Info.Types[expr]; ok && tv.Value != nil {
+					covered[tv.Value.ExactString()] = true
+				}
+			}
+		}
+		var missing []string
+		for _, m := range members {
+			if !covered[m.Val().ExactString()] {
+				missing = append(missing, m.Name())
+			}
+		}
+		if len(missing) > 0 {
+			pass.Reportf(sw.Switch, "switch over %s is not exhaustive: missing %s; add the cases or an explicit default", named.Obj().Name(), strings.Join(missing, ", "))
+		}
+		return true
+	})
+	return nil
+}
+
+// enumType returns the named type of a switch tag when it is an enum
+// candidate: module-defined (same module root as the package under
+// analysis), with an integer or string underlying type.
+func enumType(t types.Type, pkgPath string) *types.Named {
+	if t == nil {
+		return nil
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || moduleRoot(obj.Pkg().Path()) != moduleRoot(pkgPath) {
+		return nil
+	}
+	basic, ok := named.Underlying().(*types.Basic)
+	if !ok {
+		return nil
+	}
+	switch {
+	case basic.Info()&types.IsInteger != 0, basic.Info()&types.IsString != 0:
+		return named
+	}
+	return nil
+}
+
+func moduleRoot(path string) string {
+	if i := strings.IndexByte(path, '/'); i >= 0 {
+		return path[:i]
+	}
+	return path
+}
+
+// enumMembers returns the package-level constants declared with the named
+// type, in scope order, excluding blank and Num*-prefixed count sentinels.
+func enumMembers(named *types.Named) []*types.Const {
+	scope := named.Obj().Pkg().Scope()
+	var members []*types.Const
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || c.Name() == "_" || strings.HasPrefix(c.Name(), "Num") {
+			continue
+		}
+		if types.Identical(c.Type(), named) {
+			members = append(members, c)
+		}
+	}
+	return members
+}

@@ -1,0 +1,24 @@
+package exhaustenum_test
+
+import (
+	"testing"
+
+	"vcloud/internal/analysis/analysistest"
+	"vcloud/internal/analysis/exhaustenum"
+)
+
+func TestViolations(t *testing.T) {
+	analysistest.Run(t, exhaustenum.Analyzer, "testdata", "a")
+}
+
+func TestClean(t *testing.T) {
+	analysistest.Run(t, exhaustenum.Analyzer, "testdata", "ok")
+}
+
+func TestAllowDirective(t *testing.T) {
+	analysistest.Run(t, exhaustenum.Analyzer, "testdata", "allowdir")
+}
+
+func TestFalsePositives(t *testing.T) {
+	analysistest.Run(t, exhaustenum.Analyzer, "testdata", "fp")
+}

@@ -1,0 +1,35 @@
+// Package a holds exhaustenum violations: switches over module enum types
+// that miss members and carry no default.
+package a
+
+type Reason int
+
+const (
+	ReasonA Reason = iota
+	ReasonB
+	ReasonC
+	NumReasons
+)
+
+func handle(r Reason) int {
+	switch r { // want `switch over Reason is not exhaustive: missing ReasonC`
+	case ReasonA:
+		return 1
+	case ReasonB:
+		return 2
+	}
+	return 0
+}
+
+type Tier string
+
+const (
+	TierCloud Tier = "cloud"
+	TierEdge  Tier = "edge"
+)
+
+func place(t Tier) {
+	switch t { // want `switch over Tier is not exhaustive: missing TierCloud`
+	case TierEdge:
+	}
+}

@@ -1,0 +1,28 @@
+// Package allowdir regression-tests //vcloudlint:allow suppression for
+// exhaustenum: a reasoned directive on the switch line suppresses, an
+// identical switch without one stays flagged.
+package allowdir
+
+type Reason int
+
+const (
+	ReasonA Reason = iota
+	ReasonB
+)
+
+func excused(r Reason) int {
+	//vcloudlint:allow exhaustenum ReasonB is rerouted by the caller before this switch
+	switch r {
+	case ReasonA:
+		return 1
+	}
+	return 0
+}
+
+func unexcused(r Reason) int {
+	switch r { // want `switch over Reason is not exhaustive`
+	case ReasonA:
+		return 1
+	}
+	return 0
+}

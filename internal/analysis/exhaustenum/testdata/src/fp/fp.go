@@ -1,0 +1,48 @@
+// Package fp holds shapes exhaustenum must NOT flag: enums defined
+// outside the module root, single-constant types, type switches, and
+// value aliases covering every member.
+package fp
+
+import "go/token"
+
+// extern enum: token.Token lives outside the module root.
+func extern(t token.Token) {
+	switch t {
+	case token.ADD:
+	}
+}
+
+// single-constant types are not enums.
+type one int
+
+const OnlyOne one = 1
+
+func single(v one) {
+	switch v {
+	case OnlyOne:
+	}
+}
+
+// type switches are never flagged.
+func typeSwitch(v any) int {
+	switch v.(type) {
+	case int:
+		return 1
+	}
+	return 0
+}
+
+// aliases: covering any spelling of every value is exhaustive.
+type mode int
+
+const (
+	ModeA mode = iota
+	ModeB
+	ModeDefault = ModeA
+)
+
+func aliased(m mode) {
+	switch m {
+	case ModeDefault, ModeB:
+	}
+}

@@ -1,0 +1,30 @@
+// Package ok holds passing switches: full coverage (count sentinels
+// excluded) and explicit defaults.
+package ok
+
+type Reason int
+
+const (
+	ReasonA Reason = iota
+	ReasonB
+	NumReasons
+)
+
+func full(r Reason) int {
+	switch r {
+	case ReasonA:
+		return 1
+	case ReasonB:
+		return 2
+	}
+	return 0
+}
+
+func defaulted(r Reason) int {
+	switch r {
+	case ReasonA:
+		return 1
+	default:
+		return 0
+	}
+}

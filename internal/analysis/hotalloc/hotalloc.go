@@ -1,0 +1,72 @@
+// Package hotalloc statically enforces the zero-allocation contract of
+// annotated hot paths. A function whose doc comment carries
+//
+//	//vcloudlint:hotpath <why this path is hot>
+//
+// must be transitively allocation-free: no slice/map/&T{} literals, no
+// make/new, no appends that grow function-local slices, no closure
+// creation, no calls into packages outside the tree (assumed to
+// allocate), and no calls through func values or interfaces (which could
+// hide any of those). This is the static twin of the AllocsPerRun
+// benchmark samples: the benchmarks measure a few configurations, the
+// analyzer proves the property over every path.
+//
+// The sanctioned amortized idioms pass by construction: appends whose
+// destination is a parameter, receiver field or package variable
+// (caller-owned scratch, freelists) carry no effect bit. Genuinely
+// amortized allocation sites that remain — a freelist's cold-start
+// new(T) — take a //vcloudlint:allow hotalloc directive with the
+// amortization argument as the reason.
+//
+// Findings point at the allocation site and carry the annotated root and
+// the call chain that makes it hot.
+package hotalloc
+
+import (
+	"go/token"
+
+	"vcloud/internal/analysis"
+	"vcloud/internal/analysis/interproc"
+)
+
+// Analyzer is the hotalloc check.
+var Analyzer = &analysis.Analyzer{
+	Name:    "hotalloc",
+	Doc:     "require functions annotated //vcloudlint:hotpath to be transitively allocation-free",
+	RunTree: run,
+}
+
+// banned are the effect bits a hot path's transitive closure must not
+// exhibit. Dynamic calls are included: an unresolvable callee may
+// allocate.
+const banned = interproc.AllocEffects | interproc.EffDynamicCall
+
+func run(pass *analysis.TreePass) error {
+	tree := interproc.Build(pass.Fset, pass.Units)
+	type siteKey struct {
+		pos token.Pos
+		bit interproc.Effect
+	}
+	seen := make(map[siteKey]bool)
+	for _, root := range tree.Hotpaths {
+		node := tree.Nodes[root.Key]
+		if node == nil {
+			continue
+		}
+		for _, bit := range (node.Summary & banned).Bits() {
+			path, site, ok := tree.Trace(root.Key, bit)
+			if !ok {
+				pass.Reportf(root.Pos, "hot path %s has a %s somewhere in its call graph (witness lost to a cycle)", interproc.ShortKey(root.Key), bit)
+				continue
+			}
+			k := siteKey{pos: site.Pos, bit: bit}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			pass.Reportf(site.Pos, "%s on hot path: %s; reachable from //vcloudlint:hotpath %s via %s",
+				bit, site.Detail, interproc.ShortKey(root.Key), interproc.RenderChain(path))
+		}
+	}
+	return nil
+}

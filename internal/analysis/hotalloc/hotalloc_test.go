@@ -1,0 +1,20 @@
+package hotalloc_test
+
+import (
+	"testing"
+
+	"vcloud/internal/analysis/analysistest"
+	"vcloud/internal/analysis/hotalloc"
+)
+
+func TestViolations(t *testing.T) {
+	analysistest.RunTree(t, hotalloc.Analyzer, "testdata", "helper", "a")
+}
+
+func TestAllowDirective(t *testing.T) {
+	analysistest.RunTree(t, hotalloc.Analyzer, "testdata", "allowdir")
+}
+
+func TestFalsePositives(t *testing.T) {
+	analysistest.RunTree(t, hotalloc.Analyzer, "testdata", "fp")
+}

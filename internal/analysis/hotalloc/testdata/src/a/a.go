@@ -1,0 +1,42 @@
+// Package a holds hotalloc violations: each annotated function exhibits
+// one allocation effect, directly or through a helper package.
+package a
+
+import (
+	"fmt"
+
+	"helper"
+)
+
+//vcloudlint:hotpath one call per event; reaches the allocation in package helper
+func Hot(buf []int) []int {
+	buf = helper.Grow(buf, 1)
+	return helper.Make()
+}
+
+//vcloudlint:hotpath per frame
+func LocalGrow() []int {
+	var s []int
+	s = append(s, 1) // want `growing append on hot path`
+	return s
+}
+
+//vcloudlint:hotpath per frame
+func MakesMap() map[int]int {
+	return map[int]int{} // want `heap allocation on hot path`
+}
+
+//vcloudlint:hotpath per frame
+func Closes(xs []int) func() int {
+	return func() int { return len(xs) } // want `closure allocation on hot path`
+}
+
+//vcloudlint:hotpath per frame
+func Dyn(f func()) {
+	f() // want `dynamic call on hot path`
+}
+
+//vcloudlint:hotpath per frame
+func Externs() string {
+	return fmt.Sprintf("x") // want `extern call on hot path`
+}

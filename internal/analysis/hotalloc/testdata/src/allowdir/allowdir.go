@@ -1,0 +1,15 @@
+// Package allowdir regression-tests //vcloudlint:allow suppression for
+// hotalloc: the amortized-cold-start idiom carries a reasoned directive at
+// the allocation site; the same allocation without one stays flagged.
+package allowdir
+
+//vcloudlint:hotpath per event
+func Cold() *int {
+	//vcloudlint:allow hotalloc pool cold start; amortized to zero across events
+	return new(int)
+}
+
+//vcloudlint:hotpath per event
+func Leaky() *int {
+	return new(int) // want `heap allocation on hot path`
+}

@@ -1,0 +1,29 @@
+// Package fp holds shapes hotalloc must NOT flag: allocation in
+// unannotated functions, the sanctioned amortized append idioms
+// (parameter, receiver field, package variable), clean-extern math, and
+// taking the address of an existing variable.
+package fp
+
+import "math"
+
+type pool struct{ free []int }
+
+// MakeLots is not annotated: it may allocate freely.
+func MakeLots() []int { return make([]int, 64) }
+
+//vcloudlint:hotpath per frame
+func (p *pool) Put(v int) { p.free = append(p.free, v) }
+
+//vcloudlint:hotpath per frame
+func Math(x float64) float64 { return math.Sqrt(x) }
+
+//vcloudlint:hotpath per frame
+func Addr(p *pool) *[]int { return &p.free }
+
+var scratch []int
+
+//vcloudlint:hotpath per frame
+func Global(v int) { scratch = append(scratch, v) }
+
+//vcloudlint:hotpath per frame
+func GrowsParam(dst []int, v int) []int { return append(dst, v) }

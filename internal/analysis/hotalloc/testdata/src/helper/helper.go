@@ -1,0 +1,12 @@
+// Package helper exercises cross-package reachability: the allocation
+// lives here, the hotpath annotation lives in package a, and the finding
+// must land on this file.
+package helper
+
+// Make allocates; annotated hot callers must not reach it.
+func Make() []int {
+	return make([]int, 4) // want `heap allocation on hot path`
+}
+
+// Grow appends into the caller's buffer: amortized, clean.
+func Grow(s []int, v int) []int { return append(s, v) }

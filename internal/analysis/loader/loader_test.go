@@ -42,6 +42,34 @@ func TestLoadTypesAndOrder(t *testing.T) {
 	}
 }
 
+// TestLoadHonorsBuildTags loads a fixture module where one file is
+// excluded by a build constraint and deliberately does not type-check:
+// Load must follow the go tool's file selection (GoFiles) and succeed
+// with only the buildable file.
+func TestLoadHonorsBuildTags(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := loader.Load(fset, "testdata/tagmod", "./...")
+	if err != nil {
+		t.Fatalf("Load: %v (the build-tag-excluded file may have been parsed)", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.Path != "tagmod" {
+		t.Errorf("path = %q, want tagmod", p.Path)
+	}
+	if len(p.Files) != 1 {
+		t.Fatalf("loaded %d files, want 1 (excluded.go must not be selected)", len(p.Files))
+	}
+	if obj := p.Types.Scope().Lookup("Broken"); obj != nil {
+		t.Error("Broken from the excluded file leaked into the package scope")
+	}
+	if obj := p.Types.Scope().Lookup("Answer"); obj == nil {
+		t.Error("Answer from the buildable file missing from the package scope")
+	}
+}
+
 func TestLoadBadPattern(t *testing.T) {
 	fset := token.NewFileSet()
 	if _, err := loader.Load(fset, ".", "vcloud/internal/does-not-exist"); err == nil {

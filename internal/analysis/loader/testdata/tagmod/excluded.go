@@ -1,0 +1,7 @@
+//go:build neverbuildme
+
+package tagmod
+
+// Broken does not type-check: if the loader ever feeds this file to the
+// type checker, the build-tag test fails loudly.
+func Broken() int { return "not an int" }

@@ -1,0 +1,3 @@
+module tagmod
+
+go 1.22

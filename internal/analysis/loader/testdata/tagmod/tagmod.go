@@ -1,0 +1,7 @@
+// Package tagmod is a loader fixture: one buildable file plus one file
+// excluded by a build tag that would not even type-check. The loader must
+// honor the go tool's file selection and never parse the excluded file.
+package tagmod
+
+// Answer is here so the package has a real declaration to type-check.
+func Answer() int { return 42 }

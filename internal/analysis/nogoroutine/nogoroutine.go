@@ -5,9 +5,10 @@
 // world either races the event loop or silently reorders it — both break
 // determinism.
 //
-// The one sanctioned concurrency site is the experiment harness's bounded
-// worker pool (forEachPar), which runs whole kernels in parallel and folds
-// results serially; it is allowlisted by function.
+// Sanctioned concurrency sites (the experiment harness's bounded worker
+// pool, the sharded kernel's shard workers) carry a //vcloudlint:allow
+// directive with the reasoning at the site, so a rename or refactor can
+// never silently widen an exemption.
 package nogoroutine
 
 import (
@@ -15,13 +16,6 @@ import (
 
 	"vcloud/internal/analysis"
 )
-
-// Allowlist names functions (analysis.FuncKey form) that may spawn
-// goroutines and use sync primitives: the fan-out/fan-in harness that runs
-// independent kernels, never code inside one kernel.
-var Allowlist = map[string]bool{
-	"vcloud/internal/experiments.forEachPar": true,
-}
 
 // Analyzer is the nogoroutine check.
 var Analyzer = &analysis.Analyzer{
@@ -32,20 +26,15 @@ var Analyzer = &analysis.Analyzer{
 
 func run(pass *analysis.Pass) error {
 	pass.InspectWithStack(func(n ast.Node, stack []ast.Node) bool {
-		allowed := func() bool {
-			return Allowlist[analysis.FuncKey(pass.Path, analysis.EnclosingFunc(stack))]
-		}
 		switch n := n.(type) {
 		case *ast.GoStmt:
-			if !allowed() {
-				pass.Reportf(n.Pos(), "go statement in kernel-driven code: model callbacks must run on the kernel's single event loop")
-			}
+			pass.Reportf(n.Pos(), "go statement in kernel-driven code: model callbacks must run on the kernel's single event loop")
 		case *ast.SelectorExpr:
 			pkg, name, ok := pass.UsedPkgFunc(n)
 			if !ok {
 				return true
 			}
-			if (pkg == "sync" || pkg == "sync/atomic") && !allowed() {
+			if pkg == "sync" || pkg == "sync/atomic" {
 				pass.Reportf(n.Pos(), "%s.%s in kernel-driven code: the event loop is single-threaded and needs no locking", pathBase(pkg), name)
 			}
 		}

@@ -11,19 +11,10 @@ func TestViolations(t *testing.T) {
 	analysistest.Run(t, nogoroutine.Analyzer, "testdata", "a")
 }
 
-func TestFunctionAllowlist(t *testing.T) {
-	nogoroutine.Allowlist["allowfn.pool"] = true
-	defer delete(nogoroutine.Allowlist, "allowfn.pool")
-	analysistest.Run(t, nogoroutine.Analyzer, "testdata", "allowfn")
-}
-
-// TestRealAllowlistEntries pins the production allowlist to the
-// experiment harness's worker pool and nothing else.
-func TestRealAllowlistEntries(t *testing.T) {
-	if !nogoroutine.Allowlist["vcloud/internal/experiments.forEachPar"] {
-		t.Error("Allowlist missing vcloud/internal/experiments.forEachPar")
-	}
-	if len(nogoroutine.Allowlist) != 1 {
-		t.Errorf("Allowlist has %d entries, want 1: new concurrency sites need a design note", len(nogoroutine.Allowlist))
-	}
+// TestAllowDirective pins the escape hatch: a reasoned //vcloudlint:allow
+// at each concurrency site suppresses the finding, and a site without one
+// stays flagged. This is the only sanctioned exemption mechanism — there
+// is no name-based allowlist to drift out of sync with the code.
+func TestAllowDirective(t *testing.T) {
+	analysistest.Run(t, nogoroutine.Analyzer, "testdata", "allowdir")
 }

@@ -1,0 +1,73 @@
+// Package shardpure enforces the sharded kernel's purity contract
+// interprocedurally: every function transitively reachable from a
+// ShardedKernel worker callback — a func-typed argument to
+// ShardedKernel.Inject, or to a scheduling call on a kernel obtained from
+// ShardedKernel.Shard — must be free of wall-clock reads, global rand
+// draws, map-order leaks, and goroutine/sync use. Those are exactly the
+// per-package purity checks, closed over the call graph: a time.Now()
+// buried two helpers below a shard tick handler breaks bit-for-bit
+// reproducibility just as surely as one written inline, but only this
+// analyzer can see it.
+//
+// Calls the graph cannot resolve (interface methods, func-valued
+// variables) are conservatively treated as impure, and callbacks that
+// cannot be resolved to a function at the registration site are reported
+// outright: an unanalyzable shard callback is a hole in the bit-for-bit
+// guarantee.
+//
+// Findings point at the deep effect site (where the fix goes) and carry
+// the root and call chain that make it shard-reachable. Suppress with
+// //vcloudlint:allow shardpure <reason> at the effect site.
+package shardpure
+
+import (
+	"go/token"
+
+	"vcloud/internal/analysis"
+	"vcloud/internal/analysis/interproc"
+)
+
+// Analyzer is the shardpure check.
+var Analyzer = &analysis.Analyzer{
+	Name:    "shardpure",
+	Doc:     "forbid wall-clock, global-rand, map-order and goroutine effects anywhere reachable from sharded-kernel callbacks",
+	RunTree: run,
+}
+
+// banned are the effect bits a shard callback's transitive closure must
+// not exhibit. Dynamic calls are included: an unresolvable callee may hide
+// any of the others.
+const banned = interproc.PurityEffects | interproc.EffDynamicCall
+
+func run(pass *analysis.TreePass) error {
+	tree := interproc.Build(pass.Fset, pass.Units)
+	type siteKey struct {
+		pos token.Pos
+		bit interproc.Effect
+	}
+	seen := make(map[siteKey]bool)
+	for _, root := range tree.ShardRoots {
+		node := tree.Nodes[root.Key]
+		if node == nil {
+			continue
+		}
+		for _, bit := range (node.Summary & banned).Bits() {
+			path, site, ok := tree.Trace(root.Key, bit)
+			if !ok {
+				pass.Reportf(root.Pos, "shard callback %s has a %s somewhere in its call graph (witness lost to a cycle)", interproc.ShortKey(root.Key), bit)
+				continue
+			}
+			k := siteKey{pos: site.Pos, bit: bit}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			pass.Reportf(site.Pos, "%s in shard-reachable code: %s; reachable as %s via %s",
+				bit, site.Detail, root.Origin, interproc.RenderChain(path))
+		}
+	}
+	for _, s := range tree.UnresolvedShard {
+		pass.Reportf(s.Pos, "cannot statically resolve shard callback (%s): pass a named function, method value or func literal so its purity can be checked", s.Detail)
+	}
+	return nil
+}

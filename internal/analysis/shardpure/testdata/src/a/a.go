@@ -1,0 +1,57 @@
+// Package a holds shardpure violations: effects buried one or two call
+// hops below shard callbacks, plus an unresolvable callback registration.
+package a
+
+import (
+	"math/rand"
+	"time"
+
+	"shardstub"
+)
+
+type sim struct {
+	k    *shardstub.Kernel
+	seen map[int]bool
+	out  []int
+	hook func()
+}
+
+func Setup(sk *shardstub.ShardedKernel) {
+	s := &sim{k: sk.Shard(0)}
+	s.k.At(0, s.tick)
+	sk.Inject(0, 1, 0, applyClock, nil)
+	var fv func()
+	s.k.At(0, fv) // want `cannot statically resolve shard callback`
+}
+
+func (s *sim) tick() {
+	s.drawRand()
+	s.leakOrder()
+	s.spawn()
+	s.hook() // want `dynamic call in shard-reachable code`
+}
+
+// applyClock reaches the wall clock two hops down.
+func applyClock(a any) {
+	hop1()
+}
+
+func hop1() { hop2() }
+
+func hop2() {
+	_ = time.Now() // want `wall-clock read in shard-reachable code`
+}
+
+func (s *sim) drawRand() {
+	_ = rand.Intn(10) // want `global rand draw in shard-reachable code`
+}
+
+func (s *sim) leakOrder() {
+	for k := range s.seen {
+		s.out = append(s.out, k) // want `map-order leak in shard-reachable code`
+	}
+}
+
+func (s *sim) spawn() {
+	go func() {}() // want `goroutine/sync use in shard-reachable code`
+}

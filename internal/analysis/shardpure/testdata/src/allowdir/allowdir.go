@@ -1,0 +1,25 @@
+// Package allowdir regression-tests //vcloudlint:allow suppression for
+// shardpure: the directive sits at the deep effect site (where the finding
+// points), and an identical effect without one stays flagged.
+package allowdir
+
+import (
+	"time"
+
+	"shardstub"
+)
+
+func Setup(sk *shardstub.ShardedKernel) {
+	k := sk.Shard(0)
+	k.At(0, tickAllowed)
+	k.At(0, tickFlagged)
+}
+
+func tickAllowed() {
+	//vcloudlint:allow shardpure profiling probe; the reading never feeds model state
+	_ = time.Now()
+}
+
+func tickFlagged() {
+	_ = time.Now() // want `wall-clock read in shard-reachable code`
+}

@@ -1,0 +1,30 @@
+// Package fp holds shapes shardpure must NOT flag: callbacks on a plain
+// (non-shard) kernel, impure functions never registered as callbacks, and
+// a lookalike type with the right method names but the wrong type name.
+package fp
+
+import (
+	"time"
+
+	"shardstub"
+)
+
+// Plain registers on a kernel that never came from ShardedKernel.Shard:
+// the per-package nowallclock analyzer governs its callbacks, not
+// shardpure.
+func Plain(k *shardstub.Kernel) {
+	k.At(0, func() { _ = time.Now() })
+}
+
+// unrooted is impure but never registered as a shard callback.
+func unrooted() { _ = time.Now() }
+
+// fakeSharded has a Shard method but is not a ShardedKernel.
+type fakeSharded struct{}
+
+func (f *fakeSharded) Shard(i int) *shardstub.Kernel { return nil }
+
+func Fake(f *fakeSharded) {
+	k := f.Shard(0)
+	k.At(0, func() { _ = time.Now() })
+}

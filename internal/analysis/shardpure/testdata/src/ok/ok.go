@@ -1,0 +1,30 @@
+// Package ok holds pure shard callbacks: deterministic computation,
+// receiver-field appends (the caller-owned scratch idiom), and plain
+// helper chains. shardpure must stay silent.
+package ok
+
+import "shardstub"
+
+type world struct {
+	k   *shardstub.Kernel
+	buf []int
+}
+
+func Setup(sk *shardstub.ShardedKernel) {
+	w := &world{k: sk.Shard(0)}
+	w.k.At(0, w.tick)
+	sk.Inject(0, 1, 0, apply, nil)
+}
+
+func (w *world) tick() {
+	w.buf = append(w.buf, 1)
+	w.step(3)
+}
+
+func (w *world) step(n int) {
+	for i := 0; i < n; i++ {
+		w.buf = append(w.buf, i)
+	}
+}
+
+func apply(a any) {}

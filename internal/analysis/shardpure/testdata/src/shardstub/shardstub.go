@@ -1,0 +1,18 @@
+// Package shardstub is a stand-in for internal/sim in shardpure fixtures:
+// the analyzer matches kernels by type name (Kernel, ShardedKernel), so
+// fixtures can exercise root detection without importing the real module.
+package shardstub
+
+type Time int64
+
+type Kernel struct{}
+
+func (k *Kernel) At(t Time, fn func())                {}
+func (k *Kernel) AtArg(t Time, fn func(any), arg any) {}
+func (k *Kernel) After(d Time, fn func())             {}
+
+type ShardedKernel struct{}
+
+func (s *ShardedKernel) Shard(i int) *Kernel { return &Kernel{} }
+
+func (s *ShardedKernel) Inject(src, dst int, at Time, fn func(any), arg any) {}

@@ -1,7 +1,11 @@
 package suite_test
 
 import (
+	"go/ast"
+	"go/parser"
 	"go/token"
+	"go/types"
+	"strings"
 	"testing"
 
 	"vcloud/internal/analysis/loader"
@@ -34,6 +38,43 @@ func TestTreeIsClean(t *testing.T) {
 	}
 }
 
+// TestStaleAllowIsAFinding pins the stale-allow audit: a directive that
+// suppresses nothing is itself reported, so exemptions cannot outlive the
+// code they excused.
+func TestStaleAllowIsAFinding(t *testing.T) {
+	const src = `package fake
+
+//vcloudlint:allow nowallclock leftover excuse from a deleted profiling probe
+func Clean() int { return 42 }
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fake.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := loader.NewInfo()
+	conf := types.Config{}
+	tp, err := conf.Check("vcloud/internal/fake", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := &loader.Package{Path: "vcloud/internal/fake", Files: []*ast.File{f}, Types: tp, Info: info}
+	findings, err := suite.Run(fset, []*loader.Package{pkg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1 stale-allow: %v", len(findings), findings)
+	}
+	got := findings[0]
+	if got.Analyzer != "allow" || !strings.Contains(got.Message, "stale directive") || !strings.Contains(got.Message, "nowallclock") {
+		t.Errorf("finding = [%s] %q, want a stale-directive report naming nowallclock", got.Analyzer, got.Message)
+	}
+	if got.Pos.Line != 3 {
+		t.Errorf("finding at line %d, want 3 (the directive line)", got.Pos.Line)
+	}
+}
+
 // TestSimDriven pins the package-classification boundary.
 func TestSimDriven(t *testing.T) {
 	cases := []struct {
@@ -59,10 +100,11 @@ func TestSimDriven(t *testing.T) {
 	}
 }
 
-// TestSuiteShape pins the analyzer roster: five checks, stable order,
-// distinct names.
+// TestSuiteShape pins the analyzer roster: eight checks, stable order,
+// distinct names, each with exactly one of Run (per-package) or RunTree
+// (whole-tree).
 func TestSuiteShape(t *testing.T) {
-	want := []string{"nowallclock", "noglobalrand", "nomaporder", "nogoroutine", "epochstamp"}
+	want := []string{"nowallclock", "noglobalrand", "nomaporder", "nogoroutine", "epochstamp", "exhaustenum", "shardpure", "hotalloc"}
 	entries := suite.Suite()
 	if len(entries) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(entries), len(want))
@@ -71,8 +113,13 @@ func TestSuiteShape(t *testing.T) {
 		if e.Analyzer.Name != want[i] {
 			t.Errorf("suite[%d] = %s, want %s", i, e.Analyzer.Name, want[i])
 		}
-		if e.Analyzer.Doc == "" || e.Analyzer.Run == nil || e.Applies == nil {
+		if e.Analyzer.Doc == "" || e.Applies == nil {
 			t.Errorf("suite[%d] (%s) incomplete", i, e.Analyzer.Name)
+		}
+		hasRun := e.Analyzer.Run != nil
+		hasTree := e.Analyzer.RunTree != nil
+		if hasRun == hasTree {
+			t.Errorf("suite[%d] (%s) must set exactly one of Run/RunTree", i, e.Analyzer.Name)
 		}
 	}
 }

@@ -111,13 +111,17 @@ func forEachPar(cfg Config, n int, fn func(i int) error) error {
 		return nil
 	}
 	var (
-		next     atomic.Int64
-		wg       sync.WaitGroup
+		//vcloudlint:allow nogoroutine work-stealing counter for the fan-out pool; no kernel code runs on this goroutine
+		next atomic.Int64
+		//vcloudlint:allow nogoroutine pool join barrier; results are folded serially after Wait
+		wg sync.WaitGroup
+		//vcloudlint:allow nogoroutine guards firstErr across pool workers, never kernel state
 		mu       sync.Mutex
 		firstErr error
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		//vcloudlint:allow nogoroutine bounded worker pool running independent kernels; fan-in is serial
 		go func() {
 			defer wg.Done()
 			for {

@@ -159,6 +159,8 @@ func (g *GridIndex) WithinRange(dst []int32, p Point, r float64, exclude int32) 
 // positions needed for the distance model, in the stable cell-major,
 // id-minor order, with no per-neighbor position re-lookup and no
 // allocation beyond (amortized) buffer growth.
+//
+//vcloudlint:hotpath one query per broadcast; only caller-owned buffers may grow
 func (g *GridIndex) WithinRangePos(ids []int32, pos []Point, p Point, r float64, exclude int32) ([]int32, []Point) {
 	return g.withinRange(ids, pos, true, p, r, exclude)
 }

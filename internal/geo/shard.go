@@ -210,6 +210,8 @@ func (s *ShardedIndex) Position(id int32) (Point, bool) { return s.idx.Position(
 // WithinRangePos appends the ids and positions of all indexed entries
 // (local and ghost) within radius r of p, excluding `exclude`, in the
 // underlying grid's stable cell-major, id-minor order.
+//
+//vcloudlint:hotpath per-tick neighbor queries inside every shard worker
 func (s *ShardedIndex) WithinRangePos(ids []int32, pos []Point, p Point, r float64, exclude int32) ([]int32, []Point) {
 	return s.idx.WithinRangePos(ids, pos, p, r, exclude)
 }

@@ -169,6 +169,7 @@ func (m *Medium) getDelivery() *delivery {
 		m.freeDeliv = m.freeDeliv[:n-1]
 		return d
 	}
+	//vcloudlint:allow hotalloc delivery pool cold start; recycled in runDelivery so steady state is allocation-free
 	return &delivery{m: m}
 }
 
@@ -269,6 +270,7 @@ func (m *Medium) AddBlocker(fn func(from, to NodeID) bool) (remove func()) {
 
 // frameBlocked reports whether any installed filter drops the frame.
 func (m *Medium) frameBlocked(from, to NodeID) bool {
+	//vcloudlint:allow hotalloc blocker predicates are test/model configuration; the common path has none installed
 	if m.blocked != nil && m.blocked(from, to) {
 		return true
 	}
@@ -398,6 +400,8 @@ func (m *Medium) deliver(from, to, dst NodeID, src, dstPos geo.Point, size int, 
 // Send transmits a frame. to == Broadcast delivers to every node in range;
 // otherwise only the addressed node (if in range) receives it. Send never
 // fails: lost frames are simply not delivered, as on a real channel.
+//
+//vcloudlint:hotpath runs once per transmitted frame, the innermost loop of every radio-heavy scenario
 func (m *Medium) Send(from, to NodeID, size int, payload any) {
 	src, ok := m.index.Position(int32(from))
 	if !ok {

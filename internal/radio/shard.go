@@ -70,6 +70,8 @@ func (c *ShardChannel) NoteSent(size int) {
 // updates the Delivered/LostRange/LostLoad counters. The decision reads
 // nothing but its arguments and the channel seed: any shard computes the
 // same verdict for the same reception.
+//
+//vcloudlint:hotpath one verdict per candidate reception per tick in the sharded world
 func (c *ShardChannel) Receive(tick uint64, from, to NodeID, dist float64, density int) bool {
 	uf, ut := uint64(uint32(from)), uint64(uint32(to))
 	pRecv := c.params.ReceptionProb(dist)

@@ -313,6 +313,10 @@ func (g *Governor) reject(task Task, done func(TaskResult), reason FailReason) e
 		g.stats.Shed.Inc()
 	case ReasonBackpressure:
 		g.stats.Backpressured.Inc()
+	default:
+		// Other FailReasons (deadline, no-quorum, ...) originate in the
+		// controller, not the governor; they carry no dedicated counter
+		// here and fold into the Submitted/Failed totals below.
 	}
 	g.stats.Submitted.Inc()
 	g.stats.Failed.Inc()
